@@ -1,0 +1,109 @@
+"""Ablation A3 — full vs incremental checkpoints.
+
+"Although Pia's current checkpoint facility saves complete component
+images, we plan to look into incremental checkpoints at some point in the
+future" (paper 2.1.2).  This bench implements that future: the same
+checkpoint schedule is stored through the full-image store and the
+incremental (diff-chain) store, comparing storage and restore fidelity.
+"""
+
+import pytest
+
+from repro.core import (
+    Advance,
+    CheckpointStore,
+    IncrementalCheckpointStore,
+    PortDirection,
+    ProcessComponent,
+    Receive,
+    Send,
+    Simulator,
+)
+
+CHECKPOINTS = 16
+BULK_WORDS = 4000
+
+
+class BigStateWorker(ProcessComponent):
+    """Mostly-constant bulk state plus a small hot set — the profile that
+    favours incremental images."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.bulk = list(range(BULK_WORDS))
+        self.hot = 0
+        self.add_port("in", PortDirection.IN)
+
+    def run(self):
+        while True:
+            t, value = yield Receive("in")
+            self.hot += value     # the hot set; self.bulk stays constant
+
+
+class Feeder(ProcessComponent):
+    def __init__(self, name, count):
+        super().__init__(name)
+        self.count = count
+        self.add_port("out", PortDirection.OUT)
+
+    def run(self):
+        for index in range(self.count):
+            yield Advance(1.0)
+            yield Send("out", index)
+
+
+def _run(store):
+    sim = Simulator(checkpoint_store=store)
+    worker = sim.add(BigStateWorker("worker"))
+    feeder = sim.add(Feeder("feeder", CHECKPOINTS * 2))
+    sim.wire("n", feeder.port("out"), worker.port("in"))
+    ids = []
+    for step in range(CHECKPOINTS):
+        sim.run(until=float(2 * step + 1))
+        ids.append(sim.checkpoint())
+    sim.run()
+    final_hot = worker.hot
+    # restore the middle checkpoint and re-run to verify identical end state
+    sim.restore(ids[CHECKPOINTS // 2])
+    sim.run()
+    assert worker.hot == final_hot
+    return store.storage_bytes(), final_hot
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    full_bytes, full_hot = _run(CheckpointStore())
+    results = {"full": full_bytes}
+    for full_every in (4, 8, 1000):
+        size, hot = _run(IncrementalCheckpointStore(full_every=full_every))
+        assert hot == full_hot
+        results[f"incremental (full every {full_every})"] = size
+    return results
+
+
+def test_ablation_report(ablation):
+    from repro.bench import Table, format_bytes
+    table = Table("A3 — checkpoint storage: full vs incremental images",
+                  ["store", "bytes", "vs full"])
+    full = ablation["full"]
+    for label, size in ablation.items():
+        table.add(label, format_bytes(size), f"{size / full:.2f}x")
+    table.note(f"{CHECKPOINTS} checkpoints of a component with "
+               f"{BULK_WORDS} words of mostly-constant state")
+    table.show()
+    table.save("ablation_incremental")
+
+
+def test_incremental_is_substantially_smaller(ablation):
+    assert ablation["incremental (full every 1000)"] < ablation["full"] / 3
+
+
+def test_periodic_full_images_cost_more_than_pure_chain(ablation):
+    assert ablation["incremental (full every 4)"] >= \
+        ablation["incremental (full every 1000)"]
+
+
+def test_benchmark_incremental_store(benchmark):
+    benchmark.pedantic(
+        lambda: _run(IncrementalCheckpointStore(full_every=8)),
+        rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+"""Ablation A4 — what each detail level costs on the wire.
+
+The paper's selective-focus principle: "it allows the designer to reduce
+the communication bandwidth at times when detail isn't required"
+(section 2).  For the WubbleU page payload this bench reports, per detail
+level (including a user-defined assertion-based level), the wire values,
+nominal wire bytes and modelled transfer time of one full page — plus the
+measured event counts of an actual simulated load at each level.
+"""
+
+import pytest
+
+from repro.apps import WubbleUConfig, build_local, build_page, run_page_load
+from repro.bench import Table, format_bytes, format_count, format_seconds
+from repro.protocols import ActionRule, assertion_level, packet_protocol
+
+CONFIG = dict(total_bytes=24_000, image_count=3, image_size=64)
+
+
+def _protocol_with_custom_level():
+    protocol = packet_protocol("syslink")
+    # A user-supplied level: small transfers in one shot, bulk in 4 KB
+    # chunks with a per-chunk cost — entered as assertions (paper ref [7]).
+    assertion_level(protocol, "custom", [
+        ActionRule(when="size <= 256", chunks="1", dt="2e-6"),
+        ActionRule(when="size > 256", chunks="ceil(size / 4096)",
+                   dt="1e-5 + chunk_size / 20e6"),
+    ])
+    return protocol
+
+
+@pytest.fixture(scope="module")
+def static_costs():
+    page = build_page(**CONFIG)
+    protocol = _protocol_with_custom_level()
+    rows = {}
+    for level in ("word", "packet", "transaction", "custom"):
+        codec = protocol.codec(level)
+        chunks = sum(1 for __ in codec.chunk_payload(page.html)) + 1
+        rows[level] = {
+            "chunks": chunks,
+            "wire_bytes": codec.wire_bytes(page.html),
+            "time": codec.transfer_time(page.html),
+        }
+    return page, rows
+
+
+@pytest.fixture(scope="module")
+def simulated_costs():
+    rows = {}
+    for level in ("word", "packet", "transaction"):
+        cosim, __, ___ = build_local(WubbleUConfig(level=level, **CONFIG))
+        rows[level] = run_page_load(cosim, location="local", level=level)
+    return rows
+
+
+def test_static_report(static_costs):
+    page, rows = static_costs
+    table = Table(
+        f"A4 — one {len(page.html)}-byte page body per detail level",
+        ["level", "wire values", "nominal wire bytes", "transfer time"])
+    for level, row in rows.items():
+        table.add(level, format_count(row["chunks"]),
+                  format_bytes(row["wire_bytes"]),
+                  format_seconds(row["time"]))
+    table.show()
+    table.save("ablation_runlevel_static")
+
+
+def test_simulated_report(simulated_costs):
+    table = Table("A4 — full simulated page load per detail level",
+                  ["level", "events", "cpu", "virtual time"])
+    for level, result in simulated_costs.items():
+        table.add(level, format_count(result.events),
+                  format_seconds(result.cpu_seconds),
+                  format_seconds(result.virtual_time))
+    table.show()
+    table.save("ablation_runlevel_simulated")
+
+
+def test_word_level_orders_of_magnitude_chattier(static_costs):
+    __, rows = static_costs
+    assert rows["word"]["chunks"] > 100 * rows["packet"]["chunks"]
+    assert rows["packet"]["chunks"] > rows["transaction"]["chunks"]
+
+
+def test_custom_level_sits_between(static_costs):
+    __, rows = static_costs
+    assert rows["transaction"]["chunks"] <= rows["custom"]["chunks"] \
+        <= rows["packet"]["chunks"]
+
+
+def test_event_counts_follow_detail(simulated_costs):
+    assert simulated_costs["word"].events > simulated_costs["packet"].events \
+        > simulated_costs["transaction"].events
+
+
+def test_payload_identical_at_every_level(simulated_costs):
+    loaded = {result.bytes_loaded for result in simulated_costs.values()}
+    assert loaded == {24_000}
+
+
+def test_benchmark_word_level_load(benchmark):
+    def once():
+        cosim, __, ___ = build_local(WubbleUConfig(level="word", **CONFIG))
+        return run_page_load(cosim, location="local", level="word")
+
+    benchmark.pedantic(once, rounds=1, iterations=1)

@@ -1,0 +1,117 @@
+"""Fig. 2 — "A pair of Pia subsystems ... the dark net is split between
+the subsystems".
+
+The figure illustrates what moving components across a subsystem boundary
+does: the crossed net is split into two half-nets, each gaining a hidden
+port owned by a channel component.  This bench performs the move for a
+sweep of cuts through the WubbleU component graph — from everything local
+to everything-but-the-UI remote — and reports, for each cut, exactly the
+objects Fig. 2 draws: split nets, hidden ports, channel components.
+"""
+
+import pytest
+
+from repro.apps import WubbleUConfig, build_design
+from repro.bench import Table, format_count
+from repro.distributed import CoSimulation, deploy
+
+#: Progressive cuts: each moves one more stage of the pipeline away.
+CUTS = {
+    "nothing remote": set(),
+    "origin remote": {"Origin"},
+    "server+origin remote": {"Origin", "Server"},
+    "chip remote (paper)": {"Origin", "Server", "NetIf"},
+    "stack too": {"Origin", "Server", "NetIf", "Stack"},
+    "browser too": {"Origin", "Server", "NetIf", "Stack", "Browser"},
+}
+
+
+def _deploy_cut(moved):
+    config = WubbleUConfig(total_bytes=12_000, image_count=2, image_size=48)
+    design, __ = build_design(config)
+    assignment = {name: ("far" if name in moved else "near")
+                  for name in design.components}
+    cosim = CoSimulation()
+    deployment = deploy(design, assignment, cosim)
+    return design, cosim, deployment, assignment
+
+
+def _hidden_ports(cosim):
+    return sum(
+        1
+        for subsystem in cosim.subsystems.values()
+        for net in subsystem.nets.values()
+        for port in net.ports if port.hidden)
+
+
+def _channel_components(cosim):
+    return sum(
+        1
+        for subsystem in cosim.subsystems.values()
+        for name in subsystem.components if name.startswith("__channel"))
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    rows = {}
+    for label, moved in CUTS.items():
+        design, cosim, deployment, assignment = _deploy_cut(moved)
+        rows[label] = {
+            "cut_nets": sorted(deployment.splits),
+            "predicted": sorted(design.cut_nets(assignment)),
+            "hidden_ports": _hidden_ports(cosim),
+            "channel_components": _channel_components(cosim),
+            "channels": len(deployment.channels),
+        }
+    return rows
+
+
+def test_fig2_report(fig2):
+    table = Table("Fig. 2 — net splitting across subsystem boundaries",
+                  ["cut", "split nets", "hidden ports",
+                   "channel components", "channels"])
+    for label, row in fig2.items():
+        table.add(label, format_count(len(row["cut_nets"])),
+                  format_count(row["hidden_ports"]),
+                  format_count(row["channel_components"]),
+                  format_count(row["channels"]))
+    table.note("every split net contributes one hidden port per side, "
+               "owned by the pair of channel components")
+    table.show()
+    table.save("fig2_net_split")
+
+
+def test_split_matches_graph_cut(fig2):
+    """deploy() must split exactly the nets the component-graph cut
+    predicts (the paper: 'determined by a cut of the component graph')."""
+    for label, row in fig2.items():
+        assert row["cut_nets"] == row["predicted"], label
+
+
+def test_hidden_ports_two_per_split_net(fig2):
+    for label, row in fig2.items():
+        assert row["hidden_ports"] == 2 * len(row["cut_nets"]), label
+
+
+def test_one_channel_component_pair_per_pair(fig2):
+    """One channel (a pair of dummy components) per communicating
+    subsystem pair, regardless of how many nets are split."""
+    for label, row in fig2.items():
+        if row["cut_nets"]:
+            assert row["channels"] == 1, label
+            assert row["channel_components"] == 2, label
+        else:
+            assert row["channels"] == 0, label
+
+
+def test_paper_cut_splits_the_bus(fig2):
+    assert len(fig2["nothing remote"]["cut_nets"]) == 0
+    # the paper's cut (chip remote) splits the bus pair plus the irq line
+    assert fig2["chip remote (paper)"]["cut_nets"] == \
+        ["bus_bwd", "bus_fwd", "netirq"]
+
+
+def test_benchmark_deploy(benchmark):
+    benchmark.pedantic(
+        lambda: _deploy_cut({"Origin", "Server", "NetIf"}),
+        rounds=3, iterations=1)

@@ -1,0 +1,106 @@
+"""Fig. 3 — "Subsystem 1 must stall to maintain continuous consistency".
+
+The figure's scenario: Subsystem 1 is at time 10 with its next event at
+20; Subsystem 2 is at 30/40 and may still send a message stamped, say, 15.
+On a single host the simulator would just advance to 20 — distributed, it
+must stall until Subsystem 2 grants a safe time past 20.
+
+This bench builds the scenario both ways:
+
+* **conservative** — Subsystem 1 stalls (we count the stalls) and the
+  message at 15 is delivered before the local event at 20;
+* **optimistic** — Subsystem 1 barrels ahead to 20, the message at 15
+  arrives as a straggler, and a rollback repairs history.
+
+Either way the observable behaviour is identical to a single-host run.
+"""
+
+import pytest
+
+from repro.bench import Table, format_count
+from repro.core import Advance, FunctionComponent, Receive, Send, WaitUntil
+from repro.distributed import ChannelMode, CoSimulation
+
+
+def _build(mode: ChannelMode, send_time: float = 15.0):
+    cosim = CoSimulation(
+        snapshot_interval=5.0 if mode is ChannelMode.OPTIMISTIC else None)
+    # Name ss1 so it is scheduled first: under optimism it runs ahead.
+    ss1 = cosim.add_subsystem(cosim.add_node("n1"), "a-ss1")
+    ss2 = cosim.add_subsystem(cosim.add_node("n2"), "z-ss2")
+
+    def sender(comp):
+        yield Advance(send_time)
+        yield Send("out", "x")
+
+    def waiter(comp):
+        comp.order = []
+        t = yield WaitUntil(20.0)
+        comp.order.append(("local-event", t))
+
+    def listener(comp):
+        comp.order = []
+        t, v = yield Receive("in")
+        comp.order.append(("message", t))
+
+    send = FunctionComponent("sender", sender, ports={"out": "out"})
+    wait = FunctionComponent("waiter", waiter)
+    listen = FunctionComponent("listener", listener, ports={"in": "in"})
+    ss2.add(send)
+    ss1.add(wait)
+    ss1.add(listen)
+    channel = cosim.connect(ss1, ss2, mode=mode)
+    channel.split_net(ss1.wire("xnet", listen.port("in")),
+                      ss2.wire("xnet", send.port("out")))
+    cosim.run()
+    return cosim, wait, listen
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    rows = {}
+    for mode in (ChannelMode.CONSERVATIVE, ChannelMode.OPTIMISTIC):
+        cosim, wait, listen = _build(mode)
+        rows[mode.value] = {
+            "stalls": cosim.stalls(),
+            "rollbacks": len(cosim.recovery.rollbacks),
+            "message_at": listen.order[0][1],
+            "event_at": wait.order[0][1],
+            "safe_time_requests": cosim.safe_time_requests(),
+        }
+    return rows
+
+
+def test_fig3_report(fig3):
+    table = Table("Fig. 3 — the stall scenario, conservative vs optimistic",
+                  ["mode", "stalls", "rollbacks", "msg delivered at",
+                   "local event at", "safe-time reqs"])
+    for mode, row in fig3.items():
+        table.add(mode, format_count(row["stalls"]),
+                  format_count(row["rollbacks"]),
+                  f"t={row['message_at']:g}", f"t={row['event_at']:g}",
+                  format_count(row["safe_time_requests"]))
+    table.note("both modes end with the message (t=15) observed and the "
+               "local event (t=20) fired — identical behaviour")
+    table.show()
+    table.save("fig3_stall")
+
+
+def test_conservative_stalls_at_least_once(fig3):
+    assert fig3["conservative"]["stalls"] >= 1
+    assert fig3["conservative"]["rollbacks"] == 0
+
+
+def test_optimistic_rolls_back_instead(fig3):
+    assert fig3["optimistic"]["rollbacks"] >= 1
+
+
+def test_behaviour_identical_across_modes(fig3):
+    for mode in ("conservative", "optimistic"):
+        assert fig3[mode]["message_at"] == 15.0
+        assert fig3[mode]["event_at"] == 20.0
+
+
+def test_benchmark_conservative_scenario(benchmark):
+    benchmark.pedantic(lambda: _build(ChannelMode.CONSERVATIVE),
+                       rounds=3, iterations=1)

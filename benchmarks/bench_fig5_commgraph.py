@@ -1,0 +1,90 @@
+"""Fig. 5 — "A communication flow diagram for the WubbleU handheld web
+browser".
+
+The figure draws the module graph; its runtime meaning is which edges
+carry how much traffic during a page load.  This bench runs the load
+locally and reports, per net of the module graph, the number of values
+posted and (for the protocol links) the payload bytes and transfer counts
+of each interface — the quantified version of the figure's arrows.
+"""
+
+import pytest
+
+from repro.apps import WubbleUConfig, build_local, run_page_load
+from repro.bench import Table, format_bytes, format_count
+
+CONFIG = dict(total_bytes=24_000, image_count=3, image_size=64)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    cosim, deployment, page = build_local(
+        WubbleUConfig(level="packet", **CONFIG))
+    result = run_page_load(cosim, location="local", level="packet")
+    return cosim, page, result
+
+
+def test_fig5_report(fig5):
+    cosim, page, __ = fig5
+    subsystem = cosim.subsystem("handheld")
+    table = Table("Fig. 5 — WubbleU communication graph, traffic per edge",
+                  ["net", "posts"])
+    for name in sorted(subsystem.nets):
+        table.add(name, format_count(subsystem.nets[name].posts))
+    table.show()
+    table.save("fig5_commgraph_nets")
+
+    iface_table = Table("Fig. 5 — per-interface transfers",
+                        ["interface", "level", "transfers out",
+                         "chunks out", "payload bytes"])
+    for comp_name in sorted(subsystem.components):
+        component = subsystem.components[comp_name]
+        for iface in component.interfaces.values():
+            iface_table.add(iface.full_name, iface.level,
+                            format_count(iface.sent_transfers),
+                            format_count(iface.sent_chunks),
+                            format_bytes(iface.sent_payload_bytes))
+    iface_table.show()
+    iface_table.save("fig5_commgraph_interfaces")
+
+
+def test_every_module_graph_edge_carried_traffic(fig5):
+    cosim, __, ___ = fig5
+    subsystem = cosim.subsystem("handheld")
+    for name, net in subsystem.nets.items():
+        if name == "ui_next":
+            # session-control edge: only pulses between page loads, and
+            # this is a single-load run
+            continue
+        assert net.posts > 0, f"edge {name} carried nothing"
+
+
+def test_bulk_flows_through_bus_and_air(fig5):
+    cosim, page, __ = fig5
+    stack = cosim.component("Stack")
+    netif = cosim.component("NetIf")
+    server = cosim.component("Server")
+    # The full page body crossed the modem's bus interface downstream.
+    assert netif.interface("bus").sent_payload_bytes >= page.total_bytes
+    assert netif.dma_bytes >= page.total_bytes
+    # ... and the air interface upstream carried the (small) requests.
+    requests = netif.interface("air").sent_transfers
+    assert requests == 1 + len(page.images)
+    assert server.requests_proxied == requests
+
+
+def test_request_response_counts_match(fig5):
+    cosim, page, __ = fig5
+    expected = 1 + len(page.images)
+    assert cosim.component("Stack").requests_handled == expected
+    assert cosim.component("Origin").requests_served == expected
+    assert cosim.component("Browser").pages_loaded == 1
+
+
+def test_benchmark_local_load(benchmark):
+    def once():
+        cosim, __, ___ = build_local(WubbleUConfig(level="packet", **CONFIG))
+        return run_page_load(cosim, location="local", level="packet")
+
+    result = benchmark.pedantic(once, rounds=3, iterations=1)
+    assert result.bytes_loaded == 24_000

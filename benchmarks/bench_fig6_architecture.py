@@ -1,0 +1,97 @@
+"""Fig. 6 — "A possible architecture for the WubbleU system, and its
+simulation topology".
+
+The figure shows the chosen mapping (all processes on the processor, the
+network interface on the cellular ASIC) and the simulation topology used
+to evaluate it: the cellular chip operated remotely.  This bench sweeps
+the placement boundary across the pipeline and reports, for each
+topology, the traffic that crosses the cut and the resulting simulation
+time — quantifying why the paper put the boundary at the chip and dropped
+the link's detail level.
+"""
+
+import pytest
+
+from repro.apps import WubbleUConfig, build_design, run_page_load
+from repro.bench import Table, format_bytes, format_count, format_seconds
+from repro.distributed import CoSimulation, deploy
+from repro.transport import LAN
+
+CONFIG = dict(total_bytes=24_000, image_count=3, image_size=64)
+
+PLACEMENTS = {
+    "all local": set(),
+    "origin remote": {"Origin"},
+    "server remote": {"Origin", "Server"},
+    "chip remote (paper)": {"Origin", "Server", "NetIf"},
+    "stack remote": {"Origin", "Server", "NetIf", "Stack"},
+}
+
+
+def _run(moved, level):
+    config = WubbleUConfig(level=level, **CONFIG)
+    design, page = build_design(config)
+    assignment = {name: ("far" if name in moved else "near")
+                  for name in design.components}
+    cosim = CoSimulation()
+    deployment = deploy(design, assignment, cosim,
+                        placement={"near": "host-a", "far": "host-b"})
+    if moved:
+        cosim.set_link_model("host-a", "host-b", LAN)
+    result = run_page_load(cosim, location="split" if moved else "local",
+                           level=level)
+    return result, deployment
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    rows = {}
+    for label, moved in PLACEMENTS.items():
+        result, deployment = _run(moved, "packet")
+        rows[label] = {
+            "result": result,
+            "splits": sorted(deployment.splits),
+        }
+    return rows
+
+
+def test_fig6_report(fig6):
+    table = Table("Fig. 6 — placement sweep at packet level (LAN link)",
+                  ["placement", "split nets", "inter-node msgs",
+                   "wire bytes", "sim time", "virtual"])
+    for label, row in fig6.items():
+        result = row["result"]
+        table.add(label, format_count(len(row["splits"])),
+                  format_count(result.messages),
+                  format_bytes(result.wire_bytes),
+                  format_seconds(result.simulation_time),
+                  format_seconds(result.virtual_time))
+    table.note("the paper's boundary (chip remote) is the last cut before "
+               "the page body must cross the network at bus granularity")
+    table.show()
+    table.save("fig6_architecture")
+
+
+def test_virtual_behaviour_placement_independent(fig6):
+    times = {label: row["result"].virtual_time for label, row in fig6.items()}
+    assert len(set(times.values())) == 1, times
+
+
+def test_paper_boundary_splits_the_bus(fig6):
+    assert fig6["chip remote (paper)"]["splits"] == \
+        ["bus_bwd", "bus_fwd", "netirq"]
+    assert fig6["server remote"]["splits"] == ["air_bwd", "air_fwd"]
+
+
+def test_traffic_grows_as_cut_moves_inward(fig6):
+    """Moving the boundary towards the CPU crosses fatter links."""
+    bytes_by = {label: row["result"].wire_bytes for label, row in fig6.items()}
+    assert bytes_by["all local"] == 0
+    assert bytes_by["origin remote"] > 0
+    assert bytes_by["chip remote (paper)"] >= bytes_by["server remote"] * 0.5
+
+
+def test_benchmark_paper_placement(benchmark):
+    benchmark.pedantic(
+        lambda: _run({"Origin", "Server", "NetIf"}, "packet"),
+        rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""Section 5 — "the principles of selective focus ... offset" the cost.
+
+The paper's conclusion: geographic distribution could hurt performance,
+"but we showed how the principles of selective focus introduced in [6] can
+be used to offset this."  Concretely: keep the remote link at full (word)
+detail only while the designer needs it, and drop to packet level for the
+bulk of the run.
+
+This bench runs the remote WubbleU three ways — pure word, pure packet,
+and word-with-a-switchpoint that drops the link to packet level early in
+the load — and shows the mixed run's traffic landing near the packet
+level's, orders below pure word.
+"""
+
+import pytest
+
+from repro.apps import WubbleUConfig, build_split, run_page_load
+from repro.bench import Table, format_count, format_seconds
+from repro.transport import INTERNET
+
+SMALL = dict(total_bytes=24_000, image_count=3, image_size=64)
+
+#: Drop detail once the origin has started serving the first request:
+#: the designer has watched the request handshake cross the link in full
+#: word-level detail; the bulk responses are not worth that bandwidth.
+SWITCH_AT = 0.004
+
+
+def _run(level, *, switchpoint=False):
+    config = WubbleUConfig(level=level, **SMALL)
+    cosim, __, ___ = build_split(config, network=INTERNET)
+    if switchpoint:
+        cosim.add_switchpoint(
+            f"when Origin.localtime >= {SWITCH_AT}: "
+            "Stack.bus -> packet, NetIf.bus -> packet")
+    result = run_page_load(
+        cosim, location="remote",
+        level=f"{level}+switch" if switchpoint else level)
+    return result
+
+
+@pytest.fixture(scope="module")
+def focus():
+    return {
+        "word (full detail)": _run("word"),
+        "word -> packet switchpoint": _run("word", switchpoint=True),
+        "packet (abstract)": _run("packet"),
+    }
+
+
+def test_selective_focus_report(focus):
+    table = Table("Selective focus on the remote link (paper section 5)",
+                  ["configuration", "inter-node msgs", "modelled net time",
+                   "simulation time", "virtual time"])
+    for label, result in focus.items():
+        table.add(label, format_count(result.messages),
+                  format_seconds(result.network_delay),
+                  format_seconds(result.simulation_time),
+                  format_seconds(result.virtual_time))
+    table.note("switchpoint drops the bus link to packet level once the "
+               "origin starts serving — full detail only while the "
+               "designer watches the request handshake")
+    table.show()
+    table.save("selective_focus")
+
+
+def test_switch_lands_near_packet_cost(focus):
+    word = focus["word (full detail)"].messages
+    mixed = focus["word -> packet switchpoint"].messages
+    packet = focus["packet (abstract)"].messages
+    assert mixed < word / 5, "selective focus must shed most word traffic"
+    assert mixed < 5 * max(packet, 1)
+
+
+def test_payload_unaffected(focus):
+    loaded = {result.bytes_loaded for result in focus.values()}
+    assert loaded == {24_000}
+
+
+def test_levels_actually_switched(focus):
+    assert focus["word -> packet switchpoint"].messages != \
+        focus["word (full detail)"].messages
+
+
+def test_benchmark_mixed_run(benchmark):
+    benchmark.pedantic(lambda: _run("word", switchpoint=True),
+                       rounds=1, iterations=1)

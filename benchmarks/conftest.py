@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # The benchmarks print the regenerated paper tables; keep them visible
+    # when running `pytest benchmarks/ --benchmark-only -s`.
+    pass

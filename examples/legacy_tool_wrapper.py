@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Connecting a legacy design tool through a customized wrapper.
+
+"Design tools can have built in support for Pia sockets ... but if not,
+the tools can be connected through a customized wrapper" (paper section
+2).  Here the legacy tool is a stand-alone checker process — imagine a
+vendor's golden-model simulator — that knows nothing about Pia: it reads
+JSON on stdin and writes JSON on stdout.  The wrapper runs it as a
+subprocess and splices it between two native components; the checker's
+compute time (its ``advance`` actions) lands in virtual time like any
+other component's.
+
+Run:  python examples/legacy_tool_wrapper.py
+"""
+
+import os
+import tempfile
+import textwrap
+
+from repro.core import Advance, FunctionComponent, Receive, Send, Simulator
+from repro.tools import ExternalToolComponent, python_tool_argv
+
+#: The legacy tool: a parity checker with a 100 us check latency.
+CHECKER_TOOL = textwrap.dedent("""
+    import json, sys
+
+    def reply(**msg):
+        sys.stdout.write(json.dumps(msg) + "\\n")
+        sys.stdout.flush()
+
+    checked = 0
+    for line in sys.stdin:
+        msg = json.loads(line)
+        if msg["op"] == "init":
+            reply(op="log", text="golden checker v1.7 attached")
+            reply(op="yield")
+        elif msg["op"] == "deliver":
+            word = msg["value"]
+            checked += 1
+            parity = bin(word).count("1") % 2
+            reply(op="advance", dt=100e-6)
+            reply(op="send", port="out",
+                  value={"word": word, "parity": parity, "n": checked})
+            reply(op="yield")
+        elif msg["op"] == "quit":
+            break
+""")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tooldir:
+        tool_path = os.path.join(tooldir, "golden_checker.py")
+        with open(tool_path, "w") as handle:
+            handle.write(CHECKER_TOOL)
+
+        sim = Simulator("wrapped-tool-demo")
+        checker = sim.add(ExternalToolComponent(
+            "checker", python_tool_argv(tool_path)))
+
+        def dut(comp):
+            for word in (0b1011, 0b1111, 0b0001, 0b0110):
+                yield Advance(1e-3)
+                yield Send("out", word)
+
+        def verdicts(comp):
+            comp.got = []
+            while True:
+                t, report = yield Receive("in")
+                comp.got.append((round(t * 1e3, 2), report))
+
+        device = sim.add(FunctionComponent("dut", dut, ports={"out": "out"}))
+        sink = sim.add(FunctionComponent("sink", verdicts,
+                                         ports={"in": "in"}))
+        sim.wire("stim", device.port("out"), checker.port("in"))
+        sim.wire("result", checker.port("out"), sink.port("in"))
+
+        try:
+            sim.run()
+        finally:
+            checker.close()
+
+        print(f"tool said: {checker.tool_log}")
+        for time_ms, report in sink.got:
+            print(f"  t={time_ms} ms  word=0b{report['word']:04b} "
+                  f"parity={report['parity']}")
+        assert [r["parity"] for __, r in sink.got] == [1, 0, 1, 0]
+        print(f"checked {checker.deliveries} words through the wrapper")
+
+
+if __name__ == "__main__":
+    main()

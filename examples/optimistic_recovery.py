@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Optimistic execution, stragglers and coordinated rollback, visibly.
+
+A consumer subsystem with lots of private work races 60 virtual seconds
+ahead of a slow producer over an *optimistic* channel.  Every producer
+message then lands in the consumer's past — a straggler — and the system
+recovers by restoring the latest Chandy-Lamport snapshot and re-executing.
+The same workload over a *conservative* channel never rolls back but pays
+safe-time traffic and stalls instead.  Both deliver identical results.
+
+Run:  python examples/optimistic_recovery.py
+"""
+
+from repro.bench import Table, format_count, streaming_pair
+from repro.distributed import ChannelMode
+
+
+def run(mode: ChannelMode):
+    cosim = streaming_pair(
+        12, 1.0, mode=mode, consumer_work=60.0,
+        snapshot_interval=4.0 if mode is ChannelMode.OPTIMISTIC else None)
+    cosim.run()
+    consumer = cosim.component("consumer")
+    return cosim, consumer.received
+
+
+def main():
+    table = Table("conservative vs optimistic, same workload",
+                  ["mode", "stalls", "safe-time reqs", "snapshots",
+                   "rollbacks", "events"])
+    results = {}
+    for mode in (ChannelMode.CONSERVATIVE, ChannelMode.OPTIMISTIC):
+        cosim, received = run(mode)
+        results[mode.value] = received
+        table.add(mode.value,
+                  format_count(cosim.stalls()),
+                  format_count(cosim.safe_time_requests()),
+                  format_count(len(cosim.registry.snapshots)),
+                  format_count(len(cosim.recovery.rollbacks)),
+                  format_count(sum(ss.scheduler.dispatched
+                                   for ss in cosim.subsystems.values())))
+        if mode is ChannelMode.OPTIMISTIC:
+            for straggler_t, snap_id, restored_t in cosim.recovery.rollbacks:
+                print(f"  rollback: straggler at t={straggler_t:g} -> "
+                      f"restored snapshot {snap_id} (t<={restored_t:g})")
+    table.show()
+
+    assert results["conservative"] == results["optimistic"]
+    print("identical delivery under both modes:",
+          results["conservative"][:4], "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The paper's evaluation, end to end: load the 66 KB page through the
+WubbleU system in every Table 1 configuration and print the comparison.
+
+Run:  python examples/wubbleu_page_load.py  [--small]
+"""
+
+import sys
+
+from repro.apps import WubbleUConfig, fetch_like_hotjava, page_load
+from repro.bench import PAPER_TABLE1, Table, format_count, format_seconds
+from repro.transport import INTERNET
+
+
+def main():
+    small = "--small" in sys.argv
+    overrides = dict(total_bytes=12_000, image_count=2, image_size=48) \
+        if small else {}
+
+    table = Table("WubbleU page load — reproduction of Table 1",
+                  ["configuration", "simulation time", "paper",
+                   "inter-node msgs", "virtual time"])
+
+    reference = fetch_like_hotjava()
+    table.add("HotJava (no simulation)",
+              format_seconds(reference.simulation_time),
+              format_seconds(PAPER_TABLE1["HotJava"]), "0", "n/a")
+
+    for remote in (False, True):
+        for level in ("word", "packet"):
+            key = f"{'remote' if remote else 'local'} {level} passage"
+            print(f"running {key} ...", flush=True)
+            result = page_load(level, remote=remote, network=INTERNET,
+                               config=WubbleUConfig(level=level, **overrides))
+            table.add(key, format_seconds(result.simulation_time),
+                      format_seconds(PAPER_TABLE1.get(key)),
+                      format_count(result.messages),
+                      format_seconds(result.virtual_time))
+    table.note("remote = cellular chip on a second node across an "
+               "internet-model link; simulation time = CPU + modelled "
+               "network wall time")
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Pia: a geographically distributed framework for embedded system design
+and validation.
+
+A faithful, from-scratch Python reproduction of Hines & Borriello,
+"A Geographically Distributed Framework for Embedded System Design and
+Validation", DAC 1998 — the distributed hardware/software co-simulator of
+the University of Washington Chinook project.
+
+Package map
+-----------
+``repro.core``
+    The single-host co-simulation kernel: components, ports, nets,
+    interfaces, two-level virtual time, checkpoints, run levels.
+``repro.protocols``
+    The standard communication protocol library with multiple detail
+    levels, plus assertion-based user-defined levels.
+``repro.distributed``
+    Pia nodes, subsystems, channels (conservative and optimistic),
+    net splitting, safe-time protocol, Chandy-Lamport snapshots.
+``repro.transport``
+    The RMI substitute: in-memory and TCP transports with latency models
+    and byte accounting.
+``repro.processor``
+    Embedded-software substrate: basic-block timing, memories with
+    synchronous addresses, interrupt controllers, and a tiny ISS.
+``repro.hw``
+    Hardware in the loop: the stub contract, a simulated Pamette FPGA
+    board, and remote hardware servers.
+``repro.loader``
+    Dynamic component (re)loading, Pia's class-loader analogue.
+``repro.tools``
+    Customized wrappers connecting external design tools as components.
+``repro.debug``
+    The debugger (breakpoints, watchpoints, time travel) and VCD
+    waveform dumping.
+``repro.apps``
+    The WubbleU handheld web-browser benchmark from the evaluation.
+``repro.bench``
+    The experiment harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

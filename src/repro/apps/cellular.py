@@ -1,0 +1,62 @@
+"""The cellular communication ASIC (paper section 4, Fig. 6).
+
+"The cellular connection is controlled by an ASIC which transfers packets
+to the system through DMA.  This chip is our candidate for remote
+operation."
+
+The modem bridges two links: the system ``bus`` towards the protocol stack
+(the interface whose detail level Table 1 sweeps — and, in the remote
+configurations, the nets split across the Internet) and the ``air``
+interface towards the base station.  After completing a DMA transfer onto
+the bus, it pulses its interrupt line, as the real chip would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.component import ProcessComponent
+from ..core.interface import Interface
+from ..core.port import PortDirection
+from ..core.process import Command, ReceiveTransfer, Send, Transfer
+from ..processor.timing import BasicBlockTimer, ProcessorProfile
+from ..protocols.base import Protocol
+
+#: The ASIC's internal engine: a 10 MHz sequencer.
+ASIC_PROFILE = ProcessorProfile("cell-asic", 10e6, {
+    "alu": 1, "load": 1, "store": 1, "branch": 1, "dma_setup": 24,
+})
+
+
+class CellularModem(ProcessComponent):
+    """The network-interface chip of the WubbleU handheld."""
+
+    def __init__(self, name: str = "NetIf", *, bus_protocol: Protocol,
+                 air_protocol: Protocol, level: Optional[str] = None,
+                 profile: ProcessorProfile = ASIC_PROFILE) -> None:
+        super().__init__(name)
+        self.timer = BasicBlockTimer(profile)
+        self.frames_up = 0        # handheld -> base station
+        self.frames_down = 0      # base station -> handheld
+        self.dma_bytes = 0
+        self.add_port("irq", PortDirection.OUT)
+        self.add_interface(Interface("bus", bus_protocol, level=level,
+                                     out_port="bus_tx", in_port="bus_rx"))
+        self.add_interface(Interface("air", air_protocol,
+                                     out_port="air_tx", in_port="air_rx"))
+
+    def run(self) -> Iterator[Command]:
+        while True:
+            # Outbound: a framed request arrives over the system bus.
+            __, request = yield ReceiveTransfer("bus")
+            yield self.timer.block(dma_setup=1, alu=64)
+            self.frames_up += 1
+            yield Transfer("air", request)
+            # Inbound: the response comes off the air and is DMA'd to the
+            # system, then the interrupt line pulses.
+            __, response = yield ReceiveTransfer("air")
+            yield self.timer.block(dma_setup=1, alu=32)
+            self.frames_down += 1
+            self.dma_bytes += len(response)
+            yield Transfer("bus", response)
+            yield Send("irq", 1)

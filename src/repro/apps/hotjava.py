@@ -1,0 +1,54 @@
+"""The no-simulation reference loader (Table 1's "HotJava" row).
+
+The paper times Sun's HotJava browser loading the same page "as a rough
+reference for estimating simulation overhead in each case".  Our reference
+is the equivalent un-instrumented load: read the bytes, parse the HTML,
+decode every image — with none of the co-simulation machinery.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Optional
+
+from . import html, jpeg
+from .content import PageContent, build_page
+
+
+@dataclass
+class ReferenceResult:
+    """A raw, un-simulated page load."""
+
+    wall_seconds: float
+    bytes_loaded: int
+    images_decoded: int
+    title: str
+
+    #: For harness symmetry with PageLoadResult.
+    location: str = "n/a"
+    level: str = "HotJava"
+
+    @property
+    def simulation_time(self) -> float:
+        return self.wall_seconds
+
+
+def fetch_like_hotjava(content: Optional[PageContent] = None,
+                       *, url: str = "/index.html") -> ReferenceResult:
+    """Load the page directly, timing the real work only."""
+    if content is None:
+        content = build_page()
+    started = _time.perf_counter()
+    body = content.resource(url)
+    total = len(body)
+    document = html.parse(body)
+    decoded = 0
+    for image_path in document.images:
+        blob = content.resource(image_path)
+        total += len(blob)
+        jpeg.decode(blob)
+        decoded += 1
+    wall = _time.perf_counter() - started
+    return ReferenceResult(wall_seconds=wall, bytes_loaded=total,
+                           images_decoded=decoded, title=document.title)

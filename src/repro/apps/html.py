@@ -1,0 +1,131 @@
+"""A tiny HTML tokenizer and document model for the WubbleU browser.
+
+Just enough of an HTML engine to give the browser realistic work: a
+tokenizer producing tags/text/comments, a document extractor pulling the
+title and the ``<img src>`` references the browser must fetch, and a
+layout cost model measured in token counts (fed to the basic-block timer).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical element of the page."""
+
+    kind: str              # "tag" | "endtag" | "text" | "comment"
+    value: str             # tag name or text content
+    attrs: Tuple = ()      # ((name, value), ...) for "tag"
+
+
+_ATTR_RE = re.compile(
+    r"""([a-zA-Z_:][-\w:.]*)\s*(?:=\s*("[^"]*"|'[^']*'|[^\s>]+))?""")
+
+
+def tokenize(html: str) -> Iterator[Token]:
+    """Lex ``html`` into tokens (forgiving, never raises on bad markup)."""
+    pos = 0
+    length = len(html)
+    while pos < length:
+        cut = html.find("<", pos)
+        if cut == -1:
+            text = html[pos:]
+            if text.strip():
+                yield Token("text", text)
+            return
+        if cut > pos:
+            text = html[pos:cut]
+            if text.strip():
+                yield Token("text", text)
+        if html.startswith("<!--", cut):
+            end = html.find("-->", cut + 4)
+            end = length if end == -1 else end + 3
+            yield Token("comment", html[cut + 4:end - 3])
+            pos = end
+            continue
+        end = html.find(">", cut)
+        if end == -1:
+            yield Token("text", html[cut:])
+            return
+        inner = html[cut + 1:end].strip()
+        pos = end + 1
+        if not inner:
+            continue
+        if inner.startswith("/"):
+            yield Token("endtag", inner[1:].strip().lower())
+            continue
+        if inner.endswith("/"):
+            inner = inner[:-1].strip()
+        parts = inner.split(None, 1)
+        name = parts[0].lower()
+        attrs: List[Tuple[str, str]] = []
+        if len(parts) > 1:
+            for match in _ATTR_RE.finditer(parts[1]):
+                key = match.group(1).lower()
+                raw = match.group(2) or ""
+                if raw[:1] in ("'", '"'):
+                    raw = raw[1:-1]
+                attrs.append((key, raw))
+        yield Token("tag", name, tuple(attrs))
+
+
+@dataclass
+class Document:
+    """What the browser extracts from a page."""
+
+    title: str = ""
+    text_bytes: int = 0
+    images: List[str] = field(default_factory=list)
+    links: List[str] = field(default_factory=list)
+    token_count: int = 0
+
+    def layout_cost(self) -> Dict[str, int]:
+        """Operation mix for the basic-block timer: laying the page out."""
+        return {
+            "alu": 40 * self.token_count + self.text_bytes // 4,
+            "load": 8 * self.token_count,
+            "store": 6 * self.token_count,
+            "branch": 4 * self.token_count,
+        }
+
+
+def parse(html_bytes: bytes) -> Document:
+    """Tokenize and extract the document structure."""
+    try:
+        html = html_bytes.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SimulationError(f"page is not valid UTF-8: {exc}") from exc
+    document = Document()
+    in_title = False
+    for token in tokenize(html):
+        document.token_count += 1
+        if token.kind == "tag":
+            if token.value == "title":
+                in_title = True
+            elif token.value == "img":
+                src = dict(token.attrs).get("src")
+                if src:
+                    document.images.append(src)
+            elif token.value == "a":
+                href = dict(token.attrs).get("href")
+                if href:
+                    document.links.append(href)
+        elif token.kind == "endtag" and token.value == "title":
+            in_title = False
+        elif token.kind == "text":
+            if in_title:
+                document.title += token.value.strip()
+            document.text_bytes += len(token.value.encode("utf-8"))
+    return document
+
+
+def parse_cost(html_bytes: bytes) -> Dict[str, int]:
+    """Operation mix for *tokenising* the raw bytes."""
+    n = len(html_bytes)
+    return {"alu": 6 * n, "load": n, "branch": n // 2}

@@ -1,0 +1,176 @@
+"""Gradual migration to hardware: the modem chip arrives (paper section 1).
+
+One of the paper's required features: "it should allow the system
+functionality to be gradually migrated to physical hardware while still
+allowing the entire system to be modeled with the newly included
+hardware".  The WubbleU story: the cellular ASIC — simulated behaviourally
+by :class:`~repro.apps.cellular.CellularModem` during early design — comes
+back from the fab (here: a behavioural :class:`ModemChip` behind the
+hardware stub, possibly on a remote lab node), and the designer swaps it
+into the *same* testbench.
+
+:class:`HardwareBackedModem` keeps the exact external surface of the
+software model (the ``bus``/``air`` interfaces and the ``irq`` pulse) but
+derives its processing delays from real chip ticks: each frame is a job
+poked into the chip, clocked until its ``done`` interrupt, and the elapsed
+ticks become the component's virtual-time advance.  Everything else in the
+system — the protocol stack, the page, Table 1's detail levels — is
+untouched, which is the whole point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..core.errors import HardwareStubError
+from ..core.interface import Interface
+from ..core.port import PortDirection
+from ..core.process import Command, ReceiveTransfer, Send, Transfer
+from ..hw.component import HwCall, HwCallExecutor
+from ..hw.stub import HardwareStub, InterruptRecord
+from ..protocols.base import Protocol
+
+#: ModemChip register map.
+REG_CTRL = 0x0
+REG_STATUS = 0x4
+REG_LEN = 0x8
+
+#: STATUS bits.
+STATUS_BUSY = 0x1
+
+
+class ModemChip(HardwareStub):
+    """The fabricated cellular ASIC, behind the stub contract.
+
+    One job at a time: poke the frame length into ``REG_LEN``, clock the
+    chip, and the ``done`` interrupt fires after
+    ``setup_ticks + length * ticks_per_byte`` cycles — the chip's real
+    frame-processing latency.
+    """
+
+    supports_state_save = True
+
+    def __init__(self, *, clock_hz: float = 10e6, setup_ticks: int = 240,
+                 ticks_per_byte: int = 4) -> None:
+        if setup_ticks < 0 or ticks_per_byte < 1:
+            raise HardwareStubError("bad modem chip timing parameters")
+        self.clock_hz = clock_hz
+        self.setup_ticks = setup_ticks
+        self.ticks_per_byte = ticks_per_byte
+        self._tick = 0
+        self._stalled = False
+        self._countdown = 0          # 0 = idle
+        self._job_len = 0
+        self.jobs_done = 0
+
+    # -- stub contract -----------------------------------------------------
+    def read_time(self) -> int:
+        return self._tick
+
+    def set_time(self, ticks: int) -> None:
+        self._tick = int(ticks)
+
+    def run_for(self, ticks: int) -> List[InterruptRecord]:
+        records: List[InterruptRecord] = []
+        for __ in range(ticks):
+            self._tick += 1
+            if self._stalled or self._countdown == 0:
+                continue
+            self._countdown -= 1
+            if self._countdown == 0:
+                self.jobs_done += 1
+                records.append(
+                    InterruptRecord(self._tick, "done", self._job_len))
+        return records
+
+    def stall(self) -> None:
+        self._stalled = True
+
+    def resume(self) -> None:
+        self._stalled = False
+
+    def peek(self, addr: int) -> int:
+        if addr == REG_STATUS:
+            return STATUS_BUSY if self._countdown else 0
+        if addr == REG_LEN:
+            return self._job_len
+        if addr == REG_CTRL:
+            return self.jobs_done
+        raise HardwareStubError(f"modem: no register at {addr:#x}")
+
+    def poke(self, addr: int, value: int) -> None:
+        if addr != REG_LEN:
+            raise HardwareStubError(f"modem: no writable register {addr:#x}")
+        if self._countdown:
+            raise HardwareStubError("modem: job already in progress")
+        if value < 1:
+            raise HardwareStubError(f"modem: bad frame length {value}")
+        self._job_len = value
+        self._countdown = self.setup_ticks + value * self.ticks_per_byte
+
+    def save_state(self):
+        return (self._tick, self._stalled, self._countdown, self._job_len,
+                self.jobs_done)
+
+    def restore_state(self, state) -> None:
+        (self._tick, self._stalled, self._countdown, self._job_len,
+         self.jobs_done) = state
+
+    def frame_seconds(self, length: int) -> float:
+        """The chip's processing latency for a frame (for comparisons)."""
+        return (self.setup_ticks + length * self.ticks_per_byte) \
+            / self.clock_hz
+
+
+class HardwareBackedModem(HwCallExecutor):
+    """Drop-in replacement for :class:`CellularModem` driving real ticks.
+
+    Same ports, same interfaces, same protocol levels — constructible by
+    the same WubbleU builders.  The stub may be local or a
+    :class:`~repro.hw.server.RemoteHardwareClient` on a lab node.
+    """
+
+    def __init__(self, name: str = "NetIf", *, bus_protocol: Protocol,
+                 air_protocol: Protocol, level: Optional[str] = None,
+                 stub: Optional[HardwareStub] = None,
+                 clock_window: float = 1e-4) -> None:
+        super().__init__(name, stub if stub is not None else ModemChip())
+        self.clock_window = clock_window
+        self.frames_up = 0
+        self.frames_down = 0
+        self.dma_bytes = 0
+        self.add_port("irq", PortDirection.OUT)
+        self.add_interface(Interface("bus", bus_protocol, level=level,
+                                     out_port="bus_tx", in_port="bus_rx"))
+        self.add_interface(Interface("air", air_protocol,
+                                     out_port="air_tx", in_port="air_rx"))
+
+    # ------------------------------------------------------------------
+    def _process_frame(self, frame: bytes) -> Iterator[Command]:
+        """Push one frame through the chip; advances local time by the
+        chip's measured processing latency."""
+        yield HwCall("poke", (REG_LEN, len(frame)))
+        started = yield HwCall("read_time", ())
+        window = max(1, int(round(self.clock_window * self.stub.clock_hz)))
+        while True:
+            records = yield HwCall("run_for", (window,))
+            done = [r for r in records if r.line == "done"]
+            if done:
+                elapsed = done[0].tick - started
+                from ..core.process import Advance
+                yield Advance(elapsed / self.stub.clock_hz)
+                return
+
+    def run(self) -> Iterator[Command]:
+        yield HwCall("set_time", (0,))
+        while True:
+            __, request = yield ReceiveTransfer("bus")
+            yield from self._process_frame(request)
+            self.frames_up += 1
+            yield Transfer("air", request)
+            __, response = yield ReceiveTransfer("air")
+            yield from self._process_frame(response)
+            self.frames_down += 1
+            self.dma_bytes += len(response)
+            yield Transfer("bus", response)
+            yield Send("irq", 1)

@@ -1,0 +1,42 @@
+"""The origin web server holding the test page.
+
+Stands in for "the Pia homepage (http://www.cs.washington.edu/research/
+chinook/pia.html)" of the evaluation: a content store behind a WAN link,
+with a per-request service latency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.component import ProcessComponent
+from ..core.interface import Interface
+from ..core.process import Advance, Command, ReceiveTransfer, Transfer
+from ..protocols.base import Protocol
+from .content import PageContent
+from .modules import encode_response, parse_request
+
+
+class WebServer(ProcessComponent):
+    """Serves the page and its resources over the ``wan`` interface."""
+
+    def __init__(self, name: str = "Origin", *, content: PageContent,
+                 wan_protocol: Protocol,
+                 service_latency: float = 5e-3) -> None:
+        super().__init__(name)
+        self.content = content
+        self.service_latency = service_latency
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.add_interface(Interface("wan", wan_protocol,
+                                     out_port="wan_tx", in_port="wan_rx"))
+
+    def run(self) -> Iterator[Command]:
+        while True:
+            __, request = yield ReceiveTransfer("wan")
+            path = parse_request(request)
+            body = self.content.resource(path)
+            yield Advance(self.service_latency)
+            self.requests_served += 1
+            self.bytes_served += len(body)
+            yield Transfer("wan", encode_response(body))

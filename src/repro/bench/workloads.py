@@ -1,0 +1,111 @@
+"""Reusable synthetic workloads for the ablation benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.component import FunctionComponent
+from ..core.process import Advance, Receive, Send, WaitUntil
+from ..distributed.channel import ChannelMode
+from ..distributed.executor import CoSimulation
+from ..transport.latency import SAME_HOST, LatencyModel
+
+
+def streaming_pair(message_count: int, period: float, *,
+                   mode: ChannelMode = ChannelMode.CONSERVATIVE,
+                   consumer_work: float = 0.0,
+                   snapshot_interval: Optional[float] = None,
+                   network: LatencyModel = SAME_HOST,
+                   channel_delay: float = 0.0) -> CoSimulation:
+    """A producer streaming to a consumer across two nodes.
+
+    ``consumer_work`` gives the consumer's subsystem private busy-work so
+    that, under optimism, it runs ahead and stragglers occur (the consumer
+    subsystem is named to be scheduled first).
+    """
+    cosim = CoSimulation(snapshot_interval=snapshot_interval)
+    ss_cons = cosim.add_subsystem(cosim.add_node("n-cons"), "a-consumer")
+    ss_prod = cosim.add_subsystem(cosim.add_node("n-prod"), "z-producer")
+    cosim.set_link_model("n-cons", "n-prod", network)
+
+    def produce(comp):
+        for index in range(message_count):
+            yield Advance(period)
+            yield Send("out", index)
+
+    def consume(comp):
+        comp.received = []
+        for __ in range(message_count):
+            t, value = yield Receive("in")
+            comp.received.append((t, value))
+
+    producer = FunctionComponent("producer", produce, ports={"out": "out"})
+    consumer = FunctionComponent("consumer", consume, ports={"in": "in"})
+    ss_prod.add(producer)
+    ss_cons.add(consumer)
+
+    if consumer_work > 0:
+        def busy(comp):
+            while comp.local_time < consumer_work:
+                yield WaitUntil(comp.local_time + period)
+                yield Send("tick", 1)
+
+        def busy_sink(comp):
+            while True:
+                yield Receive("in")
+
+        ticker = FunctionComponent("busy", busy, ports={"tick": "out"})
+        sink = FunctionComponent("busysink", busy_sink, ports={"in": "in"})
+        ss_cons.add(ticker)
+        ss_cons.add(sink)
+        ss_cons.wire("busyline", ticker.port("tick"), sink.port("in"))
+
+    channel = cosim.connect(ss_prod, ss_cons, mode=mode, delay=channel_delay)
+    channel.split_net(ss_prod.wire("stream", producer.port("out")),
+                      ss_cons.wire("stream", consumer.port("in")))
+    return cosim
+
+
+def ring_of_pairs(subsystem_count: int, messages_each: int,
+                  *, period: float = 1.0) -> CoSimulation:
+    """A chain of subsystems, each streaming to the next (no long cycles,
+    honouring the simple-cycle topology rule)."""
+    cosim = CoSimulation()
+    subsystems = []
+    for index in range(subsystem_count):
+        node = cosim.add_node(f"n{index}")
+        subsystems.append(cosim.add_subsystem(node, f"ss{index:02d}"))
+
+    def relay(last: bool):
+        def behave(comp):
+            comp.seen = 0
+            while True:
+                t, value = yield Receive("in")
+                comp.seen += 1
+                if not last:
+                    yield Advance(period / 10)
+                    yield Send("out", value)
+        return behave
+
+    def source(comp):
+        for index in range(messages_each):
+            yield Advance(period)
+            yield Send("out", index)
+
+    head = FunctionComponent("c0", source, ports={"out": "out"})
+    subsystems[0].add(head)
+    previous_port = head.port("out")
+    previous_ss = subsystems[0]
+    for index in range(1, subsystem_count):
+        last = index == subsystem_count - 1
+        ports = {"in": "in"} if last else {"in": "in", "out": "out"}
+        comp = FunctionComponent(f"c{index}", relay(last), ports=ports)
+        subsystems[index].add(comp)
+        channel = cosim.connect(previous_ss, subsystems[index])
+        channel.split_net(
+            previous_ss.wire(f"w{index}", previous_port),
+            subsystems[index].wire(f"w{index}", comp.port("in")))
+        if not last:
+            previous_port = comp.port("out")
+        previous_ss = subsystems[index]
+    return cosim

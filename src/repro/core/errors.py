@@ -1,0 +1,84 @@
+"""Exception hierarchy for the Pia co-simulation framework.
+
+Every error raised by the framework derives from :class:`PiaError` so that
+callers can catch framework failures without masking programming errors in
+their own component behaviours.
+"""
+
+from __future__ import annotations
+
+
+class PiaError(Exception):
+    """Base class for all framework errors."""
+
+
+class SimulationError(PiaError):
+    """A violation of the simulation semantics (causality, time order)."""
+
+
+class CausalityError(SimulationError):
+    """An event was scheduled or delivered in the past of its target."""
+
+
+class ConsistencyViolation(SimulationError):
+    """Optimistic execution read state that a later message invalidated.
+
+    Carries enough information for the recovery machinery to mark the
+    offending location synchronous and roll back (paper section 2.1.1).
+    """
+
+    def __init__(self, message: str, *, address: int | None = None,
+                 violation_time: float | None = None,
+                 component: str | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+        self.violation_time = violation_time
+        #: Name of the component that consumed the stale value.  Recovery
+        #: must rewind to an image where *its local time* precedes the
+        #: violating write — a component may have run far ahead of the
+        #: subsystem time at which the image was taken.
+        self.component = component
+
+
+class DeadlockError(SimulationError):
+    """No subsystem can advance and no messages are in flight."""
+
+
+class CheckpointError(PiaError):
+    """Checkpoint or restore could not be performed."""
+
+
+class NoSuchCheckpointError(CheckpointError):
+    """A restore referenced a checkpoint id that was never taken."""
+
+
+class ConfigurationError(PiaError):
+    """The simulated system was wired together incorrectly."""
+
+
+class TopologyError(ConfigurationError):
+    """The subsystem interconnection graph violates the simple-cycle rule."""
+
+
+class ProtocolError(PiaError):
+    """A communication protocol was used outside its specification."""
+
+
+class RunLevelError(PiaError):
+    """An unknown detail level was requested or a switch was illegal."""
+
+
+class SwitchpointSyntaxError(RunLevelError):
+    """A switchpoint expression could not be parsed."""
+
+
+class TransportError(PiaError):
+    """A message could not be carried between Pia nodes."""
+
+
+class HardwareStubError(PiaError):
+    """The hardware-in-the-loop stub contract was violated."""
+
+
+class LoaderError(PiaError):
+    """A component class could not be loaded or reloaded."""

@@ -1,0 +1,117 @@
+"""Events and the per-subsystem event queue.
+
+The scheduler of every subsystem owns one :class:`EventQueue`.  Events are
+delivered in strict :class:`~repro.core.timestamp.Timestamp` order, which —
+together with the monotone sequence numbers the queue assigns — makes every
+simulation run deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator, Optional
+
+from .errors import CausalityError
+from .timestamp import Timestamp
+
+
+class EventKind(enum.Enum):
+    """What an event means to the scheduler."""
+
+    #: A value change on a net, destined for one port.
+    SIGNAL = "signal"
+    #: Resume a component blocked on ``WaitUntil``/``Sync``.
+    WAKE = "wake"
+    #: An edge-triggered interrupt pulse destined for one port.
+    INTERRUPT = "interrupt"
+    #: Run an arbitrary callback (checkpoint marks, run-level switches).
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One schedulable occurrence.
+
+    ``target`` is interpreted per kind: the destination :class:`Port` for
+    ``SIGNAL``/``INTERRUPT``, the :class:`Component` for ``WAKE``, and a
+    zero-argument callable for ``CONTROL``.
+    """
+
+    ts: Timestamp
+    kind: EventKind
+    target: Any
+    payload: Any = None
+    #: An opaque token a blocked component uses to recognise its wake-up.
+    token: Optional[int] = None
+
+    def at(self, ts: Timestamp) -> "Event":
+        """Return a copy of this event rescheduled to ``ts``."""
+        return replace(self, ts=ts)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[Timestamp, Event]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event, *, now: float = float("-inf")) -> Event:
+        """Insert ``event``, assigning it a fresh sequence number.
+
+        ``now`` is the caller's current virtual time; scheduling into the
+        past raises :class:`CausalityError` (the paper's consistency rule:
+        subsystem time never exceeds any undelivered message's stamp).
+        """
+        if event.ts.time < now:
+            raise CausalityError(
+                f"event at {event.ts.time:g} scheduled in the past of {now:g}"
+            )
+        stamped = replace(event, ts=event.ts._replace(seq=next(self._seq)))
+        heapq.heappush(self._heap, (stamped.ts, stamped))
+        return stamped
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest event without removing it, or ``None``."""
+        return self._heap[0][1] if self._heap else None
+
+    def next_time(self) -> float:
+        """Virtual time of the earliest event, ``inf`` when empty."""
+        return self._heap[0][0].time if self._heap else float("inf")
+
+    def remove_if(self, predicate: Callable[[Event], bool]) -> int:
+        """Drop every queued event matching ``predicate``; return the count.
+
+        Used by rollback recovery to cancel events scheduled after a
+        restored checkpoint.
+        """
+        kept = [entry for entry in self._heap if not predicate(entry[1])]
+        removed = len(self._heap) - len(kept)
+        self._heap = kept
+        heapq.heapify(self._heap)
+        return removed
+
+    def snapshot(self) -> list[Event]:
+        """Return the pending events in delivery order (queue unchanged)."""
+        return [entry[1] for entry in sorted(self._heap)]
+
+    def restore(self, events: list[Event]) -> None:
+        """Replace the queue contents with ``events`` (stamps preserved)."""
+        self._heap = [(event.ts, event) for event in events]
+        heapq.heapify(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.snapshot())

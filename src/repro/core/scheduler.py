@@ -1,0 +1,126 @@
+"""The per-subsystem scheduler: Pia's two-level virtual time.
+
+The scheduler enforces the paper's core invariant (section 2.1): *system
+(subsystem) time is always less than or equal to all component local
+times* at every delivery, so a component resumed from a receive is certain
+its view of the world is up to date.  Components run ahead of subsystem
+time freely; subsystem time only advances by consuming the event queue in
+timestamp order.
+
+The paper implements this on the Java VM by making sure its thread
+scheduler only ever sees one runnable thread (section 3.1).  Here the same
+effect — total control over execution order — falls out of running
+component generators inline from a single dispatch loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .errors import CausalityError, SimulationError
+from .events import Event, EventKind, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .component import Component
+    from .port import Port
+    from .subsystem import Subsystem
+
+
+class Scheduler:
+    """Dispatches events for one subsystem in deterministic time order."""
+
+    def __init__(self, subsystem: "Subsystem") -> None:
+        self.subsystem = subsystem
+        self.queue = EventQueue()
+        #: Subsystem virtual time (the paper's *system time*).
+        self.now = 0.0
+        #: Events dispatched since construction.
+        self.dispatched = 0
+        #: Number of times :meth:`run` stopped early at a horizon
+        #: (the stalls of paper Fig. 3).
+        self.stalls = 0
+        #: Called after every dispatched event (switchpoint evaluation).
+        self.post_step_hooks: list[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event) -> Event:
+        """Enqueue ``event``; scheduling into the past is a causality error."""
+        return self.queue.push(event, now=self.now)
+
+    def next_event_time(self) -> float:
+        """Virtual time of the earliest pending event (``inf`` when idle)."""
+        return self.queue.next_time()
+
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Dispatch the earliest event; returns it, or ``None`` when idle."""
+        if not self.queue:
+            return None
+        event = self.queue.pop()
+        if event.ts.time < self.now:
+            raise CausalityError(
+                f"{self.subsystem.name}: event at {event.ts.time:g} popped "
+                f"after subsystem time reached {self.now:g}")
+        self.now = event.ts.time
+        self._dispatch(event)
+        self.dispatched += 1
+        for hook in self.post_step_hooks:
+            hook(event)
+        return event
+
+    def run(self, until: float = float("inf"), *,
+            horizon=float("inf"),
+            max_events: Optional[int] = None) -> int:
+        """Dispatch events while they fall at or before ``min(until, horizon)``.
+
+        ``until`` is the caller's end-of-simulation bound; ``horizon`` is a
+        safety bound imposed by conservative channels (paper section
+        2.2.2.1) — either a number or a zero-argument callable re-evaluated
+        before every dispatch, because sending on a channel can *shrink*
+        the safe horizon mid-run (the echo bound).  Stopping at the horizon
+        while work remains counts as a stall.  Returns the number of events
+        dispatched.
+        """
+        horizon_fn = horizon if callable(horizon) else None
+        count = 0
+        while self.queue:
+            limit = horizon_fn() if horizon_fn is not None else horizon
+            bound = min(until, limit)
+            if self.queue.next_time() > bound:
+                if self.queue.next_time() <= until and limit < until:
+                    self.stalls += 1
+                break
+            if max_events is not None and count >= max_events:
+                break
+            self.step()
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        if event.kind in (EventKind.SIGNAL, EventKind.INTERRUPT):
+            port: "Port" = event.target
+            owner = port.owner
+            if owner is None:
+                raise SimulationError(
+                    f"signal delivered to orphan port {port.name!r}")
+            self._check_local_time(owner, event)
+            owner.deliver(event)
+        elif event.kind is EventKind.WAKE:
+            component: "Component" = event.target
+            component.deliver(event)
+        elif event.kind is EventKind.CONTROL:
+            event.target(event)
+        else:  # pragma: no cover - enum is closed
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _check_local_time(self, component: "Component", event: Event) -> None:
+        """Invariant check: delivery never outruns the receiver's receive point.
+
+        A component blocked at a receive has, conceptually, a local time
+        equal to its pause point; deliveries earlier than that are legal
+        (they queue), so the only real constraint is that subsystem time is
+        monotone — already enforced in :meth:`step`.  This hook exists for
+        the optimistic machinery, which overrides subsystems to detect
+        reads that ran ahead of late-arriving messages.
+        """

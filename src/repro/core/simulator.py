@@ -1,0 +1,210 @@
+"""The single-host simulator facade (paper section 2.1).
+
+Wraps one :class:`~repro.core.subsystem.Subsystem` with the user-facing
+conveniences: system construction, switchpoints and sliders, automatic
+periodic checkpoints, and the optimistic run-with-recovery loop that
+dynamically marks synchronous addresses and rewinds on violations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Union
+
+from .checkpoint import CheckpointStore
+from .component import Component
+from .errors import CheckpointError, ConsistencyViolation, SimulationError
+from .events import Event, EventKind
+from .net import Net
+from .port import Port
+from .runlevel import (
+    DetailSlider,
+    Switchpoint,
+    SwitchpointEnvironment,
+    SwitchpointManager,
+)
+from .subsystem import Subsystem
+from .sync import SyncTable
+from .timestamp import PRIORITY_CONTROL, Timestamp
+
+
+class Simulator:
+    """Build and run a complete system on a single host."""
+
+    def __init__(self, name: str = "system", *,
+                 checkpoint_store: Optional[CheckpointStore] = None) -> None:
+        self.subsystem = Subsystem(name, checkpoint_store=checkpoint_store)
+        env = SwitchpointEnvironment(local_time=self._local_time,
+                                     signal=self._signal)
+        self.switchpoints = SwitchpointManager(env, self.set_runlevel)
+        self.subsystem.scheduler.post_step_hooks.append(self._poll_switchpoints)
+        self._auto_interval: Optional[float] = None
+        #: checkpoint id -> (switchpoint fired flags, switch history).
+        self._switchpoint_states: dict = {}
+        #: Rollback recoveries performed by :meth:`run_with_recovery`.
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        return self.subsystem.add(component)
+
+    def wire(self, name: str, *ports: Port, delay: float = 0.0) -> Net:
+        return self.subsystem.wire(name, *ports, delay=delay)
+
+    def component(self, name: str) -> Component:
+        return self.subsystem.component(name)
+
+    def net(self, name: str) -> Net:
+        return self.subsystem.net(name)
+
+    # ------------------------------------------------------------------
+    # time & execution
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.subsystem.now
+
+    def run(self, until: float = float("inf"), *,
+            max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains or passes ``until``."""
+        self.subsystem.start()
+        # Components may have run ahead during start (they execute until
+        # their first receive), so conditions can already hold.
+        self._poll_switchpoints(None)
+        return self.subsystem.run(until, max_events=max_events)
+
+    def step(self) -> Optional[Event]:
+        self.subsystem.start()
+        return self.subsystem.scheduler.step()
+
+    def run_with_recovery(self, until: float = float("inf"), *,
+                          sync_tables: Iterable[SyncTable] = (),
+                          max_rollbacks: int = 100) -> int:
+        """Run optimistically; on a consistency violation, mark & rewind.
+
+        This is the paper's dynamic treatment of interrupts (section
+        2.1.1): run with all memory assumed safe; when a violation is
+        detected, mark the address synchronous in its :class:`SyncTable`
+        (which survives rollback) and restore the most recent checkpoint
+        not later than the violating write, then re-execute.
+        """
+        tables = list(sync_tables)
+        store = self.subsystem.checkpoints
+        if store.latest() is None:
+            # Taken *before* start: components run ahead the moment they
+            # start, so any later image may already contain the offending
+            # optimistic accesses.
+            initial = self.subsystem.request_checkpoint(label="initial")
+            self._switchpoint_states[initial] = (
+                [sp.fired for sp in self.switchpoints.switchpoints],
+                list(self.switchpoints.history))
+        total = 0
+        for __ in range(max_rollbacks + 1):
+            try:
+                total += self.run(until)
+                return total
+            except ConsistencyViolation as violation:
+                self.recoveries += 1
+                self._recover(violation, tables, store)
+        raise SimulationError(
+            f"gave up after {max_rollbacks} rollbacks; the system keeps "
+            "violating consistency")
+
+    def _recover(self, violation: ConsistencyViolation,
+                 tables: list[SyncTable], store: CheckpointStore) -> None:
+        if violation.address is not None:
+            for table in tables:
+                table.mark_synchronous(violation.address, dynamic=True)
+        when = violation.violation_time
+        if when is None:
+            checkpoint_id = store.latest()
+        elif violation.component is not None:
+            # The image must predate the *component's* offending access —
+            # it may have run far ahead of subsystem time.
+            checkpoint_id = store.latest_for_component(violation.component,
+                                                       when)
+        else:
+            checkpoint_id = store.latest_at_or_before(when)
+        if checkpoint_id is None:
+            raise CheckpointError(
+                "consistency violation but no checkpoint to rewind to"
+            ) from violation
+        self.restore(checkpoint_id)
+        image = store.image(checkpoint_id)
+        for table in tables:
+            table.forget_after(image.time)
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self, label: Optional[str] = None) -> int:
+        self.subsystem.start()
+        checkpoint_id = self.subsystem.request_checkpoint(label=label)
+        # Switchpoint armed/fired state is simulation state too: a restore
+        # must re-arm anything that fired after the checkpoint, or replay
+        # would diverge from the original run.
+        self._switchpoint_states[checkpoint_id] = (
+            [sp.fired for sp in self.switchpoints.switchpoints],
+            list(self.switchpoints.history),
+        )
+        return checkpoint_id
+
+    def restore(self, checkpoint_id: int) -> None:
+        self.subsystem.restore_checkpoint(checkpoint_id)
+        saved = self._switchpoint_states.get(checkpoint_id)
+        if saved is not None:
+            fired_flags, history = saved
+            for sp, fired in zip(self.switchpoints.switchpoints, fired_flags):
+                sp.fired = fired
+            self.switchpoints.history = list(history)
+
+    def auto_checkpoint(self, interval: float) -> None:
+        """Take a checkpoint every ``interval`` seconds of virtual time."""
+        if interval <= 0:
+            raise SimulationError(f"checkpoint interval must be > 0: {interval}")
+        self._auto_interval = interval
+        self._schedule_auto(self.now + interval)
+
+    def _schedule_auto(self, at_time: float) -> None:
+        self.subsystem.scheduler.schedule(
+            Event(Timestamp(at_time, PRIORITY_CONTROL), EventKind.CONTROL,
+                  target=self._auto_tick))
+
+    def _auto_tick(self, event: Event) -> None:
+        # Once the simulation has drained, stop: re-arming would keep an
+        # otherwise-finished run alive forever, and a checkpoint after the
+        # last event would record nothing new.
+        if not self.subsystem.scheduler.queue:
+            return
+        self.checkpoint(label="auto")
+        if self._auto_interval is not None:
+            self._schedule_auto(event.ts.time + self._auto_interval)
+
+    # ------------------------------------------------------------------
+    # run levels
+    # ------------------------------------------------------------------
+    def set_runlevel(self, target: str, level: str) -> None:
+        self.subsystem.set_runlevel(target, level)
+
+    def add_switchpoint(self, text_or_sp: Union[str, Switchpoint], *,
+                        once: bool = True) -> Switchpoint:
+        """Register a switchpoint from the run-control file syntax."""
+        return self.switchpoints.add(text_or_sp, once=once)
+
+    def slider(self, targets: Iterable[str], levels: Iterable[str]) -> DetailSlider:
+        """Create the paper's detail-level slider over ``targets``."""
+        return DetailSlider(list(targets), list(levels), self.set_runlevel)
+
+    # ------------------------------------------------------------------
+    # switchpoint environment
+    # ------------------------------------------------------------------
+    def _local_time(self, component: str) -> float:
+        return self.subsystem.component(component).local_time
+
+    def _signal(self, net: str) -> Any:
+        return self.subsystem.net(net).value
+
+    def _poll_switchpoints(self, event: Event) -> None:
+        if self.switchpoints.switchpoints:
+            self.switchpoints.poll(self.now)

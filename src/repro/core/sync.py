@@ -1,0 +1,103 @@
+"""Synchronous memory locations and optimistic violation detection.
+
+Paper section 2.1.1: components with interrupt-style data receipt are made
+safe by marking the memory locations interrupt handlers touch as
+*synchronous* — the component must bring its local time level with system
+time before reading or writing them.  When such locations cannot be
+determined statically, the simulator makes the optimistic assumption,
+treats all memory as safe, and *detects* violations: an external write
+stamped earlier than a read the component already performed.  On detection
+the offending address is dynamically marked synchronous and the simulation
+rewinds using the checkpoint facilities.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+from .errors import ConsistencyViolation
+
+
+class SyncPolicy(enum.Enum):
+    """How a component treats unmarked memory."""
+
+    #: Only statically marked addresses synchronise; others are trusted
+    #: blindly (no detection).  The baseline semantics.
+    STATIC = "static"
+    #: Unmarked addresses are accessed optimistically with access logging;
+    #: late external writes raise :class:`ConsistencyViolation`.
+    OPTIMISTIC = "optimistic"
+
+
+class SyncTable:
+    """The set of synchronous addresses plus the optimistic access log.
+
+    One table is shared between a processor's memory and the recovery
+    machinery.  It deliberately does **not** participate in checkpoints:
+    an address marked synchronous after a violation must stay marked when
+    the simulation rewinds, otherwise re-execution would hit the same
+    violation forever.
+    """
+
+    def __init__(self, synchronous: Iterable[int] = (),
+                 policy: SyncPolicy = SyncPolicy.STATIC,
+                 *, owner: Optional[str] = None) -> None:
+        self.synchronous: set[int] = set(synchronous)
+        self.policy = policy
+        #: Name of the component whose accesses this table guards.
+        self.owner = owner
+        #: addr -> latest component local time that read/wrote it.
+        self.access_log: dict[int, float] = {}
+        #: Violations detected so far (addr, write_time, access_time).
+        self.violations: list[tuple[int, float, float]] = []
+        #: Addresses marked synchronous dynamically (subset of synchronous).
+        self.dynamic_marks: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def is_synchronous(self, addr: int) -> bool:
+        return addr in self.synchronous
+
+    def mark_synchronous(self, addr: int, *, dynamic: bool = False) -> None:
+        self.synchronous.add(addr)
+        if dynamic:
+            self.dynamic_marks.add(addr)
+
+    def mark_range(self, start: int, stop: int) -> None:
+        self.synchronous.update(range(start, stop))
+
+    # ------------------------------------------------------------------
+    def record_access(self, addr: int, local_time: float) -> None:
+        """Log a component (CPU) access for later violation checks."""
+        if self.policy is SyncPolicy.OPTIMISTIC and addr not in self.synchronous:
+            previous = self.access_log.get(addr, float("-inf"))
+            if local_time > previous:
+                self.access_log[addr] = local_time
+
+    def check_external_write(self, addr: int, write_time: float) -> None:
+        """Validate an asynchronous (interrupt handler) write at ``write_time``.
+
+        If the owning component already accessed ``addr`` at a local time
+        *later* than the write, it consumed a stale value: raise.
+        """
+        if self.policy is not SyncPolicy.OPTIMISTIC:
+            return
+        if addr in self.synchronous:
+            return
+        accessed = self.access_log.get(addr)
+        if accessed is not None and accessed > write_time:
+            self.violations.append((addr, write_time, accessed))
+            raise ConsistencyViolation(
+                f"address {addr:#x} written at t={write_time:g} but already "
+                f"accessed at t={accessed:g}",
+                address=addr, violation_time=write_time, component=self.owner)
+
+    def forget_after(self, time: float) -> None:
+        """Drop access-log entries later than ``time`` (after a rollback)."""
+        self.access_log = {addr: t for addr, t in self.access_log.items()
+                           if t <= time}
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SyncTable {self.policy.value} "
+                f"{len(self.synchronous)} synchronous>")

@@ -1,0 +1,17 @@
+"""Debugging support (paper sections 1 and 5): breakpoints, watchpoints,
+single-stepping, time travel, and VCD waveform dumping."""
+
+from .debugger import (
+    Breakpoint,
+    BreakReason,
+    Debugger,
+    DebuggerError,
+    WatchRecord,
+)
+from .distributed import DistributedDebugger
+from .vcd import VcdError, VcdTracer
+
+__all__ = [
+    "BreakReason", "Breakpoint", "Debugger", "DebuggerError", "DistributedDebugger", "VcdError",
+    "VcdTracer", "WatchRecord",
+]

@@ -1,0 +1,271 @@
+"""The Pia debugger (paper section 5: "Current work is in the extension
+of Pia to include a debugger").
+
+The paper asks for "debugging support for the parts of the system that are
+in hardware, the parts in software, the parts that are in simulation, as
+well as the system as a whole" (section 1).  This debugger provides the
+simulation-level half of that wish:
+
+* **breakpoints** on virtual time, on a component's *local* time (the
+  two-level model means these differ!), on a net taking a value, or on an
+  arbitrary event predicate;
+* **watchpoints** logging every change of chosen nets;
+* **single-stepping** event by event;
+* **inspection** of the full system state (``where``), including each
+  component's local time, block reason and user attributes;
+* **time travel**: because checkpoints are first-class, ``rewind()`` jumps
+  back to any checkpoint and re-executes — a debugger feature simulators
+  get for free and real systems never do.
+
+The debugger drives a single-host :class:`~repro.core.simulator.Simulator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..core.component import ProcessComponent
+from ..core.errors import PiaError
+from ..core.events import Event, EventKind
+from ..core.simulator import Simulator
+
+_bp_ids = itertools.count(1)
+
+
+class DebuggerError(PiaError):
+    """Misuse of the debugger API."""
+
+
+@dataclass
+class Breakpoint:
+    """A condition that halts the run when it becomes true."""
+
+    bp_id: int
+    description: str
+    condition: Callable[[Simulator, Optional[Event]], bool]
+    enabled: bool = True
+    once: bool = False
+    hits: int = 0
+
+    def check(self, sim: Simulator, event: Optional[Event]) -> bool:
+        if not self.enabled:
+            return False
+        if self.condition(sim, event):
+            self.hits += 1
+            if self.once:
+                self.enabled = False
+            return True
+        return False
+
+
+@dataclass
+class BreakReason:
+    """Why the run stopped."""
+
+    breakpoint: Optional[Breakpoint]
+    time: float
+    event: Optional[Event] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.breakpoint is None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.finished:
+            return f"finished at t={self.time:g}"
+        return (f"breakpoint #{self.breakpoint.bp_id} "
+                f"({self.breakpoint.description}) at t={self.time:g}")
+
+
+@dataclass
+class WatchRecord:
+    time: float
+    net: str
+    value: Any
+
+
+class Debugger:
+    """Interactive control over a single-host simulation."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.breakpoints: Dict[int, Breakpoint] = {}
+        self.watch_log: List[WatchRecord] = []
+        self._watched: set = set()
+        #: Ring buffer of recent events (enable with :meth:`trace`).
+        self.trace_log: List[str] = []
+        self._trace_limit = 0
+
+    # ------------------------------------------------------------------
+    # breakpoints
+    # ------------------------------------------------------------------
+    def _add(self, description: str, condition, *, once: bool) -> Breakpoint:
+        bp = Breakpoint(next(_bp_ids), description, condition, once=once)
+        self.breakpoints[bp.bp_id] = bp
+        return bp
+
+    def break_at(self, time: float, *, once: bool = True) -> Breakpoint:
+        """Halt when subsystem (system) time reaches ``time``."""
+        return self._add(
+            f"t >= {time:g}",
+            lambda sim, event: sim.now >= time,
+            once=once)
+
+    def break_at_local_time(self, component: str, time: float, *,
+                            once: bool = True) -> Breakpoint:
+        """Halt when ``component``'s *local* time reaches ``time`` — which
+        can be long before system time does (run-ahead)."""
+        return self._add(
+            f"{component}.localtime >= {time:g}",
+            lambda sim, event: sim.component(component).local_time >= time,
+            once=once)
+
+    def break_on_signal(self, net: str, value: Any = None, *,
+                        once: bool = True) -> Breakpoint:
+        """Halt when a value (``value`` if given) is *delivered* on ``net``.
+
+        Components run ahead, so a net's ``value`` attribute updates when
+        the driver posts; the debugger instead halts at the virtual time
+        the signal reaches a listener — the observable instant.
+        """
+        def condition(sim: Simulator, event: Optional[Event]) -> bool:
+            if event is None or event.kind not in (EventKind.SIGNAL,
+                                                   EventKind.INTERRUPT):
+                return False
+            port = event.target
+            if port.net is None or port.net.name != net:
+                return False
+            return value is None or event.payload == value
+
+        label = f"net {net}" + ("" if value is None else f" == {value!r}")
+        return self._add(label, condition, once=once)
+
+    def break_when(self, predicate: Callable[[Simulator], bool], *,
+                   description: str = "<predicate>",
+                   once: bool = True) -> Breakpoint:
+        """Halt on an arbitrary condition over the simulator."""
+        return self._add(description,
+                         lambda sim, event: predicate(sim), once=once)
+
+    def delete(self, bp_id: int) -> None:
+        if bp_id not in self.breakpoints:
+            raise DebuggerError(f"no breakpoint #{bp_id}")
+        del self.breakpoints[bp_id]
+
+    # ------------------------------------------------------------------
+    # watch & trace
+    # ------------------------------------------------------------------
+    def watch(self, net: str) -> None:
+        """Log every value change of ``net`` into :attr:`watch_log`."""
+        if net in self._watched:
+            return
+        target = self.sim.net(net)
+        target.observers.append(
+            lambda n, time, value: self.watch_log.append(
+                WatchRecord(time, n.name, value)))
+        self._watched.add(net)
+
+    def trace(self, limit: int = 1000) -> None:
+        """Keep a rolling textual trace of dispatched events."""
+        self._trace_limit = limit
+
+    def _record_trace(self, event: Event) -> None:
+        if not self._trace_limit:
+            return
+        target = getattr(event.target, "full_name",
+                         getattr(event.target, "name", repr(event.target)))
+        self.trace_log.append(
+            f"t={event.ts.time:g} {event.kind.value} -> {target} "
+            f"payload={event.payload!r}")
+        if len(self.trace_log) > self._trace_limit:
+            del self.trace_log[: len(self.trace_log) - self._trace_limit]
+
+    # ------------------------------------------------------------------
+    # execution control
+    # ------------------------------------------------------------------
+    def step(self, count: int = 1) -> BreakReason:
+        """Dispatch up to ``count`` events, ignoring breakpoints."""
+        self.sim.subsystem.start()
+        last = None
+        for __ in range(count):
+            event = self.sim.step()
+            if event is None:
+                break
+            self._record_trace(event)
+            last = event
+        return BreakReason(None, self.sim.now, last)
+
+    def run(self, until: float = float("inf")) -> BreakReason:
+        """Run until a breakpoint fires, ``until`` passes, or it drains.
+
+        Like any debugger's *continue*, at least one event is dispatched
+        before conditions are re-evaluated — otherwise a still-true
+        breakpoint would pin the simulation in place.
+        """
+        self.sim.subsystem.start()
+        while True:
+            if self.sim.subsystem.next_event_time() > until:
+                return BreakReason(None, self.sim.now)
+            event = self.sim.step()
+            if event is None:
+                return BreakReason(None, self.sim.now)
+            self._record_trace(event)
+            for bp in list(self.breakpoints.values()):
+                if bp.check(self.sim, event):
+                    return BreakReason(bp, self.sim.now, event)
+
+    # ------------------------------------------------------------------
+    # time travel
+    # ------------------------------------------------------------------
+    def snapshot(self, label: Optional[str] = None) -> int:
+        return self.sim.checkpoint(label or "debugger")
+
+    def rewind(self, checkpoint_id: Optional[int] = None) -> float:
+        """Jump back to a checkpoint (default: the most recent one)."""
+        store = self.sim.subsystem.checkpoints
+        if checkpoint_id is None:
+            checkpoint_id = store.latest()
+        if checkpoint_id is None:
+            raise DebuggerError("no checkpoint to rewind to — "
+                                "call snapshot() first")
+        self.sim.restore(checkpoint_id)
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def where(self) -> str:
+        """A human-readable summary of the whole system's state."""
+        subsystem = self.sim.subsystem
+        lines = [f"subsystem {subsystem.name}: t={subsystem.now:g}, "
+                 f"{len(subsystem.scheduler.queue)} pending events, "
+                 f"next at t={subsystem.next_event_time():g}"]
+        for name in sorted(subsystem.components):
+            component = subsystem.components[name]
+            status = "finished" if component.finished else (
+                self._block_text(component) or "runnable")
+            lines.append(f"  {name}: local t={component.local_time:g} "
+                         f"[{status}] level={component.runlevel}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _block_text(component) -> Optional[str]:
+        if isinstance(component, ProcessComponent) and component.is_blocked():
+            block = component._block
+            detail = block.port or block.interface or f"token {block.token}"
+            return f"blocked: {block.kind} {detail}"
+        return None
+
+    def inspect(self, component: str) -> Dict[str, Any]:
+        """A component's user-visible state (its checkpointable attrs)."""
+        target = self.sim.component(component)
+        state = dict(target._user_attrs())
+        state["__local_time__"] = target.local_time
+        state["__finished__"] = target.finished
+        return state
+
+    def backtrace(self, last: int = 20) -> List[str]:
+        """The most recent trace lines (enable with :meth:`trace`)."""
+        return self.trace_log[-last:]

@@ -1,0 +1,209 @@
+"""Debugging the system as a whole (paper section 1).
+
+"Finally, it should include debugging support for the parts of the system
+that are in hardware, the parts in software, the parts that are in
+simulation, as well as the system as a whole."
+
+:class:`DistributedDebugger` extends the debugging surface across a
+:class:`~repro.distributed.executor.CoSimulation`: breakpoints on global
+or per-subsystem time, on any component's local time, on signal deliveries
+anywhere in the system; a global ``where`` spanning every node; and time
+travel through Chandy-Lamport snapshots — the whole distributed state,
+channels included, rewound in one call.
+
+Halting works by hooking every subsystem scheduler's post-step and raising
+a control signal out of the executor's run loop; the matching event has
+already been dispatched when the halt lands (the same semantics as the
+single-host debugger, and of any debugger's *continue*).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import itertools
+
+from ..core.component import ProcessComponent
+from ..core.events import Event, EventKind
+from ..distributed.executor import CoSimulation
+from .debugger import Breakpoint, BreakReason, DebuggerError, WatchRecord
+
+_bp_ids = itertools.count(1000)
+
+
+class _Halt(Exception):
+    """Internal control flow: a breakpoint fired inside the run loop."""
+
+    def __init__(self, reason: BreakReason) -> None:
+        self.reason = reason
+
+
+class DistributedDebugger:
+    """Breakpoints, inspection and time travel over a whole CoSimulation."""
+
+    def __init__(self, cosim: CoSimulation) -> None:
+        self.cosim = cosim
+        self.breakpoints: Dict[int, Breakpoint] = {}
+        self.watch_log: List[WatchRecord] = []
+        self._watched: set = set()
+        self._armed = False
+        for subsystem in cosim.subsystems.values():
+            subsystem.scheduler.post_step_hooks.append(self._hook)
+
+    # ------------------------------------------------------------------
+    # breakpoints
+    # ------------------------------------------------------------------
+    def _add(self, description: str, condition, *, once: bool) -> Breakpoint:
+        bp = Breakpoint(next(_bp_ids), description, condition, once=once)
+        self.breakpoints[bp.bp_id] = bp
+        return bp
+
+    def break_at_global_time(self, time: float, *,
+                             once: bool = True) -> Breakpoint:
+        """Halt when the *slowest* subsystem passes ``time``."""
+        return self._add(
+            f"global t >= {time:g}",
+            lambda cosim, event: cosim.global_time() >= time, once=once)
+
+    def break_at_subsystem_time(self, subsystem: str, time: float, *,
+                                once: bool = True) -> Breakpoint:
+        return self._add(
+            f"{subsystem} t >= {time:g}",
+            lambda cosim, event: cosim.subsystem(subsystem).now >= time,
+            once=once)
+
+    def break_at_local_time(self, component: str, time: float, *,
+                            once: bool = True) -> Breakpoint:
+        return self._add(
+            f"{component}.localtime >= {time:g}",
+            lambda cosim, event:
+                cosim.component(component).local_time >= time,
+            once=once)
+
+    def break_on_signal(self, net: str, value: Any = None, *,
+                        once: bool = True) -> Breakpoint:
+        def condition(cosim: CoSimulation, event: Optional[Event]) -> bool:
+            if event is None or event.kind not in (EventKind.SIGNAL,
+                                                   EventKind.INTERRUPT):
+                return False
+            port = event.target
+            if port.net is None or port.net.name != net:
+                return False
+            return value is None or event.payload == value
+
+        label = f"net {net}" + ("" if value is None else f" == {value!r}")
+        return self._add(label, condition, once=once)
+
+    def break_when(self, predicate: Callable[[CoSimulation], bool], *,
+                   description: str = "<predicate>",
+                   once: bool = True) -> Breakpoint:
+        return self._add(description,
+                         lambda cosim, event: predicate(cosim), once=once)
+
+    def delete(self, bp_id: int) -> None:
+        if bp_id not in self.breakpoints:
+            raise DebuggerError(f"no breakpoint #{bp_id}")
+        del self.breakpoints[bp_id]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _hook(self, event: Event) -> None:
+        if not self._armed:
+            return
+        for bp in list(self.breakpoints.values()):
+            if bp.check(self.cosim, event):
+                self._armed = False
+                raise _Halt(BreakReason(bp, self.cosim.global_time(), event))
+
+    def run(self, until: float = float("inf")) -> BreakReason:
+        """Run the whole distributed system until a breakpoint fires."""
+        self._armed = True
+        try:
+            self.cosim.run(until=until)
+        except _Halt as halt:
+            return halt.reason
+        finally:
+            self._armed = False
+        return BreakReason(None, self.cosim.global_time())
+
+    # ------------------------------------------------------------------
+    # watch
+    # ------------------------------------------------------------------
+    def watch(self, net: str) -> None:
+        """Watch every half of ``net`` across all subsystems."""
+        if net in self._watched:
+            return
+        found = False
+        for subsystem in self.cosim.subsystems.values():
+            target = subsystem.nets.get(net)
+            if target is None:
+                continue
+            found = True
+            target.observers.append(
+                lambda n, time, value, ss=subsystem.name:
+                    self.watch_log.append(
+                        WatchRecord(time, f"{ss}:{n.name}", value)))
+        if not found:
+            raise DebuggerError(f"no net named {net!r} in any subsystem")
+        self._watched.add(net)
+
+    # ------------------------------------------------------------------
+    # time travel (through Chandy-Lamport snapshots)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> str:
+        return self.cosim.snapshot()
+
+    def rewind(self, snapshot_id: Optional[str] = None) -> float:
+        completed = self.cosim.registry.completed()
+        if snapshot_id is None:
+            if not completed:
+                raise DebuggerError("no completed snapshot to rewind to — "
+                                    "call snapshot() first")
+            snap = completed[-1]
+        else:
+            snap = self.cosim.registry.snapshots.get(snapshot_id)
+            if snap is None or not snap.complete:
+                raise DebuggerError(
+                    f"no completed snapshot {snapshot_id!r}")
+        self.cosim.recovery.rollback_to(snap)
+        return self.cosim.global_time()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def where(self) -> str:
+        lines = [f"global t={self.cosim.global_time():g} over "
+                 f"{len(self.cosim.subsystems)} subsystems / "
+                 f"{len(self.cosim.nodes)} nodes"]
+        for name in sorted(self.cosim.subsystems):
+            subsystem = self.cosim.subsystems[name]
+            node = subsystem.node.name if subsystem.node else "?"
+            lines.append(
+                f"  {name} @ {node}: t={subsystem.now:g} "
+                f"next={subsystem.next_event_time():g} "
+                f"stalls={subsystem.scheduler.stalls}")
+            for comp_name in sorted(subsystem.components):
+                component = subsystem.components[comp_name]
+                if comp_name.startswith("__channel"):
+                    continue
+                status = "finished" if component.finished else (
+                    self._block_text(component) or "runnable")
+                lines.append(f"    {comp_name}: local t="
+                             f"{component.local_time:g} [{status}]")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _block_text(component) -> Optional[str]:
+        if isinstance(component, ProcessComponent) and component.is_blocked():
+            block = component._block
+            detail = block.port or block.interface or f"token {block.token}"
+            return f"blocked: {block.kind} {detail}"
+        return None
+
+    def inspect(self, component: str) -> Dict[str, Any]:
+        target = self.cosim.component(component)
+        state = dict(target._user_attrs())
+        state["__local_time__"] = target.local_time
+        state["__finished__"] = target.finished
+        return state

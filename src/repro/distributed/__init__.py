@@ -1,0 +1,39 @@
+"""The geographically distributed layer (paper section 2.2)."""
+
+from .channel import (
+    Channel,
+    ChannelComponent,
+    ChannelEndpoint,
+    ChannelMode,
+    StragglerError,
+)
+from .conservative import (
+    UNBOUNDED,
+    SafeTimeClient,
+    SafeTimeService,
+    compute_grant,
+    local_floor,
+)
+from .executor import CoSimulation
+from .node import PiaNode, Socket
+from .optimistic import RecoveryManager
+from .partition import Deployment, Design, NetSpec, deploy, suggest_partition
+from .snapshot import (
+    GlobalSnapshot,
+    SnapshotManager,
+    SnapshotRegistry,
+    SubsystemCut,
+    new_snapshot_id,
+)
+from .threaded import ThreadedCoSimulation
+from .topology import communication_digraph, offending_cycles, validate
+
+__all__ = [
+    "Channel", "ChannelComponent", "ChannelEndpoint", "ChannelMode",
+    "CoSimulation", "Deployment", "Design", "GlobalSnapshot", "NetSpec",
+    "PiaNode", "RecoveryManager", "SafeTimeClient", "SafeTimeService",
+    "SnapshotManager", "SnapshotRegistry", "Socket", "StragglerError",
+    "SubsystemCut", "ThreadedCoSimulation", "UNBOUNDED",
+    "communication_digraph", "compute_grant", "deploy", "local_floor",
+    "new_snapshot_id", "offending_cycles", "suggest_partition", "validate",
+]

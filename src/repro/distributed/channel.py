@@ -1,0 +1,313 @@
+"""Channels between subsystems (paper sections 2.2.1 and 2.2.2).
+
+Between each pair of communicating subsystems is a *channel*, across which
+all communication occurs.  Each channel is associated with a pair of dummy
+*channel components* (one per subsystem); every net split across the pair
+contributes a hidden port owned by that channel component.  Channel
+components are proxies for the opposite subsystem: they forward local net
+activity over the transport and inject remote activity into the local
+scheduler.  They have no thread of their own — they run on the subsystem's
+scheduler, exactly as the paper describes.
+
+A channel is *conservative* or *optimistic*:
+
+* on a conservative channel, a subsystem may not advance past the safe
+  time granted by the opposite side (see
+  :mod:`repro.distributed.conservative`);
+* on an optimistic channel it may run ahead, accepting that a straggler
+  message forces a checkpoint restore (see
+  :mod:`repro.distributed.optimistic`).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..core.component import Component
+from ..core.errors import ConfigurationError, SimulationError
+from ..core.events import Event, EventKind
+from ..core.net import Net
+from ..core.port import Port, PortDirection
+from ..core.timestamp import PRIORITY_SIGNAL, Timestamp
+from ..transport.message import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.subsystem import Subsystem
+    from .node import PiaNode
+
+
+class ChannelMode(enum.Enum):
+    CONSERVATIVE = "conservative"
+    OPTIMISTIC = "optimistic"
+
+
+class StragglerError(SimulationError):
+    """An optimistic channel delivered a message into the local past."""
+
+    def __init__(self, message: str, *, channel_id: str,
+                 straggler_time: float) -> None:
+        super().__init__(message)
+        self.channel_id = channel_id
+        self.straggler_time = straggler_time
+
+
+class ChannelComponent(Component):
+    """The dummy proxy component owning a channel's hidden ports.
+
+    Delivery of a SIGNAL event to one of its hidden ports means a local
+    net changed value; the component forwards it across the channel.
+    """
+
+    def __init__(self, name: str, endpoint: "ChannelEndpoint") -> None:
+        super().__init__(name)
+        self.endpoint = endpoint
+        self._seal_infra()
+
+    def deliver(self, event: Event) -> None:
+        if event.kind not in (EventKind.SIGNAL, EventKind.INTERRUPT):
+            return
+        port: Port = event.target
+        self.local_time = max(self.local_time, event.ts.time)
+        self.endpoint.forward(port.name, event.ts.time, event.payload)
+
+    # Channel components save/restore with the subsystem like any other
+    # component; the endpoint's safe-time bookkeeping is reset separately
+    # by the recovery manager on a global rollback.
+
+
+class ChannelEndpoint:
+    """One subsystem's half of a channel."""
+
+    def __init__(self, channel: "Channel", subsystem: "Subsystem",
+                 peer_subsystem: str, peer_node: str) -> None:
+        self.channel = channel
+        self.subsystem = subsystem
+        self.peer_subsystem = peer_subsystem
+        self.peer_node = peer_node
+        self.component = ChannelComponent(
+            f"__channel_{channel.channel_id}_{subsystem.name}", self)
+        subsystem.add(self.component)
+        subsystem.channels[channel.channel_id] = self
+        #: hidden-port name -> local half-net it taps.
+        self._nets: dict[str, Net] = {}
+        # --- safe-time state (conservative protocol) ---
+        #: Latest safe time the peer granted us.  A grant only bounds
+        #: traffic *not caused by our own messages*; echoes of our sends
+        #: are bounded by the echo ledger below.
+        self.peer_grant = 0.0
+        #: Latest safe time we granted the peer (stats/debugging).
+        self.granted = 0.0
+        #: Outstanding sends the peer has not yet confirmed consuming:
+        #: (send ordinal, earliest possible echo arrival time).
+        self.pending_echoes: "deque[tuple[int, float]]" = deque()
+        #: Messages sent/received over this endpoint (consumption
+        #: confirmation rides on these counts in grant replies).
+        self.forwarded = 0
+        self.injected = 0
+        self.stragglers = 0
+        self.safe_time_requests = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> ChannelMode:
+        return self.channel.mode
+
+    @property
+    def node(self) -> "PiaNode":
+        node = self.subsystem.node
+        if node is None:
+            raise ConfigurationError(
+                f"subsystem {self.subsystem.name} is not attached to a node")
+        return node
+
+    @property
+    def delay_out(self) -> float:
+        """Virtual-time delay this channel adds in the outgoing direction."""
+        return self.channel.delay
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def tap(self, net: Net) -> Port:
+        """Attach a hidden port for ``net``; local posts will be forwarded."""
+        if net.name in self._nets:
+            raise ConfigurationError(
+                f"channel {self.channel.channel_id} already taps {net.name}")
+        port = self.component.add_port(net.name, PortDirection.INOUT,
+                                       hidden=True)
+        net.connect(port)
+        self._nets[net.name] = net
+        return port
+
+    def taps(self) -> list:
+        return sorted(self._nets)
+
+    # ------------------------------------------------------------------
+    # outgoing
+    # ------------------------------------------------------------------
+    def forward(self, net_name: str, time: float, value: Any) -> None:
+        """Ship a local net change to the peer subsystem."""
+        stamp = time + self.delay_out
+        self.forwarded += 1
+        self.node.send_channel_message(Message(
+            kind=MessageKind.SIGNAL,
+            src=self.node.name,
+            dst=self.peer_node,
+            channel=self.channel.channel_id,
+            time=stamp,
+            payload=(self.subsystem.name, net_name, value),
+        ))
+        # Echo ledger: anything the peer does in reaction to this message
+        # can come back no earlier than stamp + return delay.  The entry
+        # is released only when a grant reply confirms the peer consumed
+        # the message — at which point echoes are reflected in the peer's
+        # own floor (its queue and its own echo ledgers).
+        self.pending_echoes.append((self.forwarded,
+                                    stamp + self.channel.delay))
+
+    def echo_floor(self) -> float:
+        """Earliest possible arrival of an unconfirmed echo."""
+        return self.pending_echoes[0][1] if self.pending_echoes \
+            else float("inf")
+
+    def effective_horizon(self) -> float:
+        """How far this endpoint lets its subsystem run."""
+        return min(self.peer_grant, self.echo_floor())
+
+    def confirm_consumed(self, peer_injected: int) -> None:
+        """Release echo entries the peer has confirmed consuming."""
+        while self.pending_echoes and \
+                self.pending_echoes[0][0] <= peer_injected:
+            self.pending_echoes.popleft()
+
+    def reset_sync_state(self, *, forwarded: int = 0,
+                         injected: int = 0) -> None:
+        """Void all safe-time state (global rollback support)."""
+        self.peer_grant = 0.0
+        self.granted = 0.0
+        self.pending_echoes.clear()
+        self.forwarded = forwarded
+        self.injected = injected
+
+    # ------------------------------------------------------------------
+    # incoming
+    # ------------------------------------------------------------------
+    def receive_signal(self, message: Message) -> None:
+        """Inject a remote net change into the local scheduler."""
+        __, net_name, value = message.payload
+        net = self._nets.get(net_name)
+        if net is None:
+            raise ConfigurationError(
+                f"channel {self.channel.channel_id}: unknown net {net_name!r}")
+        now = self.subsystem.scheduler.now
+        if message.time < now:
+            self.stragglers += 1
+            if self.mode is ChannelMode.CONSERVATIVE:
+                raise SimulationError(
+                    f"conservative channel {self.channel.channel_id} received "
+                    f"a message at {message.time:g} after subsystem "
+                    f"{self.subsystem.name} reached {now:g} — the safe-time "
+                    "protocol has been violated")
+            raise StragglerError(
+                f"optimistic channel {self.channel.channel_id}: straggler at "
+                f"{message.time:g} < subsystem time {now:g}",
+                channel_id=self.channel.channel_id,
+                straggler_time=message.time)
+        self.inject(net, message.time, value)
+
+    def inject(self, net: Net, time: float, value: Any) -> None:
+        """Schedule a remote value on the local half-net (hidden port
+        excluded, so the value does not bounce straight back)."""
+        self.injected += 1
+        net.posts += 1
+        net.value = value
+        net.last_change = time
+        for observer in net.observers:
+            observer(net, time, value)
+        scheduler = self.subsystem.scheduler
+        hidden = self.component.ports.get(net.name)
+        for port in net.ports:
+            if port is hidden:
+                continue
+            if not port.direction.can_receive and not port.hidden:
+                continue
+            scheduler.schedule(Event(Timestamp(time, PRIORITY_SIGNAL),
+                                     EventKind.SIGNAL, target=port,
+                                     payload=value))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ChannelEndpoint {self.channel.channel_id} "
+                f"@{self.subsystem.name} {self.mode.value}>")
+
+
+class Channel:
+    """A pair of endpoints joining two subsystems (possibly across nodes)."""
+
+    def __init__(self, channel_id: str, mode: ChannelMode = ChannelMode.CONSERVATIVE,
+                 *, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"channel {channel_id}: negative delay")
+        self.channel_id = channel_id
+        self.mode = mode
+        #: Virtual time a value takes to cross (also the lookahead the
+        #: safe-time protocol can exploit).
+        self.delay = delay
+        self.endpoints: dict[str, ChannelEndpoint] = {}
+
+    def attach(self, subsystem: "Subsystem", *, peer_subsystem: str,
+               peer_node: str) -> ChannelEndpoint:
+        if subsystem.name in self.endpoints:
+            raise ConfigurationError(
+                f"channel {self.channel_id} already attached to "
+                f"{subsystem.name}")
+        if len(self.endpoints) >= 2:
+            raise ConfigurationError(
+                f"channel {self.channel_id} already has two endpoints")
+        endpoint = ChannelEndpoint(self, subsystem, peer_subsystem, peer_node)
+        self.endpoints[subsystem.name] = endpoint
+        return endpoint
+
+    def endpoint(self, subsystem_name: str) -> ChannelEndpoint:
+        try:
+            return self.endpoints[subsystem_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"channel {self.channel_id}: no endpoint at "
+                f"{subsystem_name!r}") from None
+
+    def other(self, subsystem_name: str) -> ChannelEndpoint:
+        for name, endpoint in self.endpoints.items():
+            if name != subsystem_name:
+                return endpoint
+        raise ConfigurationError(
+            f"channel {self.channel_id} has no peer for {subsystem_name!r}")
+
+    def split_net(self, net_a: Net, net_b: Net) -> None:
+        """Register the two halves of a split net with the endpoints.
+
+        ``net_a`` must live in one endpoint's subsystem and ``net_b`` in
+        the other's; both halves share the original net's name.
+        """
+        if net_a.name != net_b.name:
+            raise ConfigurationError(
+                f"split halves must share a name: {net_a.name} != {net_b.name}")
+        sides = list(self.endpoints.values())
+        if len(sides) != 2:
+            raise ConfigurationError(
+                f"channel {self.channel_id} needs both endpoints attached "
+                "before splitting nets")
+        by_subsystem = {ep.subsystem: ep for ep in sides}
+        ep_a = by_subsystem.get(net_a.subsystem)
+        ep_b = by_subsystem.get(net_b.subsystem)
+        if ep_a is None or ep_b is None or ep_a is ep_b:
+            raise ConfigurationError(
+                f"net halves {net_a.name!r} are not on this channel's "
+                "two subsystems")
+        ep_a.tap(net_a)
+        ep_b.tap(net_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Channel {self.channel_id} {self.mode.value} d={self.delay:g}>"

@@ -1,0 +1,198 @@
+"""The safe-time protocol for conservative channels (paper section 2.2.2.1).
+
+"Before a subsystem can advance its version of virtual time, it must first
+make sure that no conservative channels will send it any messages with an
+earlier time-stamp.  To ensure this, each subsystem can request a safe time
+from the subsystem on the far end of the channel."
+
+The grant a subsystem reports is "essentially its own subsystem time with
+all restrictions from the opposite processor removed" — otherwise the two
+would deadlock waiting on each other.  Concretely, the grant to requester
+``R`` is::
+
+    min( next local event time,
+         effective horizons of conservative channels whose peer is not R )
+    + channel delay towards R
+
+A grant only bounds traffic *not caused by R's own messages*; the echoes R
+may provoke are bounded on R's side by its **echo ledger**: every send
+records the earliest time a reaction could come back, and the entry is
+released only once a grant reply confirms the peer consumed the message
+(at which point any reaction is visible in the peer's own floor).  Grant
+replies also carry the peer's sent-message count so a requester never
+accepts a grant while peer traffic is still in flight towards it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..core.errors import ConfigurationError
+from ..transport.message import Message, MessageKind
+from .channel import ChannelEndpoint, ChannelMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.subsystem import Subsystem
+    from .node import PiaNode
+
+_request_ids = itertools.count(1)
+
+#: Grants at or beyond this are treated as "unrestricted".
+UNBOUNDED = float("inf")
+
+
+def local_floor(subsystem: "Subsystem", *, excluding: Optional[str] = None,
+                conservative_override: bool = False) -> float:
+    """Lower bound on the stamp of anything ``subsystem`` will send next.
+
+    Every future send originates either from a pending local event, from a
+    message arriving on an in-channel (bounded by that channel's effective
+    horizon: the peer's grant capped by our own unconfirmed echoes), or as
+    an echo of something the *requester* sent us — which the requester
+    itself bounds with its echo ledger, hence ``excluding`` removes that
+    restriction (the paper's deadlock-avoidance rule).
+    ``conservative_override`` makes optimistic channels count as
+    restrictions too (used while a recovery window forces conservatism).
+    """
+    floor = subsystem.next_event_time()
+    for endpoint in subsystem.channels.values():
+        if endpoint.peer_subsystem == excluding:
+            continue
+        if endpoint.mode is ChannelMode.CONSERVATIVE or conservative_override:
+            floor = min(floor, endpoint.effective_horizon())
+    return floor
+
+
+def compute_grant(subsystem: "Subsystem", requester: str,
+                  *, conservative_override: bool = False) -> float:
+    """The safe time ``subsystem`` grants to peer subsystem ``requester``.
+
+    Grants are *not* monotone: they describe the subsystem's current
+    floor, which legitimately drops when new work (e.g. an echo of the
+    requester's own message) enters its queue.  The requester's echo
+    ledger and the in-flight count check in :meth:`SafeTimeClient.refresh`
+    are what make accepting a grant safe.
+    """
+    endpoint = _endpoint_towards(subsystem, requester)
+    grant = local_floor(subsystem, excluding=requester,
+                        conservative_override=conservative_override) \
+        + endpoint.channel.delay
+    endpoint.granted = grant
+    return grant
+
+
+def _endpoint_towards(subsystem: "Subsystem", peer: str) -> ChannelEndpoint:
+    for endpoint in subsystem.channels.values():
+        if endpoint.peer_subsystem == peer:
+            return endpoint
+    raise ConfigurationError(
+        f"{subsystem.name}: no channel towards {peer!r}")
+
+
+class SafeTimeService:
+    """Per-node server side of the safe-time protocol.
+
+    Before granting, the service transitively refreshes the target
+    subsystem's *own* restricting horizons (excluding the requester, and
+    never back along the request path): an idle subsystem in the middle of
+    a chain never refreshes on its own, yet its stale horizons must not
+    poison the grants it hands out.  The simple-cycle-only topology rule
+    bounds this recursion.
+    """
+
+    def __init__(self, node: "PiaNode", *,
+                 client_for=None,
+                 conservative_override=lambda: False) -> None:
+        self.node = node
+        #: Resolver from subsystem name to its :class:`SafeTimeClient`.
+        self.client_for = client_for
+        self.conservative_override = conservative_override
+        self.requests_served = 0
+        node.call_services[MessageKind.SAFE_TIME_REQUEST] = self.serve
+
+    def serve(self, message: Message) -> Message:
+        requester, target, path = message.payload
+        subsystem = self.node.subsystem(target)
+        self.requests_served += 1
+        desired = message.time
+        if self.client_for is not None:
+            client = self.client_for(target)
+            if client is not None:
+                client.refresh(desired, exclude=requester,
+                               path=tuple(path) + (target,))
+        grant = compute_grant(subsystem, requester,
+                              conservative_override=self.conservative_override())
+        endpoint = _endpoint_towards(subsystem, requester)
+        # The reply carries consumption/production counts so the requester
+        # can (a) release confirmed echo-ledger entries and (b) refuse the
+        # grant while our messages to it are still in flight.
+        return message.reply(MessageKind.SAFE_TIME_REPLY, time=grant,
+                             payload=(endpoint.injected, endpoint.forwarded))
+
+
+class SafeTimeClient:
+    """Per-subsystem client side: refresh horizons, compute run bounds."""
+
+    def __init__(self, subsystem: "Subsystem", *,
+                 conservative_override=lambda: False) -> None:
+        self.subsystem = subsystem
+        self.conservative_override = conservative_override
+        self.requests_sent = 0
+
+    def _restricting_endpoints(self):
+        for endpoint in self.subsystem.channels.values():
+            if endpoint.mode is ChannelMode.CONSERVATIVE \
+                    or self.conservative_override():
+                yield endpoint
+
+    def horizon(self) -> float:
+        """How far this subsystem may currently run."""
+        return min((ep.effective_horizon()
+                    for ep in self._restricting_endpoints()),
+                   default=UNBOUNDED)
+
+    def refresh(self, desired: float, *, exclude: Optional[str] = None,
+                path: tuple = ()) -> float:
+        """Request fresh grants from every peer restricting us below
+        ``desired``; returns the new horizon.
+
+        ``exclude`` removes the requester's restriction (paper 2.2.2.1);
+        ``path`` is the chain of subsystems already being served, so
+        transitive refreshes terminate.
+        """
+        node = self.subsystem.node
+        if node is None:
+            raise ConfigurationError(
+                f"{self.subsystem.name} is not attached to a node")
+        if not path:
+            path = (self.subsystem.name,)
+        for endpoint in self._restricting_endpoints():
+            if endpoint.peer_subsystem == exclude:
+                continue
+            if endpoint.peer_subsystem in path:
+                continue
+            if endpoint.effective_horizon() >= desired:
+                continue
+            endpoint.safe_time_requests += 1
+            self.requests_sent += 1
+            reply = node.transport.call(Message(
+                kind=MessageKind.SAFE_TIME_REQUEST,
+                src=node.name,
+                dst=endpoint.peer_node,
+                channel=endpoint.channel.channel_id,
+                time=desired,
+                payload=(self.subsystem.name, endpoint.peer_subsystem, path),
+                request_id=next(_request_ids),
+            ))
+            peer_injected, peer_forwarded = reply.payload
+            # Echoes of sends the peer has consumed are now reflected in
+            # the grant itself; release their ledger entries.
+            endpoint.confirm_consumed(peer_injected)
+            if endpoint.injected >= peer_forwarded:
+                # Nothing of the peer's is in flight towards us: the grant
+                # fully describes its floor.  (Otherwise keep the old
+                # grant; the in-flight message will be pumped before the
+                # next refresh.)
+                endpoint.peer_grant = reply.time
+        return self.horizon()

@@ -1,0 +1,365 @@
+"""The deterministic co-simulation executor.
+
+Orchestrates a set of Pia nodes in one process: pumps the transport,
+enforces the conservative safe-time discipline, triggers periodic
+Chandy-Lamport snapshots, and recovers from optimistic stragglers by
+coordinated rollback.  Being cooperative and single-threaded, it gives the
+same total control over execution order the paper obtains by tricking the
+JVM scheduler (section 3.1) — and makes every distributed experiment
+reproducible bit for bit.  The genuinely concurrent deployment lives in
+:mod:`repro.distributed.threaded`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..core.errors import ConfigurationError, DeadlockError
+from ..core.runlevel import (
+    DetailSlider,
+    Switchpoint,
+    SwitchpointEnvironment,
+    SwitchpointManager,
+)
+from ..core.subsystem import Subsystem
+from ..transport.inmemory import InMemoryTransport
+from ..transport.latency import SAME_HOST, LatencyModel
+from .channel import Channel, ChannelMode, StragglerError
+from .conservative import SafeTimeClient, SafeTimeService, UNBOUNDED
+from .node import PiaNode
+from .optimistic import RecoveryManager
+from .snapshot import SnapshotManager, SnapshotRegistry, new_snapshot_id
+from . import topology
+
+_channel_ids = itertools.count(1)
+
+
+class CoSimulation:
+    """A complete distributed Pia system under deterministic execution."""
+
+    def __init__(self, *, transport: Optional[InMemoryTransport] = None,
+                 default_model: LatencyModel = SAME_HOST,
+                 snapshot_interval: Optional[float] = None) -> None:
+        self.transport = transport if transport is not None \
+            else InMemoryTransport(default_model=default_model)
+        self.nodes: Dict[str, PiaNode] = {}
+        self.subsystems: Dict[str, Subsystem] = {}
+        self.channels: Dict[str, Channel] = {}
+        self.registry = SnapshotRegistry()
+        self.recovery = RecoveryManager(self.subsystems, self.transport,
+                                        self.registry)
+        self.recovery.on_rollback = self._restore_switchpoint_state
+        #: snapshot id -> (switchpoint fired flags, switch history).
+        self._switchpoint_states: Dict[str, tuple] = {}
+        self._sync: Dict[str, SafeTimeClient] = {}
+        self._managers: Dict[str, SnapshotManager] = {}
+        #: Take a Chandy-Lamport snapshot every this many virtual seconds
+        #: (needed whenever optimistic channels are in use).
+        self.snapshot_interval = snapshot_interval
+        self._last_snapshot_time = 0.0
+        env = SwitchpointEnvironment(local_time=self._local_time,
+                                     signal=self._signal)
+        self.switchpoints = SwitchpointManager(env, self.set_runlevel)
+        self._started = False
+        #: Total rounds the run loop executed.
+        self.rounds = 0
+        #: Wall-clock seconds spent inside :meth:`run`.
+        self.cpu_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> PiaNode:
+        if name in self.nodes:
+            raise ConfigurationError(f"duplicate node {name!r}")
+        node = PiaNode(name, self.transport)
+        self.nodes[name] = node
+        SafeTimeService(node, client_for=self._sync.get,
+                        conservative_override=self._conservative_now)
+        self._managers[name] = SnapshotManager(
+            node, self.registry, expected_subsystems=lambda: set(self.subsystems))
+        return node
+
+    def node(self, name: str) -> PiaNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"no node named {name!r}") from None
+
+    def add_subsystem(self, node: Union[str, PiaNode],
+                      subsystem: Union[str, Subsystem]) -> Subsystem:
+        if isinstance(node, str):
+            node = self.node(node)
+        if isinstance(subsystem, str):
+            subsystem = Subsystem(subsystem)
+        if subsystem.name in self.subsystems:
+            raise ConfigurationError(
+                f"duplicate subsystem {subsystem.name!r}")
+        node.add_subsystem(subsystem)
+        self.subsystems[subsystem.name] = subsystem
+        self._sync[subsystem.name] = SafeTimeClient(
+            subsystem, conservative_override=self._conservative_now)
+        # Switchpoints must be evaluated after every event, not just at
+        # run-slice boundaries — a slice can be the whole simulation.
+        subsystem.scheduler.post_step_hooks.append(
+            lambda event: self._poll_switchpoints())
+        return subsystem
+
+    def connect(self, a: Subsystem, b: Subsystem, *,
+                mode: ChannelMode = ChannelMode.CONSERVATIVE,
+                delay: float = 0.0,
+                channel_id: Optional[str] = None) -> Channel:
+        """Create the channel between two subsystems (one per pair)."""
+        if channel_id is None:
+            channel_id = f"ch{next(_channel_ids)}-{a.name}-{b.name}"
+        if a.node is None or b.node is None:
+            raise ConfigurationError(
+                "attach both subsystems to nodes before connecting them")
+        channel = Channel(channel_id, mode, delay=delay)
+        channel.attach(a, peer_subsystem=b.name, peer_node=b.node.name)
+        channel.attach(b, peer_subsystem=a.name, peer_node=a.node.name)
+        self.channels[channel_id] = channel
+        return channel
+
+    def set_link_model(self, node_a: str, node_b: str,
+                       model: LatencyModel) -> None:
+        self.transport.set_link(node_a, node_b, model)
+
+    def validate_topology(self):
+        """Enforce the paper's simple-cycle-only rule."""
+        return topology.validate(self.channels.values())
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def subsystem(self, name: str) -> Subsystem:
+        try:
+            return self.subsystems[name]
+        except KeyError:
+            raise ConfigurationError(f"no subsystem named {name!r}") from None
+
+    def component(self, name: str):
+        for subsystem in self.subsystems.values():
+            if name in subsystem.components:
+                return subsystem.components[name]
+        raise ConfigurationError(f"no component named {name!r}")
+
+    def global_time(self) -> float:
+        """The paper's global notion: the slowest subsystem's time."""
+        return min((ss.now for ss in self.subsystems.values()), default=0.0)
+
+    def finished(self) -> bool:
+        return (all(ss.idle() for ss in self.subsystems.values())
+                and self.transport.pending() == 0)
+
+    def stalls(self) -> int:
+        return sum(ss.scheduler.stalls for ss in self.subsystems.values())
+
+    def safe_time_requests(self) -> int:
+        return sum(client.requests_sent for client in self._sync.values())
+
+    # ------------------------------------------------------------------
+    # run levels (global view, as switchpoint conditions may span hosts)
+    # ------------------------------------------------------------------
+    def set_runlevel(self, target: str, level: str) -> None:
+        name = target.split(".", 1)[0]
+        for subsystem in self.subsystems.values():
+            if name in subsystem.components:
+                subsystem.set_runlevel(target, level)
+                return
+        raise ConfigurationError(f"no component named {name!r}")
+
+    def add_switchpoint(self, text_or_sp: Union[str, Switchpoint], *,
+                        once: bool = True) -> Switchpoint:
+        return self.switchpoints.add(text_or_sp, once=once)
+
+    def slider(self, targets: Iterable[str], levels: Iterable[str]) -> DetailSlider:
+        return DetailSlider(list(targets), list(levels), self.set_runlevel)
+
+    def _local_time(self, component: str) -> float:
+        return self.component(component).local_time
+
+    def _signal(self, net: str) -> Any:
+        for subsystem in self.subsystems.values():
+            if net in subsystem.nets:
+                return subsystem.nets[net].value
+        raise ConfigurationError(f"no net named {net!r}")
+
+    def _poll_switchpoints(self) -> None:
+        if self.switchpoints.switchpoints:
+            self.switchpoints.poll(self.global_time())
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, *, initiator: Optional[str] = None) -> str:
+        """Take one global Chandy-Lamport snapshot; returns its id."""
+        self.start()
+        if initiator is None:
+            initiator = sorted(self.subsystems)[0]
+        subsystem = self.subsystem(initiator)
+        assert subsystem.node is not None
+        # Settle all signal traffic first (recovering from any straggler),
+        # so the only messages moving during the snapshot are the marks.
+        self._pump_all()
+        snapshot_id = self._managers[subsystem.node.name].initiate(subsystem)
+        # Marks need only message pumping (no subsystem progress) to settle.
+        for __ in range(2 * len(self.subsystems) + 2):
+            pumped = sum(node.pump() for node in self._ordered_nodes())
+            if self.registry.snapshots[snapshot_id].complete:
+                break
+            if pumped == 0:
+                break
+        snap = self.registry.snapshots[snapshot_id]
+        if not snap.complete:
+            raise DeadlockError(
+                f"snapshot {snapshot_id} did not complete: marks pending on "
+                f"{[c.pending for c in snap.cuts.values()]}")
+        self._switchpoint_states[snapshot_id] = (
+            [sp.fired for sp in self.switchpoints.switchpoints],
+            list(self.switchpoints.history))
+        self._last_snapshot_time = self.global_time()
+        return snapshot_id
+
+    def _restore_switchpoint_state(self, snap) -> None:
+        saved = self._switchpoint_states.get(snap.snapshot_id)
+        if saved is None:
+            return
+        fired_flags, history = saved
+        for sp, fired in zip(self.switchpoints.switchpoints, fired_flags):
+            sp.fired = fired
+        self.switchpoints.history = list(history)
+
+    def _maybe_periodic_snapshot(self) -> None:
+        if self.snapshot_interval is None:
+            return
+        if self.global_time() - self._last_snapshot_time >= self.snapshot_interval:
+            self.snapshot()
+
+    def _has_optimism(self) -> bool:
+        return any(ch.mode is ChannelMode.OPTIMISTIC
+                   for ch in self.channels.values())
+
+    def _conservative_now(self) -> bool:
+        return self.recovery.in_conservative_window(self.global_time())
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.validate_topology()
+        for node in self._ordered_nodes():
+            node.start()
+        if self._has_optimism():
+            # Optimism requires a restorable baseline before anything moves.
+            self.snapshot()
+        self._poll_switchpoints()
+
+    def _ordered_nodes(self) -> List[PiaNode]:
+        return [self.nodes[name] for name in sorted(self.nodes)]
+
+    def _ordered_subsystems(self) -> List[Subsystem]:
+        return [self.subsystems[name] for name in sorted(self.subsystems)]
+
+    def _pump_all(self) -> int:
+        """Route all in-flight messages; recover from stragglers."""
+        total = 0
+        while True:
+            pumped = 0
+            for node in self._ordered_nodes():
+                try:
+                    pumped += node.pump()
+                except StragglerError as straggler:
+                    receiver = self._straggler_receiver(straggler)
+                    self.recovery.recover(straggler, receiver)
+                    # The snapshot cadence restarts from the rewound time,
+                    # and the conservative window extends far enough for
+                    # the next snapshot to land inside it — otherwise a
+                    # sparse cadence lets the same race recur immediately.
+                    self._last_snapshot_time = self.global_time()
+                    self.recovery.conservative_until = max(
+                        self.recovery.conservative_until,
+                        straggler.straggler_time
+                        + (self.snapshot_interval or 0.0))
+                    pumped += 1
+            total += pumped
+            if pumped == 0:
+                return total
+
+    def _straggler_receiver(self, straggler: StragglerError) -> str:
+        channel = self.channels.get(straggler.channel_id)
+        if channel is None:
+            raise ConfigurationError(
+                f"straggler on unknown channel {straggler.channel_id!r}")
+        # The straggler was raised by the endpoint whose subsystem had
+        # already advanced past the message time.
+        later = max(channel.endpoints.values(),
+                    key=lambda ep: ep.subsystem.scheduler.now)
+        return later.subsystem.name
+
+    def run(self, until: float = float("inf"), *,
+            max_rounds: Optional[int] = None) -> int:
+        """Run the whole system until global quiescence (or ``until``).
+
+        Returns the total number of events dispatched.
+        """
+        started_at = _time.perf_counter()
+        self.start()
+        dispatched = 0
+        idle_rounds = 0
+        while True:
+            self.rounds += 1
+            if max_rounds is not None and self.rounds > max_rounds:
+                break
+            progress = self._pump_all() > 0
+            for subsystem in self._ordered_subsystems():
+                self._pump_all()
+                client = self._sync[subsystem.name]
+                next_time = subsystem.next_event_time()
+                if next_time == float("inf") or next_time > until:
+                    continue
+                horizon = client.horizon()
+                if horizon < next_time:
+                    horizon = client.refresh(min(next_time, until))
+                if next_time <= horizon:
+                    # The horizon is re-read before every dispatch: sending
+                    # on a channel shrinks it via the echo bound.
+                    count = subsystem.run(until, horizon=client.horizon)
+                    dispatched += count
+                    progress = progress or count > 0
+                    self._poll_switchpoints()
+            self._maybe_periodic_snapshot()
+            if not progress:
+                idle_rounds += 1
+                if self.finished() or self._all_past(until):
+                    break
+                if idle_rounds > len(self.subsystems) + 2:
+                    self._report_deadlock(until)
+            else:
+                idle_rounds = 0
+        self.cpu_seconds += _time.perf_counter() - started_at
+        return dispatched
+
+    def _all_past(self, until: float) -> bool:
+        """Every pending event lies beyond the requested end time."""
+        if self.transport.pending():
+            return False
+        return all(ss.next_event_time() > until
+                   for ss in self.subsystems.values())
+
+    def _report_deadlock(self, until: float) -> None:
+        detail = []
+        for subsystem in self._ordered_subsystems():
+            client = self._sync[subsystem.name]
+            detail.append(
+                f"{subsystem.name}: t={subsystem.now:g} "
+                f"next={subsystem.next_event_time():g} "
+                f"horizon={client.horizon():g}")
+        raise DeadlockError(
+            "no subsystem can advance and no messages are in flight:\n  "
+            + "\n  ".join(detail))

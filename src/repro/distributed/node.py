@@ -1,0 +1,154 @@
+"""Pia nodes and their sockets (paper section 2).
+
+"The Pia simulation system is a set of Pia nodes that can be interconnected
+through a network.  Each node contains a number of sockets and each socket
+can facilitate a connection to a design tool such as a simulator or a
+compiler, or a device such as a processor, an ASIC or an FPGA."
+
+A :class:`PiaNode` hosts one or more subsystems, routes channel traffic,
+answers safe-time calls on behalf of its subsystems, and forwards hardware
+calls to attached hardware servers.  Each node serves as both a client and
+a server, and inter-node communication is hidden from the user
+(section 2.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from ..core.errors import ConfigurationError, TransportError
+from ..core.subsystem import Subsystem
+from ..transport.message import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .channel import ChannelEndpoint
+    from .snapshot import SnapshotManager
+
+
+@dataclass
+class Socket:
+    """A named attachment point on a node.
+
+    ``kind`` is free-form but three values are conventional: ``subsystem``
+    (a simulator fragment), ``hardware`` (a remote hardware server, paper
+    section 2.3) and ``tool`` (an external design tool behind a wrapper).
+    """
+
+    name: str
+    kind: str
+    target: Any
+
+
+class PiaNode:
+    """One host in the distributed Pia system."""
+
+    def __init__(self, name: str, transport) -> None:
+        self.name = name
+        self.transport = transport
+        self.subsystems: Dict[str, Subsystem] = {}
+        self.sockets: Dict[str, Socket] = {}
+        #: hooks by message kind for extension layers (snapshots, recovery).
+        self.handlers: Dict[MessageKind, Callable[[Message], None]] = {}
+        #: synchronous call services by kind (safe time, hardware).
+        self.call_services: Dict[MessageKind, Callable[[Message], Message]] = {}
+        #: observers of incoming SIGNAL traffic (Chandy-Lamport recording).
+        self.signal_observers: List[Callable[[Message], None]] = []
+        transport.register(name, call_handler=self.handle_call)
+
+    # ------------------------------------------------------------------
+    # sockets
+    # ------------------------------------------------------------------
+    def add_socket(self, name: str, kind: str, target: Any) -> Socket:
+        if name in self.sockets:
+            raise ConfigurationError(f"{self.name}: duplicate socket {name!r}")
+        socket = Socket(name, kind, target)
+        self.sockets[name] = socket
+        return socket
+
+    def socket(self, name: str) -> Socket:
+        try:
+            return self.sockets[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name}: no socket named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # subsystems
+    # ------------------------------------------------------------------
+    def add_subsystem(self, subsystem: Subsystem) -> Subsystem:
+        if subsystem.name in self.subsystems:
+            raise ConfigurationError(
+                f"{self.name}: duplicate subsystem {subsystem.name}")
+        if subsystem.node is not None:
+            raise ConfigurationError(
+                f"subsystem {subsystem.name} already lives on "
+                f"{subsystem.node.name}")
+        subsystem.node = self
+        self.subsystems[subsystem.name] = subsystem
+        self.add_socket(f"subsystem:{subsystem.name}", "subsystem", subsystem)
+        return subsystem
+
+    def subsystem(self, name: str) -> Subsystem:
+        try:
+            return self.subsystems[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name}: no subsystem named {name!r}") from None
+
+    def endpoints(self) -> List["ChannelEndpoint"]:
+        found = []
+        for subsystem in self.subsystems.values():
+            found.extend(subsystem.channels.values())
+        return found
+
+    def _endpoint_for(self, channel_id: str) -> "ChannelEndpoint":
+        for subsystem in self.subsystems.values():
+            endpoint = subsystem.channels.get(channel_id)
+            if endpoint is not None:
+                return endpoint
+        raise ConfigurationError(
+            f"{self.name}: no endpoint for channel {channel_id!r}")
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send_channel_message(self, message: Message) -> None:
+        self.transport.send(message)
+
+    def pump(self, *, limit: Optional[int] = None) -> int:
+        """Drain and dispatch incoming messages; returns how many."""
+        messages = self.transport.poll(self.name, limit=limit)
+        for message in messages:
+            self.dispatch(message)
+        return len(messages)
+
+    def dispatch(self, message: Message) -> None:
+        hook = self.handlers.get(message.kind)
+        if hook is not None:
+            hook(message)
+            return
+        if message.kind is MessageKind.SIGNAL:
+            for observer in self.signal_observers:
+                observer(message)
+            self._endpoint_for(message.channel).receive_signal(message)
+            return
+        raise TransportError(
+            f"{self.name}: no handler for {message.kind} message")
+
+    def handle_call(self, message: Message) -> Message:
+        """Synchronous service entry point (safe time, hardware calls)."""
+        service = self.call_services.get(message.kind)
+        if service is None:
+            raise TransportError(
+                f"{self.name}: no call service for {message.kind}")
+        return service(message)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for subsystem in self.subsystems.values():
+            subsystem.start()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<PiaNode {self.name} subsystems={sorted(self.subsystems)} "
+                f"sockets={len(self.sockets)}>")

@@ -1,0 +1,142 @@
+"""Optimistic channels: run ahead, recover from stragglers (paper 2.2.2.2).
+
+"Subsystems linked by optimistic channels are not restricted from updating
+their virtual time beyond the safe time of the subsystem on the opposite
+side of the channel. ... This requires each subsystem to occasionally save
+state so that it can fully recover if a consistency error occurs."
+
+Recovery restores a *completed* Chandy-Lamport snapshot (never anti-
+messages — the paper recovers through its checkpoint machinery):
+
+1. every in-flight message is dropped — a snapshot being complete implies,
+   by channel FIFO, that everything in flight was sent *after* its
+   sender's cut, so re-execution will regenerate it;
+2. every subsystem restores its local checkpoint for the snapshot;
+3. the messages recorded as channel state are re-injected;
+4. the system runs *conservatively* until it passes the straggler's time,
+   which guarantees the same straggler cannot recur, then optimism
+   resumes.
+
+A snapshot is eligible only if the straggler's receiver had not yet passed
+the straggler time at its cut, and no recorded message would itself be a
+straggler after the restore; otherwise recovery escalates to an earlier
+snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..core.errors import CheckpointError, SimulationError
+from .channel import StragglerError
+from .snapshot import GlobalSnapshot, SnapshotRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.subsystem import Subsystem
+
+
+class RecoveryManager:
+    """Coordinated rollback across every subsystem of a co-simulation."""
+
+    def __init__(self, subsystems: Dict[str, "Subsystem"], transport,
+                 registry: SnapshotRegistry) -> None:
+        self.subsystems = subsystems
+        self.transport = transport
+        self.registry = registry
+        #: Completed rollbacks, as (straggler_time, snapshot_id, restored_time).
+        self.rollbacks: List[tuple] = []
+        #: Called with the restored snapshot after every rollback (the
+        #: executor uses it to rewind switchpoint state).
+        self.on_rollback = None
+        #: Virtual time until which every channel must act conservatively.
+        self.conservative_until = float("-inf")
+
+    # ------------------------------------------------------------------
+    def eligible(self, snap: GlobalSnapshot, straggler: StragglerError,
+                 receiver: str) -> bool:
+        """Can restoring ``snap`` recover from ``straggler``?"""
+        if not snap.complete:
+            return False
+        cut = snap.cuts.get(receiver)
+        if cut is None or cut.time > straggler.straggler_time:
+            return False
+        for message in snap.recorded_messages():
+            target = self._receiver_of(message)
+            if target is None:
+                return False
+            if message.time < snap.time_of(target):
+                return False
+        return True
+
+    def _receiver_of(self, message) -> Optional[str]:
+        for name, subsystem in self.subsystems.items():
+            endpoint = subsystem.channels.get(message.channel)
+            if endpoint is not None and endpoint.node.name == message.dst:
+                return name
+        return None
+
+    def choose_snapshot(self, straggler: StragglerError,
+                        receiver: str) -> GlobalSnapshot:
+        candidates = [snap for snap in self.registry.completed()
+                      if self.eligible(snap, straggler, receiver)]
+        if not candidates:
+            raise CheckpointError(
+                f"no completed snapshot can recover the straggler at "
+                f"{straggler.straggler_time:g} received by {receiver!r} — "
+                "take snapshots more often (snapshot_interval)")
+        return candidates[-1]       # the latest eligible one
+
+    # ------------------------------------------------------------------
+    def recover(self, straggler: StragglerError, receiver: str) -> GlobalSnapshot:
+        """Pick a snapshot, roll the whole system back to it, re-arm."""
+        snap = self.choose_snapshot(straggler, receiver)
+        self.rollback_to(snap)
+        self.conservative_until = max(self.conservative_until,
+                                      straggler.straggler_time)
+        self.rollbacks.append((straggler.straggler_time, snap.snapshot_id,
+                               snap.max_time()))
+        return snap
+
+    def rollback_to(self, snap: GlobalSnapshot) -> None:
+        if not snap.complete:
+            raise CheckpointError(
+                f"snapshot {snap.snapshot_id} is incomplete; cannot restore")
+        # 1. Everything in flight postdates the cut: drop it.
+        self.transport.flush()
+        # 2. Restore every subsystem's local image.
+        for name, cut in snap.cuts.items():
+            subsystem = self.subsystems.get(name)
+            if subsystem is None:
+                raise CheckpointError(
+                    f"snapshot references unknown subsystem {name!r}")
+            subsystem.restore_checkpoint(cut.checkpoint_id)
+        # All safe-time state is void after a global rewind.  The message
+        # counters restart aligned with the re-injected channel states:
+        # the sender's count covers exactly the re-injected messages, the
+        # receiver's count returns to zero and climbs as they re-arrive.
+        recorded = snap.recorded_messages()
+        resent: Dict[tuple, int] = {}
+        for message in recorded:
+            resent[(message.channel, message.dst)] = \
+                resent.get((message.channel, message.dst), 0) + 1
+        for subsystem in self.subsystems.values():
+            for channel_id, endpoint in subsystem.channels.items():
+                # This endpoint's sends being re-injected at the peer count
+                # as already forwarded; its own receive counter climbs back
+                # up as the peer's recorded messages re-arrive.
+                outgoing = resent.get((channel_id, endpoint.peer_node), 0)
+                endpoint.reset_sync_state(forwarded=outgoing, injected=0)
+        # 3. Re-inject the recorded channel states.
+        for message in recorded:
+            self.transport.send(message)
+        # 4. Later snapshots now describe abandoned futures.
+        for other_id in list(self.registry.snapshots):
+            other = self.registry.snapshots[other_id]
+            if other is not snap and other.max_time() > snap.max_time():
+                self.registry.drop(other_id)
+        if self.on_rollback is not None:
+            self.on_rollback(snap)
+
+    # ------------------------------------------------------------------
+    def in_conservative_window(self, global_time: float) -> bool:
+        return global_time <= self.conservative_until

@@ -1,0 +1,224 @@
+"""Net splitting by a cut of the component graph (paper section 2.2.1).
+
+"When moving a set of components from one subsystem to another, the split
+in the relevant nets can be determined by a cut of the component graph.
+Essentially, a boundary is drawn around all components that are moved, and
+any net that crosses this boundary is split.  If performed repeatedly and
+locally, this could force some nets to pass through subsystems which
+contain no components relevant to the net, so a global view of the system
+must be consulted when performing each split."
+
+This module *is* that global view: a :class:`Design` holds the whole
+component/net graph independent of any placement, and :func:`deploy`
+realises a placement from scratch — every split is computed from the
+global graph, so no net ever passes through an unrelated subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from ..core.component import Component
+from ..core.errors import ConfigurationError
+from ..core.net import Net
+from ..core.subsystem import Subsystem
+from .channel import Channel, ChannelMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import CoSimulation
+
+
+@dataclass
+class NetSpec:
+    """One net of the global design, placement-independent."""
+
+    name: str
+    #: (component name, port name) endpoints.
+    endpoints: List[Tuple[str, str]]
+    delay: float = 0.0
+
+
+class Design:
+    """The global view of the system under test: components plus nets."""
+
+    def __init__(self, name: str = "design") -> None:
+        self.name = name
+        self.components: Dict[str, Component] = {}
+        self.nets: Dict[str, NetSpec] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        if component.name in self.components:
+            raise ConfigurationError(
+                f"{self.name}: duplicate component {component.name}")
+        self.components[component.name] = component
+        return component
+
+    def connect(self, net_name: str, *endpoints: Tuple[str, str],
+                delay: float = 0.0) -> NetSpec:
+        """Declare a net joining ``(component, port)`` endpoints."""
+        if net_name in self.nets:
+            raise ConfigurationError(f"{self.name}: duplicate net {net_name}")
+        for comp_name, port_name in endpoints:
+            component = self.components.get(comp_name)
+            if component is None:
+                raise ConfigurationError(
+                    f"net {net_name}: unknown component {comp_name!r}")
+            component.port(port_name)   # raises if missing
+        spec = NetSpec(net_name, list(endpoints), delay)
+        self.nets[net_name] = spec
+        return spec
+
+    # ------------------------------------------------------------------
+    def component_graph(self, *, weights: Optional[Dict[str, float]] = None
+                        ) -> "nx.Graph":
+        """Undirected component graph; edge weight approximates traffic.
+
+        ``weights`` optionally maps net names to expected traffic; the
+        default weight is 1 per net between each endpoint pair.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(self.components)
+        for spec in self.nets.values():
+            weight = (weights or {}).get(spec.name, 1.0)
+            members = [name for name, __ in spec.endpoints]
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    if a == b:
+                        continue
+                    if graph.has_edge(a, b):
+                        graph[a][b]["weight"] += weight
+                    else:
+                        graph.add_edge(a, b, weight=weight)
+        return graph
+
+    def cut_nets(self, assignment: Dict[str, str]) -> List[str]:
+        """Names of nets crossed by the boundary ``assignment`` draws."""
+        crossed = []
+        for spec in self.nets.values():
+            homes = {self._home(assignment, name)
+                     for name, __ in spec.endpoints}
+            if len(homes) > 1:
+                crossed.append(spec.name)
+        return crossed
+
+    def _home(self, assignment: Dict[str, str], component: str) -> str:
+        try:
+            return assignment[component]
+        except KeyError:
+            raise ConfigurationError(
+                f"component {component!r} has no subsystem assignment"
+            ) from None
+
+
+def suggest_partition(design: Design, *,
+                      weights: Optional[Dict[str, float]] = None,
+                      seed: int = 0) -> Dict[str, str]:
+    """A balanced two-way cut minimising crossing traffic (Kernighan-Lin).
+
+    This automates what the paper leaves to the designer: choosing which
+    components to move to the second host.
+    """
+    graph = design.component_graph(weights=weights)
+    if graph.number_of_nodes() < 2:
+        return {name: "ss0" for name in design.components}
+    left, right = nx.algorithms.community.kernighan_lin_bisection(
+        graph, weight="weight", seed=seed)
+    assignment = {name: "ss0" for name in left}
+    assignment.update({name: "ss1" for name in right})
+    return assignment
+
+
+@dataclass
+class Deployment:
+    """The realised placement: subsystems, split nets and channels."""
+
+    subsystems: Dict[str, Subsystem] = field(default_factory=dict)
+    channels: Dict[Tuple[str, str], Channel] = field(default_factory=dict)
+    #: net name -> subsystem names it was split across (empty if local).
+    splits: Dict[str, List[str]] = field(default_factory=dict)
+
+
+def deploy(design: Design, assignment: Dict[str, str],
+           cosim: "CoSimulation", *,
+           placement: Optional[Dict[str, str]] = None,
+           mode: ChannelMode = ChannelMode.CONSERVATIVE,
+           channel_delay: float = 0.0) -> Deployment:
+    """Realise ``design`` under ``assignment`` inside ``cosim``.
+
+    ``assignment`` maps component name -> subsystem name; ``placement``
+    maps subsystem name -> node name (default: one node per subsystem).
+    Channels are created per communicating subsystem pair; a net spanning
+    three or more subsystems is relayed along a star rooted at the
+    subsystem holding most of its endpoints, as channel components forward
+    injected values onwards.
+    """
+    placement = placement or {}
+    deployment = Deployment()
+
+    # 1. Subsystems and their components.
+    for comp_name, ss_name in sorted(assignment.items()):
+        if comp_name not in design.components:
+            raise ConfigurationError(
+                f"assignment references unknown component {comp_name!r}")
+        subsystem = deployment.subsystems.get(ss_name)
+        if subsystem is None:
+            node_name = placement.get(ss_name, f"node-{ss_name}")
+            node = cosim.node(node_name) if node_name in cosim.nodes \
+                else cosim.add_node(node_name)
+            subsystem = cosim.add_subsystem(node, ss_name)
+            deployment.subsystems[ss_name] = subsystem
+        subsystem.add(design.components[comp_name])
+    missing = set(design.components) - set(assignment)
+    if missing:
+        raise ConfigurationError(
+            f"components without assignment: {sorted(missing)}")
+
+    # 2. Nets: local where possible, split along the cut otherwise.
+    for spec in sorted(design.nets.values(), key=lambda s: s.name):
+        by_subsystem: Dict[str, List] = {}
+        for comp_name, port_name in spec.endpoints:
+            ss_name = assignment[comp_name]
+            port = design.components[comp_name].port(port_name)
+            by_subsystem.setdefault(ss_name, []).append(port)
+        homes = sorted(by_subsystem)
+        if len(homes) == 1:
+            net = Net(spec.name, delay=spec.delay)
+            deployment.subsystems[homes[0]].add_net(net)
+            net.connect(*by_subsystem[homes[0]])
+            continue
+
+        # Split: one half-net per participating subsystem.
+        deployment.splits[spec.name] = homes
+        halves: Dict[str, Net] = {}
+        for ss_name in homes:
+            half = Net(spec.name, delay=spec.delay)
+            deployment.subsystems[ss_name].add_net(half)
+            half.connect(*by_subsystem[ss_name])
+            halves[ss_name] = half
+        # Star rooted at the subsystem with the most endpoints (global
+        # view: no pass-through subsystems are ever introduced).
+        root = max(homes, key=lambda name: (len(by_subsystem[name]), name))
+        for ss_name in homes:
+            if ss_name == root:
+                continue
+            channel = _channel_for(cosim, deployment, root, ss_name,
+                                   mode=mode, delay=channel_delay)
+            channel.split_net(halves[root], halves[ss_name])
+    return deployment
+
+
+def _channel_for(cosim: "CoSimulation", deployment: Deployment,
+                 a: str, b: str, *, mode: ChannelMode,
+                 delay: float) -> Channel:
+    key = (min(a, b), max(a, b))
+    channel = deployment.channels.get(key)
+    if channel is None:
+        channel = cosim.connect(deployment.subsystems[a],
+                                deployment.subsystems[b],
+                                mode=mode, delay=delay)
+        deployment.channels[key] = channel
+    return channel

@@ -1,0 +1,171 @@
+"""Distributed checkpoints via the Chandy-Lamport algorithm (paper 2.2.3).
+
+"Since all channels between subsystems are FIFO channels, we can solve this
+problem with the Chandy-Lamport algorithm.  After a subsystem receives (or
+generates) a checkpoint request, it performs a local checkpoint and
+transmits a mark on all of its outgoing channels.  Upon receipt of a mark,
+a subsystem immediately performs a local checkpoint, before receiving
+anything else on that same channel. ... each mark contains an identifier
+... such that a subsystem can ignore marks that have the same identifier
+as checkpoints already performed."
+
+Channels here are bidirectional, so each direction is treated as its own
+FIFO channel: a cut sends a mark to every peer and expects one back from
+every peer; signals arriving on a channel between the local cut and that
+channel's mark are recorded as the channel's state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..core.errors import CheckpointError
+from ..transport.message import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.subsystem import Subsystem
+    from .node import PiaNode
+
+_snapshot_ids = itertools.count(1)
+
+
+def new_snapshot_id() -> str:
+    return f"snap-{next(_snapshot_ids)}"
+
+
+@dataclass
+class SubsystemCut:
+    """One subsystem's contribution to a global snapshot."""
+
+    snapshot_id: str
+    subsystem: str
+    checkpoint_id: int
+    time: float
+    #: channel id -> messages recorded as in-flight channel state.
+    recorded: Dict[str, List[Message]] = field(default_factory=dict)
+    #: channels whose closing mark has not arrived yet.
+    pending: set = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending
+
+
+@dataclass
+class GlobalSnapshot:
+    """The assembled consistent cut across every subsystem."""
+
+    snapshot_id: str
+    cuts: Dict[str, SubsystemCut] = field(default_factory=dict)
+    expected: set = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return (set(self.cuts) == self.expected
+                and all(cut.complete for cut in self.cuts.values()))
+
+    def time_of(self, subsystem: str) -> float:
+        return self.cuts[subsystem].time
+
+    def max_time(self) -> float:
+        return max((cut.time for cut in self.cuts.values()), default=0.0)
+
+    def recorded_messages(self) -> List[Message]:
+        messages: List[Message] = []
+        for cut in self.cuts.values():
+            for recorded in cut.recorded.values():
+                messages.extend(recorded)
+        return messages
+
+
+class SnapshotRegistry:
+    """Shared, executor-owned registry of in-progress and completed cuts."""
+
+    def __init__(self) -> None:
+        self.snapshots: Dict[str, GlobalSnapshot] = {}
+
+    def ensure(self, snapshot_id: str, expected) -> GlobalSnapshot:
+        snap = self.snapshots.get(snapshot_id)
+        if snap is None:
+            snap = GlobalSnapshot(snapshot_id, expected=set(expected))
+            self.snapshots[snapshot_id] = snap
+        return snap
+
+    def completed(self) -> List[GlobalSnapshot]:
+        done = [s for s in self.snapshots.values() if s.complete]
+        done.sort(key=lambda s: s.max_time())
+        return done
+
+    def drop(self, snapshot_id: str) -> None:
+        self.snapshots.pop(snapshot_id, None)
+
+
+class SnapshotManager:
+    """Per-node participant in the marker algorithm."""
+
+    def __init__(self, node: "PiaNode", registry: SnapshotRegistry,
+                 expected_subsystems) -> None:
+        self.node = node
+        self.registry = registry
+        #: Names of every subsystem in the whole system (for completion).
+        self.expected_subsystems = expected_subsystems
+        self.marks_sent = 0
+        self.marks_received = 0
+        node.handlers[MessageKind.MARK] = self.on_mark
+        node.signal_observers.append(self.observe_signal)
+
+    # ------------------------------------------------------------------
+    def initiate(self, subsystem: "Subsystem",
+                 snapshot_id: Optional[str] = None) -> str:
+        """Generate a checkpoint request at ``subsystem`` (paper: a
+        subsystem "receives (or generates) a checkpoint request")."""
+        if snapshot_id is None:
+            snapshot_id = new_snapshot_id()
+        self._local_cut(subsystem, snapshot_id)
+        return snapshot_id
+
+    def _local_cut(self, subsystem: "Subsystem", snapshot_id: str) -> None:
+        snap = self.registry.ensure(snapshot_id, self.expected_subsystems())
+        if subsystem.name in snap.cuts:
+            return    # already performed for this identifier: ignore
+        checkpoint_id = subsystem.request_checkpoint(
+            label=f"{snapshot_id}@{subsystem.name}")
+        cut = SubsystemCut(snapshot_id, subsystem.name, checkpoint_id,
+                           subsystem.scheduler.now)
+        for channel_id, endpoint in subsystem.channels.items():
+            cut.recorded[channel_id] = []
+            cut.pending.add(channel_id)
+            self.marks_sent += 1
+            self.node.transport.send(Message(
+                kind=MessageKind.MARK,
+                src=self.node.name,
+                dst=endpoint.peer_node,
+                channel=channel_id,
+                payload=snapshot_id,
+            ))
+        snap.cuts[subsystem.name] = cut
+
+    # ------------------------------------------------------------------
+    def on_mark(self, message: Message) -> None:
+        snapshot_id = message.payload
+        self.marks_received += 1
+        endpoint = self.node._endpoint_for(message.channel)
+        subsystem = endpoint.subsystem
+        # First mark (or request) for this identifier: checkpoint now,
+        # before receiving anything else on this channel.
+        self._local_cut(subsystem, snapshot_id)
+        snap = self.registry.ensure(snapshot_id, self.expected_subsystems())
+        cut = snap.cuts[subsystem.name]
+        # The mark closes this channel's recording window.
+        cut.pending.discard(message.channel)
+
+    def observe_signal(self, message: Message) -> None:
+        """Record signals that are part of some open channel state."""
+        endpoint = self.node._endpoint_for(message.channel)
+        subsystem_name = endpoint.subsystem.name
+        for snap in self.registry.snapshots.values():
+            cut = snap.cuts.get(subsystem_name)
+            if cut is not None and message.channel in cut.pending:
+                cut.recorded[message.channel].append(message)

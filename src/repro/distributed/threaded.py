@@ -1,0 +1,226 @@
+"""Thread-per-node execution: the paper's actual deployment shape.
+
+The DAC'98 experiments ran two Pia nodes as separate JVM processes on two
+workstations.  This executor mirrors that: every node runs its own pump/
+refresh/run loop on its own thread, safe-time requests are served
+concurrently (guarded by a per-node lock, the moral equivalent of the
+paper's suspend-all-but-one JVM scheduler trick), and the transport may be
+real TCP sockets.
+
+Only conservative channels are supported here: optimistic recovery needs
+the globally coordinated rollback of
+:class:`~repro.distributed.executor.CoSimulation`.  Use the cooperative
+executor for optimism and for anything that must be deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Dict, Optional, Union
+
+from ..core.errors import ConfigurationError, SimulationError
+from ..core.subsystem import Subsystem
+from ..transport.inmemory import InMemoryTransport
+from ..transport.latency import SAME_HOST, LatencyModel
+from ..transport.message import Message, MessageKind
+from .channel import Channel, ChannelMode
+from .conservative import SafeTimeClient, compute_grant
+from .node import PiaNode
+from . import topology
+
+import itertools
+
+_channel_ids = itertools.count(1)
+
+
+class _LockedSafeTimeService:
+    """Safe-time server that serialises against the node's own loop.
+
+    The transitive refresh (see
+    :class:`~repro.distributed.conservative.SafeTimeService`) performs
+    blocking network calls, so it runs *outside* the node lock; holding it
+    there would deadlock two nodes refreshing towards each other.
+    """
+
+    def __init__(self, node: PiaNode, lock: threading.RLock,
+                 client_for) -> None:
+        self.node = node
+        self.lock = lock
+        self.client_for = client_for
+        self.requests_served = 0
+        node.call_services[MessageKind.SAFE_TIME_REQUEST] = self.serve
+
+    def serve(self, message: Message) -> Message:
+        requester, target, path = message.payload
+        client = self.client_for(target)
+        if client is not None:
+            client.refresh(message.time, exclude=requester,
+                           path=tuple(path) + (target,))
+        with self.lock:
+            subsystem = self.node.subsystem(target)
+            self.requests_served += 1
+            grant = compute_grant(subsystem, requester)
+            endpoint = next(ep for ep in subsystem.channels.values()
+                            if ep.peer_subsystem == requester)
+            counts = (endpoint.injected, endpoint.forwarded)
+        return message.reply(MessageKind.SAFE_TIME_REPLY, time=grant,
+                             payload=counts)
+
+
+class _NodeWorker(threading.Thread):
+    def __init__(self, runner: "ThreadedCoSimulation", node: PiaNode,
+                 until: float) -> None:
+        super().__init__(name=f"pia-node-{node.name}", daemon=True)
+        self.runner = runner
+        self.node = node
+        self.until = until
+        self.lock = runner.locks[node.name]
+        self.dispatched = 0
+        self.error: Optional[BaseException] = None
+        self.idle = threading.Event()
+
+    def run(self) -> None:
+        try:
+            while not self.runner.stop_flag.is_set():
+                progress = self._one_round()
+                if progress:
+                    self.idle.clear()
+                else:
+                    self.idle.set()
+                    _time.sleep(0.001)
+        except BaseException as exc:   # surface into the coordinator
+            self.error = exc
+            self.idle.set()
+            self.runner.stop_flag.set()
+
+    def _one_round(self) -> bool:
+        progress = False
+        with self.lock:
+            progress |= self.node.pump() > 0
+            subsystems = [self.node.subsystems[name]
+                          for name in sorted(self.node.subsystems)]
+        for subsystem in subsystems:
+            client = self.runner.clients[subsystem.name]
+            with self.lock:
+                self.node.pump()
+                next_time = subsystem.next_event_time()
+            if next_time == float("inf") or next_time > self.until:
+                continue
+            # The refresh performs a blocking network call; it must happen
+            # outside the lock or two nodes refreshing each other deadlock.
+            if client.horizon() < next_time:
+                client.refresh(min(next_time, self.until))
+            with self.lock:
+                if subsystem.next_event_time() <= client.horizon():
+                    count = subsystem.run(self.until, horizon=client.horizon)
+                    self.dispatched += count
+                    progress = progress or count > 0
+        return progress
+
+
+class ThreadedCoSimulation:
+    """Run each Pia node on its own thread (conservative channels only)."""
+
+    def __init__(self, *, transport=None,
+                 default_model: LatencyModel = SAME_HOST) -> None:
+        self.transport = transport if transport is not None \
+            else InMemoryTransport(default_model=default_model)
+        self.nodes: Dict[str, PiaNode] = {}
+        self.subsystems: Dict[str, Subsystem] = {}
+        self.channels: Dict[str, Channel] = {}
+        self.locks: Dict[str, threading.RLock] = {}
+        self.clients: Dict[str, SafeTimeClient] = {}
+        self.stop_flag = threading.Event()
+
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> PiaNode:
+        if name in self.nodes:
+            raise ConfigurationError(f"duplicate node {name!r}")
+        node = PiaNode(name, self.transport)
+        self.nodes[name] = node
+        self.locks[name] = threading.RLock()
+        _LockedSafeTimeService(node, self.locks[name], self.clients.get)
+        return node
+
+    def add_subsystem(self, node: Union[str, PiaNode],
+                      subsystem: Union[str, Subsystem]) -> Subsystem:
+        if isinstance(node, str):
+            node = self.nodes[node]
+        if isinstance(subsystem, str):
+            subsystem = Subsystem(subsystem)
+        if subsystem.name in self.subsystems:
+            raise ConfigurationError(f"duplicate subsystem {subsystem.name!r}")
+        node.add_subsystem(subsystem)
+        self.subsystems[subsystem.name] = subsystem
+        self.clients[subsystem.name] = SafeTimeClient(subsystem)
+        return subsystem
+
+    def connect(self, a: Subsystem, b: Subsystem, *,
+                mode: ChannelMode = ChannelMode.CONSERVATIVE,
+                delay: float = 0.0) -> Channel:
+        if mode is not ChannelMode.CONSERVATIVE:
+            raise SimulationError(
+                "the threaded executor supports conservative channels only; "
+                "use CoSimulation for optimistic channels")
+        channel_id = f"tch{next(_channel_ids)}-{a.name}-{b.name}"
+        channel = Channel(channel_id, mode, delay=delay)
+        assert a.node is not None and b.node is not None
+        channel.attach(a, peer_subsystem=b.name, peer_node=b.node.name)
+        channel.attach(b, peer_subsystem=a.name, peer_node=a.node.name)
+        self.channels[channel_id] = channel
+        return channel
+
+    # ------------------------------------------------------------------
+    def run(self, until: float = float("inf"), *,
+            timeout: float = 60.0) -> int:
+        """Run all nodes concurrently until quiescence; returns events."""
+        topology.validate(self.channels.values())
+        for name in sorted(self.nodes):
+            with self.locks[name]:
+                self.nodes[name].start()
+        self.stop_flag.clear()
+        workers = [_NodeWorker(self, self.nodes[name], until)
+                   for name in sorted(self.nodes)]
+        for worker in workers:
+            worker.start()
+        deadline = _time.monotonic() + timeout
+        try:
+            while _time.monotonic() < deadline:
+                if self.stop_flag.is_set():
+                    break
+                if self._quiescent(workers, until):
+                    break
+                _time.sleep(0.002)
+            else:
+                self.stop_flag.set()
+                raise SimulationError(
+                    f"threaded run did not quiesce within {timeout}s")
+        finally:
+            self.stop_flag.set()
+            for worker in workers:
+                worker.join(timeout=5.0)
+        for worker in workers:
+            if worker.error is not None:
+                raise worker.error
+        return sum(worker.dispatched for worker in workers)
+
+    def _quiescent(self, workers, until: float) -> bool:
+        """All workers idle with nothing in flight, twice in a row."""
+        for __ in range(2):
+            if not all(worker.idle.is_set() for worker in workers):
+                return False
+            if self.transport.pending() != 0:
+                return False
+            for name in sorted(self.subsystems):
+                subsystem = self.subsystems[name]
+                assert subsystem.node is not None
+                with self.locks[subsystem.node.name]:
+                    next_time = subsystem.next_event_time()
+                    if next_time != float("inf") and next_time <= until:
+                        return False
+            _time.sleep(0.002)
+        return True
+
+    def global_time(self) -> float:
+        return min((ss.now for ss in self.subsystems.values()), default=0.0)

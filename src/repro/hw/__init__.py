@@ -1,0 +1,37 @@
+"""Hardware in the loop: stubs, the simulated Pamette, remote servers."""
+
+from .circuits import (
+    LFSR_TAPS,
+    adder_bitstream,
+    lfsr_bitstream,
+    lfsr_reference,
+    shift_register_bitstream,
+)
+from .component import HardwareComponent, HwCall, HwCallExecutor
+from .devices import (
+    REG_CONTROL,
+    REG_DATA,
+    REG_PERIOD,
+    REG_STATUS,
+    TimerDevice,
+    UartDevice,
+)
+from .pamette import (
+    LUT_WIDTH,
+    Bitstream,
+    Dff,
+    Lut,
+    SimulatedPamette,
+    counter_bitstream,
+)
+from .server import RemoteHardwareClient, RemoteHardwareServer
+from .stub import HardwareStub, InterruptRecord
+
+__all__ = [
+    "Bitstream", "Dff", "HardwareComponent", "HardwareStub", "HwCall",
+    "HwCallExecutor", "InterruptRecord", "LUT_WIDTH", "Lut", "REG_CONTROL", "REG_DATA",
+    "REG_PERIOD", "REG_STATUS", "RemoteHardwareClient",
+    "RemoteHardwareServer", "SimulatedPamette", "TimerDevice", "UartDevice",
+    "LFSR_TAPS", "adder_bitstream", "counter_bitstream",
+    "lfsr_bitstream", "lfsr_reference", "shift_register_bitstream",
+]

@@ -1,0 +1,131 @@
+"""A small library of synthesisable bitstreams for the simulated Pamette.
+
+The counter of :func:`~repro.hw.pamette.counter_bitstream` is the "hello
+world"; these are the next designs a board bring-up actually uses: shift
+registers (serial links), LFSRs (test-pattern generation, the classic BIST
+primitive) and ripple-carry adders (the first datapath block).  All are
+plain LUT4/DFF netlists evaluated cycle-accurately by
+:class:`~repro.hw.pamette.SimulatedPamette`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from .pamette import Bitstream
+
+#: Canonical maximal-length LFSR taps (Fibonacci form, 1-indexed from MSB).
+LFSR_TAPS: Dict[int, Tuple[int, ...]] = {
+    3: (3, 2), 4: (4, 3), 5: (5, 3), 6: (6, 5), 7: (7, 6),
+    8: (8, 6, 5, 4), 16: (16, 15, 13, 4),
+}
+
+
+def shift_register_bitstream(bits: int, *, tap_irq: bool = False) -> Bitstream:
+    """A serial-in shift register.
+
+    Input register ``din`` (1 bit) at ``0x10`` feeds the chain each clock;
+    the parallel value is readable at ``0x0``.  With ``tap_irq`` the MSB
+    raises the ``msb`` interrupt on its rising edge — a sync-word detector
+    in two lines.
+    """
+    if bits < 1:
+        raise ConfigurationError("shift register needs at least 1 bit")
+    bs = Bitstream(f"shift{bits}")
+    din = bs.add_input_register(0x10, "din", 1)[0]
+    previous = din
+    stages: List[str] = []
+    for index in range(bits):
+        q = f"s{index}"
+        bs.buf(f"d{index}", previous)
+        bs.add_dff(q, f"d{index}")
+        stages.append(q)
+        previous = q
+    bs.add_output_register(0x0, stages)
+    if tap_irq:
+        bs.add_irq("msb", stages[-1])
+    return bs
+
+
+def lfsr_bitstream(bits: int, *, init: int = 1) -> Bitstream:
+    """A Fibonacci LFSR with maximal-length taps.
+
+    The state is readable at ``0x0``.  ``init`` must be non-zero (the
+    all-zero state is the LFSR's absorbing dead state).
+    """
+    taps = LFSR_TAPS.get(bits)
+    if taps is None:
+        raise ConfigurationError(
+            f"no canonical taps for a {bits}-bit LFSR "
+            f"(available: {sorted(LFSR_TAPS)})")
+    if init == 0 or init >= (1 << bits):
+        raise ConfigurationError(
+            f"LFSR init must be in [1, {(1 << bits) - 1}], got {init}")
+    bs = Bitstream(f"lfsr{bits}")
+    state = [f"q{index}" for index in range(bits)]     # q0 = LSB
+    # feedback = xor of tapped bits; tap t (1-indexed) reads bit t-1, the
+    # convention that realises the maximal-length polynomials above.
+    tap_signals = [state[t - 1] for t in taps]
+    feedback = tap_signals[0]
+    for index, signal in enumerate(tap_signals[1:], start=1):
+        out = f"fb{index}"
+        bs.xor_gate(out, feedback, signal)
+        feedback = out
+    # shift towards the MSB: q0 <= feedback, q[i] <= q[i-1]
+    bs.add_dff(state[0], feedback, init=(init >> 0) & 1)
+    for index in range(1, bits):
+        bs.buf(f"d{index}", state[index - 1])
+        bs.add_dff(state[index], f"d{index}", init=(init >> index) & 1)
+    bs.add_output_register(0x0, state)
+    return bs
+
+
+def lfsr_reference(bits: int, init: int, steps: int) -> List[int]:
+    """Software model of :func:`lfsr_bitstream`, for verification."""
+    taps = LFSR_TAPS[bits]
+    state = init
+    sequence = []
+    for __ in range(steps):
+        feedback = 0
+        for t in taps:
+            feedback ^= (state >> (t - 1)) & 1
+        state = ((state << 1) | feedback) & ((1 << bits) - 1)
+        sequence.append(state)
+    return sequence
+
+
+def adder_bitstream(bits: int) -> Bitstream:
+    """A registered ripple-carry adder: ``sum <= a + b`` each clock.
+
+    ``a`` and ``b`` are input registers at ``0x10``/``0x14``; the
+    registered sum (with carry-out as the top bit) reads at ``0x0``.
+    """
+    if bits < 1:
+        raise ConfigurationError("adder needs at least 1 bit")
+    bs = Bitstream(f"adder{bits}")
+    a = bs.add_input_register(0x10, "a", bits)
+    b = bs.add_input_register(0x14, "b", bits)
+    carry = None
+    outs: List[str] = []
+    for index in range(bits):
+        s = f"sum{index}"
+        if carry is None:
+            bs.xor_gate(s, a[index], b[index])
+            carry_next = f"c{index}"
+            bs.and_gate(carry_next, a[index], b[index])
+        else:
+            # full adder from two LUTs (sum and carry truth tables)
+            bs.add_lut(s, [a[index], b[index], carry], 0b10010110)
+            carry_next = f"c{index}"
+            bs.add_lut(carry_next, [a[index], b[index], carry], 0b11101000)
+        bs.buf(f"ds{index}", s)
+        bs.add_dff(f"r{index}", f"ds{index}")
+        outs.append(f"r{index}")
+        carry = carry_next
+    assert carry is not None
+    bs.buf("dcarry", carry)
+    bs.add_dff("rcarry", "dcarry")
+    outs.append("rcarry")
+    bs.add_output_register(0x0, outs)
+    return bs

@@ -1,0 +1,122 @@
+"""Remote hardware servers (paper sections 2.3 and 5).
+
+"Additional current and future work involves setting up Pia socket
+versions of hardware servers" — a Pia node exposes a piece of hardware
+(behind the stub contract) to the rest of the distributed simulation, the
+way Intel's remote evaluation facility exposed i960 processors over the
+web.  Calls travel over the ordinary transport as ``HW_CALL`` messages, so
+the hardware can sit on any node, across any link model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..core.errors import HardwareStubError, TransportError
+from ..transport.message import Message, MessageKind
+from .stub import HardwareStub, InterruptRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..distributed.node import PiaNode
+
+#: Operations the hardware-call protocol understands.
+_OPS = ("read_time", "set_time", "run_for", "stall", "resume",
+        "peek", "poke", "info", "save_state", "restore_state")
+
+
+class RemoteHardwareServer:
+    """Serves one or more hardware stubs on a Pia node."""
+
+    def __init__(self, node: "PiaNode") -> None:
+        self.node = node
+        self.stubs: dict = {}
+        self.calls_served = 0
+        node.call_services[MessageKind.HW_CALL] = self.serve
+
+    def attach(self, name: str, stub: HardwareStub) -> None:
+        """Expose ``stub`` under ``name`` (creates a node socket)."""
+        if name in self.stubs:
+            raise HardwareStubError(f"hardware {name!r} already attached")
+        self.stubs[name] = stub
+        self.node.add_socket(f"hardware:{name}", "hardware", stub)
+
+    def serve(self, message: Message) -> Message:
+        name, op, args = message.payload
+        stub = self.stubs.get(name)
+        if stub is None:
+            raise HardwareStubError(
+                f"{self.node.name}: no hardware named {name!r} "
+                f"(attached: {sorted(self.stubs)})")
+        if op not in _OPS:
+            raise HardwareStubError(f"unknown hardware op {op!r}")
+        self.calls_served += 1
+        result = getattr(stub, op)(*args)
+        if op == "run_for":
+            # Interrupt records cross the wire as plain tuples.
+            result = [(r.tick, r.line, r.payload) for r in result]
+        return message.reply(MessageKind.HW_REPLY, payload=result)
+
+
+class RemoteHardwareClient(HardwareStub):
+    """A stub proxy: the local side of a remote hardware connection.
+
+    Implements the full :class:`HardwareStub` contract by forwarding every
+    call over the transport, so a
+    :class:`~repro.hw.component.HardwareComponent` cannot tell whether its
+    hardware is local or on another continent — exactly the transparency
+    the paper is after.
+    """
+
+    def __init__(self, node: "PiaNode", server_node: str, name: str) -> None:
+        self.node = node
+        self.server_node = server_node
+        self.hw_name = name
+        self.calls_made = 0
+        info = self._call("info")
+        self.clock_hz = info["clock_hz"]
+        self.remote_type = info["type"]
+        self.supports_state_save = info.get("supports_state_save", False)
+
+    def _call(self, op: str, *args):
+        self.calls_made += 1
+        reply = self.node.transport.call(Message(
+            kind=MessageKind.HW_CALL,
+            src=self.node.name,
+            dst=self.server_node,
+            payload=(self.hw_name, op, args),
+        ))
+        if reply.kind is not MessageKind.HW_REPLY:
+            raise TransportError(f"unexpected reply kind {reply.kind}")
+        return reply.payload
+
+    # -- contract ----------------------------------------------------------
+    def read_time(self) -> int:
+        return self._call("read_time")
+
+    def set_time(self, ticks: int) -> None:
+        self._call("set_time", ticks)
+
+    def run_for(self, ticks: int) -> List[InterruptRecord]:
+        return [InterruptRecord(tick, line, payload)
+                for tick, line, payload in self._call("run_for", ticks)]
+
+    def stall(self) -> None:
+        self._call("stall")
+
+    def resume(self) -> None:
+        self._call("resume")
+
+    def peek(self, addr: int) -> int:
+        return self._call("peek", addr)
+
+    def poke(self, addr: int, value: int) -> None:
+        self._call("poke", addr, value)
+
+    def save_state(self):
+        return self._call("save_state")
+
+    def restore_state(self, state) -> None:
+        self._call("restore_state", state)
+
+    def info(self) -> dict:
+        return self._call("info")

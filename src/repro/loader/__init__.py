@@ -1,0 +1,5 @@
+"""Dynamic component (re)loading — Pia's class loader (paper section 3.2)."""
+
+from .class_loader import ComponentLoader
+
+__all__ = ["ComponentLoader"]

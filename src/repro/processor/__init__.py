@@ -1,0 +1,31 @@
+"""The embedded-software substrate: processors, memory, interrupts, ISS."""
+
+from .assembler import AssemblyError, assemble, assemble_with_symbols
+from .interrupts import (
+    DATA_OFFSET,
+    FLAG_OFFSET,
+    LINE_STRIDE,
+    InterruptController,
+    InterruptLine,
+)
+from .isa import NUM_REGS, OPCODES, Instruction, IssComponent, IssError
+from .memory import Memory
+from .software import MemRead, MemWrite, SoftwareComponent
+from .timing import (
+    ARM7,
+    GENERIC,
+    I960,
+    PENTIUM_PRO_200,
+    PROFILES,
+    BasicBlockTimer,
+    ProcessorProfile,
+)
+
+__all__ = [
+    "ARM7", "AssemblyError", "BasicBlockTimer", "DATA_OFFSET", "FLAG_OFFSET",
+    "GENERIC", "I960", "Instruction", "InterruptController", "InterruptLine",
+    "IssComponent", "IssError", "LINE_STRIDE", "MemRead", "MemWrite",
+    "Memory", "NUM_REGS", "OPCODES", "PENTIUM_PRO_200", "PROFILES",
+    "ProcessorProfile", "SoftwareComponent", "assemble",
+    "assemble_with_symbols",
+]

@@ -1,0 +1,110 @@
+"""Interrupt delivery into processor memory (paper section 2.1.1).
+
+An :class:`InterruptController` is a reactive component sitting between
+interrupt sources (device nets) and a processor's memory.  When a line
+fires, the controller performs the interrupt handler's memory side
+effects — asynchronously, at the interrupt's virtual time: it latches the
+payload into a per-line mailbox, sets the line's pending flag, and bumps a
+global pending counter.
+
+Those writes go through :meth:`Memory.external_write`, so under the
+optimistic policy a firmware that already read one of these addresses at a
+later local time triggers a :class:`ConsistencyViolation` — the very
+situation Pia resolves by dynamically marking the address synchronous and
+rewinding (see :meth:`Simulator.run_with_recovery`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.component import ReactiveComponent
+from ..core.errors import ConfigurationError
+from ..core.port import PortDirection
+from .memory import Memory
+
+#: Layout of one interrupt line's mailbox in processor memory.
+LINE_STRIDE = 8          # flag word + data word
+FLAG_OFFSET = 0
+DATA_OFFSET = 4
+
+
+@dataclass(frozen=True)
+class InterruptLine:
+    """One wired interrupt source."""
+
+    name: str
+    index: int
+    base_addr: int
+
+    @property
+    def flag_addr(self) -> int:
+        return self.base_addr + FLAG_OFFSET
+
+    @property
+    def data_addr(self) -> int:
+        return self.base_addr + DATA_OFFSET
+
+
+class InterruptController(ReactiveComponent):
+    """Latches device events into a processor's memory-mapped mailboxes."""
+
+    def __init__(self, name: str, memory: Memory, *,
+                 base_addr: int = 0xF000,
+                 pending_count_addr: Optional[int] = None) -> None:
+        super().__init__(name)
+        # The memory belongs to the processor component; it is shared by
+        # reference and restored in place there, so it must not be part of
+        # this component's own checkpoint image.
+        self.memory = memory
+        self._infra_keys.add("memory")
+        self.base_addr = base_addr
+        self.pending_count_addr = pending_count_addr \
+            if pending_count_addr is not None else base_addr - 4
+        self.lines: Dict[str, InterruptLine] = {}
+        self.delivered = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def add_line(self, name: str) -> InterruptLine:
+        """Wire a new interrupt source; creates the input port ``name``."""
+        if name in self.lines:
+            raise ConfigurationError(f"{self.name}: duplicate line {name!r}")
+        index = len(self.lines)
+        line = InterruptLine(name, index,
+                             self.base_addr + index * LINE_STRIDE)
+        self.lines[name] = line
+        self.add_port(name, PortDirection.IN)
+        return line
+
+    def line(self, name: str) -> InterruptLine:
+        try:
+            return self.lines[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name}: no interrupt line {name!r}") from None
+
+    def mark_mailboxes_synchronous(self) -> None:
+        """The *static* treatment: declare every mailbox address
+        synchronous up front (paper: "if we can statically determine which
+        addresses ... are either written or read by interrupt handlers")."""
+        table = self.memory.table
+        table.mark_range(self.pending_count_addr, self.pending_count_addr + 4)
+        for line in self.lines.values():
+            table.mark_range(line.base_addr, line.base_addr + LINE_STRIDE)
+
+    # ------------------------------------------------------------------
+    def on_event(self, port: str, time: float, value) -> None:
+        """A device raised ``port`` at virtual ``time``."""
+        line = self.line(port)
+        payload = value if isinstance(value, int) else 1
+        if self.memory.read(line.flag_addr) != 0:
+            # Previous interrupt not yet acknowledged: latch is full.
+            self.dropped += 1
+            return
+        self.memory.external_write(line.data_addr, payload & 0xFFFFFFFF, time)
+        self.memory.external_write(line.flag_addr, 1, time)
+        count = self.memory.read(self.pending_count_addr)
+        self.memory.external_write(self.pending_count_addr, count + 1, time)
+        self.delivered += 1

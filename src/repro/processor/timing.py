@@ -1,0 +1,97 @@
+"""Basic-block timing estimation (paper section 2.1).
+
+"Specific processors are characterized by their timing characteristics (in
+the form of a basic block timing estimator) ...  the timing estimates are
+embedded in the source code, and when the simulator encounters one of
+these, it updates a version of virtual time."
+
+A :class:`ProcessorProfile` is a cycle table; a :class:`BasicBlockTimer`
+turns operation mixes into :class:`~repro.core.process.Advance` commands
+the firmware yields, exactly where the paper's Java components embed their
+hand-made estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from ..core.errors import ConfigurationError
+from ..core.process import Advance
+
+
+@dataclass(frozen=True)
+class ProcessorProfile:
+    """Cycle costs of one processor family."""
+
+    name: str
+    clock_hz: float
+    cycles: Dict[str, int] = field(default_factory=dict)
+    default_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"{self.name}: clock must be > 0")
+
+    def cycles_for(self, op: str) -> int:
+        return self.cycles.get(op, self.default_cycles)
+
+    def seconds(self, cycles: Union[int, float]) -> float:
+        return cycles / self.clock_hz
+
+
+_BASE_OPS = {
+    "alu": 1, "mul": 4, "div": 12, "load": 2, "store": 2, "branch": 2,
+    "branch_taken": 3, "call": 4, "ret": 3, "nop": 1, "io": 6, "sync": 2,
+}
+
+#: The paper's measurement hosts: Pentium Pro 200 MHz workstations.
+PENTIUM_PRO_200 = ProcessorProfile(
+    "pentium-pro-200", 200e6,
+    dict(_BASE_OPS, mul=3, div=18, load=1, store=1))
+
+#: Intel's i960, the processor of the paper's remote evaluation example.
+I960 = ProcessorProfile(
+    "i960", 33e6,
+    dict(_BASE_OPS, mul=5, div=35, branch_taken=4))
+
+#: A small embedded core of the era, for the handheld unit.
+ARM7 = ProcessorProfile(
+    "arm7", 25e6,
+    dict(_BASE_OPS, mul=4, div=40, load=3, store=2, branch_taken=3))
+
+#: An abstract single-cycle machine for tests.
+GENERIC = ProcessorProfile("generic", 1e6, {})
+
+PROFILES = {p.name: p for p in (PENTIUM_PRO_200, I960, ARM7, GENERIC)}
+
+
+class BasicBlockTimer:
+    """Accumulates cycle estimates for basic blocks of firmware."""
+
+    def __init__(self, profile: ProcessorProfile) -> None:
+        self.profile = profile
+        #: total cycles charged through this timer (for utilisation stats)
+        self.total_cycles = 0
+
+    def cycles(self, **op_counts: int) -> int:
+        """Cycle cost of a block, e.g. ``cycles(alu=12, load=3, branch=1)``."""
+        total = 0
+        for op, count in op_counts.items():
+            if count < 0:
+                raise ConfigurationError(f"negative op count for {op!r}")
+            total += self.profile.cycles_for(op) * count
+        return total
+
+    def block(self, **op_counts: int) -> Advance:
+        """An ``Advance`` worth one basic block — yield it from firmware."""
+        cycles = self.cycles(**op_counts)
+        self.total_cycles += cycles
+        return Advance(self.profile.seconds(cycles))
+
+    def spin(self, cycles: int) -> Advance:
+        """An ``Advance`` worth a raw cycle count."""
+        if cycles < 0:
+            raise ConfigurationError(f"negative cycle count {cycles}")
+        self.total_cycles += cycles
+        return Advance(self.profile.seconds(cycles))

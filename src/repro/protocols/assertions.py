@@ -1,0 +1,131 @@
+"""Assertion-based user-defined detail levels (paper section 2, ref [7]).
+
+"In the cases where the user must provide additional instructions for
+levels of detail not currently in any library, we allow these to be
+entered as a set of assertions which describe the activating conditions,
+and results of any action."
+
+An :class:`ActionRule` pairs an *activating condition* — a predicate over
+the transfer about to happen — with a *result* describing how the payload
+is rendered on the wire: how many chunks, and the delay of each.  Rules
+are written as small arithmetic expressions over the variables
+
+``size``
+    payload size in bytes;
+``chunks``
+    the chunk count chosen by the rule (available in ``dt``);
+``index``
+    the current chunk index (available in ``dt``);
+``chunk_size``
+    bytes in the current chunk (available in ``dt``).
+
+Example::
+
+    codec = AssertionCodec([
+        ActionRule(when="size <= 64", chunks="1", dt="1e-6"),
+        ActionRule(when="size > 64", chunks="size / 1024", dt="5e-6 + chunk_size / 20e6"),
+    ])
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import ProtocolError
+from .base import Protocol, ProtocolCodec
+from .bus import _as_bytes
+
+#: Names usable in rule expressions besides the transfer variables.
+_SAFE_FUNCS = {
+    "min": min, "max": max, "abs": abs, "ceil": math.ceil,
+    "floor": math.floor, "sqrt": math.sqrt, "log2": math.log2,
+}
+
+
+def _evaluate(expr: str, variables: Dict[str, Any]) -> Any:
+    """Evaluate a rule expression in a sandboxed namespace."""
+    if not isinstance(expr, str):
+        return expr
+    try:
+        code = compile(expr, "<action-rule>", "eval")
+    except SyntaxError as exc:
+        raise ProtocolError(f"bad rule expression {expr!r}: {exc}") from exc
+    for name in code.co_names:
+        if name not in variables and name not in _SAFE_FUNCS:
+            raise ProtocolError(
+                f"rule expression {expr!r} references unknown name {name!r}")
+    namespace = {"__builtins__": {}}
+    namespace.update(_SAFE_FUNCS)
+    namespace.update(variables)
+    return eval(code, namespace)  # noqa: S307 - sandboxed above
+
+
+@dataclass
+class ActionRule:
+    """One assertion: activating condition + rendering result."""
+
+    #: Predicate over ``size``; e.g. ``"size <= 64"``.  ``"True"`` matches all.
+    when: str = "True"
+    #: Chunk-count expression over ``size``; fractional values round up.
+    chunks: str = "1"
+    #: Per-chunk delay expression over ``size``/``chunks``/``index``/``chunk_size``.
+    dt: str = "0.0"
+
+    def matches(self, size: int) -> bool:
+        return bool(_evaluate(self.when, {"size": size}))
+
+    def chunk_count(self, size: int) -> int:
+        count = _evaluate(self.chunks, {"size": size})
+        count = int(math.ceil(count))
+        if count < 1:
+            raise ProtocolError(
+                f"rule {self.when!r} produced chunk count {count} for "
+                f"size {size}")
+        return count
+
+    def delay(self, size: int, chunks: int, index: int, chunk_size: int) -> float:
+        value = float(_evaluate(self.dt, {
+            "size": size, "chunks": chunks, "index": index,
+            "chunk_size": chunk_size,
+        }))
+        if value < 0:
+            raise ProtocolError(f"rule {self.when!r} produced negative dt")
+        return value
+
+
+class AssertionCodec(ProtocolCodec):
+    """A detail level assembled from :class:`ActionRule` assertions."""
+
+    def __init__(self, rules: List[ActionRule]) -> None:
+        if not rules:
+            raise ProtocolError("an assertion codec needs at least one rule")
+        self.rules = list(rules)
+
+    def _select(self, size: int) -> ActionRule:
+        for rule in self.rules:
+            if rule.matches(size):
+                return rule
+        raise ProtocolError(f"no rule's activating condition matched size {size}")
+
+    def chunk_payload(self, payload: Any) -> Iterator[Tuple[float, Any]]:
+        data = _as_bytes(payload, "assertion")
+        size = len(data)
+        rule = self._select(size)
+        chunks = rule.chunk_count(size)
+        base = size // chunks
+        remainder = size % chunks
+        offset = 0
+        for index in range(chunks):
+            length = base + (1 if index < remainder else 0)
+            piece = data[offset:offset + length]
+            offset += length
+            yield rule.delay(size, chunks, index, len(piece)), piece
+
+
+def assertion_level(protocol: Protocol, level: str,
+                    rules: List[ActionRule]) -> Protocol:
+    """Attach a user-defined level built from assertions to ``protocol``."""
+    protocol.add_level(level, AssertionCodec(rules))
+    return protocol

@@ -1,0 +1,165 @@
+"""Protocol library foundations: codecs, detail levels, wire framing.
+
+The paper (section 2.1.3) builds "a library of standard communication
+protocols, each with several built-in detail levels".  A
+:class:`Protocol` is a named family of :class:`ProtocolCodec` objects, one
+per detail level.  A codec expands a logical payload into a timed sequence
+of *wire values*; the sequence begins with a small self-describing header
+so the receiving side can reassemble transfers regardless of — and across —
+detail-level switches.
+
+Wire values are plain tuples:
+
+``("HDR", transfer_id, level, nchunks, mode)``
+    Announces a transfer of ``nchunks`` data chunks emitted at ``level``.
+    ``mode`` is ``"bytes"`` (chunks concatenate) or ``"object"`` (a single
+    chunk carries an arbitrary object).
+
+``("CHK", transfer_id, index, data)``
+    The ``index``-th chunk of the transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..core.errors import ProtocolError
+
+WireValue = Tuple[Any, ...]
+
+#: Nominal size in bytes of a wire header (for bandwidth accounting).
+HEADER_BYTES = 16
+
+
+class _IncompleteSentinel:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<incomplete>"
+
+
+#: Returned by :func:`reassemble_step` while a transfer is still partial.
+INCOMPLETE = _IncompleteSentinel()
+
+
+class ProtocolCodec:
+    """One detail level of a protocol.
+
+    Subclasses implement :meth:`chunk_payload`, which splits a payload into
+    ``(dt, data)`` pieces; the base class wraps them in the generic framing.
+    """
+
+    #: The detail-level name this codec renders (e.g. ``"word"``).
+    level = "default"
+    #: Nominal wire bytes consumed by one chunk (header excluded).
+    chunk_wire_bytes = 0
+
+    #: Fixed virtual-time cost of the header exchange.
+    header_time = 0.0
+
+    def expand(self, payload: Any, transfer_id: Any) -> Iterator[Tuple[float, WireValue]]:
+        """Yield ``(dt, wire_value)`` for the complete transfer."""
+        pieces = list(self.chunk_payload(payload))
+        mode = "bytes" if isinstance(payload, (bytes, bytearray, memoryview)) \
+            else "object"
+        yield self.header_time, ("HDR", transfer_id, self.level, len(pieces), mode)
+        for index, (dt, data) in enumerate(pieces):
+            yield dt, ("CHK", transfer_id, index, data)
+
+    def chunk_payload(self, payload: Any) -> Iterator[Tuple[float, Any]]:
+        """Split ``payload`` into timed data pieces; override per level."""
+        raise NotImplementedError
+
+    def payload_size(self, payload: Any) -> int:
+        """Logical size of ``payload`` in bytes (best effort for objects)."""
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            return len(payload)
+        return 64  # nominal size for control objects
+
+    def wire_bytes(self, payload: Any) -> int:
+        """Total nominal bytes this codec puts on the wire for ``payload``."""
+        pieces = sum(1 for __ in self.chunk_payload(payload))
+        per_chunk = self.chunk_wire_bytes or self.payload_size(payload)
+        if self.chunk_wire_bytes:
+            return HEADER_BYTES + pieces * per_chunk
+        return HEADER_BYTES + self.payload_size(payload)
+
+    def transfer_time(self, payload: Any) -> float:
+        """Total virtual time one transfer of ``payload`` takes."""
+        return self.header_time + sum(dt for dt, __ in self.chunk_payload(payload))
+
+
+class Protocol:
+    """A named family of codecs, one per detail level."""
+
+    def __init__(self, name: str, codecs: Dict[str, ProtocolCodec],
+                 *, default_level: Optional[str] = None) -> None:
+        if not codecs:
+            raise ProtocolError(f"protocol {name}: no codecs given")
+        self.name = name
+        self._codecs = dict(codecs)
+        for level, codec in self._codecs.items():
+            codec.level = level
+        self.default_level = default_level if default_level is not None \
+            else sorted(self._codecs)[0]
+        if self.default_level not in self._codecs:
+            raise ProtocolError(
+                f"protocol {name}: default level {self.default_level!r} "
+                "has no codec")
+
+    def levels(self) -> set:
+        return set(self._codecs)
+
+    def codec(self, level: str) -> ProtocolCodec:
+        try:
+            return self._codecs[level]
+        except KeyError:
+            raise ProtocolError(
+                f"protocol {self.name}: no codec for level {level!r} "
+                f"(available: {sorted(self._codecs)})") from None
+
+    def add_level(self, level: str, codec: ProtocolCodec) -> None:
+        """Register a user-supplied detail level (paper section 2)."""
+        codec.level = level
+        self._codecs[level] = codec
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Protocol {self.name} levels={sorted(self._codecs)}>"
+
+
+def reassemble_step(partial: Dict[Any, dict], wire: WireValue) -> Any:
+    """Advance reassembly with one wire value.
+
+    ``partial`` maps in-flight transfer ids to their accumulation state.
+    Returns the completed payload, or :data:`INCOMPLETE`.
+    """
+    if not isinstance(wire, tuple) or not wire:
+        raise ProtocolError(f"malformed wire value: {wire!r}")
+    tag = wire[0]
+    if tag == "HDR":
+        __, transfer_id, level, nchunks, mode = wire
+        if nchunks == 0:
+            return b"" if mode == "bytes" else None
+        partial[transfer_id] = {
+            "level": level, "expected": nchunks, "mode": mode, "chunks": {},
+        }
+        return INCOMPLETE
+    if tag == "CHK":
+        __, transfer_id, index, data = wire
+        state = partial.get(transfer_id)
+        if state is None:
+            raise ProtocolError(
+                f"chunk for unknown transfer {transfer_id!r} "
+                "(header lost or duplicated?)")
+        if index in state["chunks"]:
+            raise ProtocolError(
+                f"duplicate chunk {index} for transfer {transfer_id!r}")
+        state["chunks"][index] = data
+        if len(state["chunks"]) < state["expected"]:
+            return INCOMPLETE
+        del partial[transfer_id]
+        ordered = [state["chunks"][i] for i in range(state["expected"])]
+        if state["mode"] == "bytes":
+            return b"".join(bytes(piece) for piece in ordered)
+        if state["expected"] == 1:
+            return ordered[0]
+        return ordered
+    raise ProtocolError(f"unknown wire tag {tag!r}")

@@ -1,0 +1,75 @@
+"""DMA burst transfers, as used by the WubbleU cellular chip.
+
+The chosen WubbleU architecture (paper section 4) has a cellular
+communication ASIC "which transfers packets to the system through DMA".
+
+``word``
+    Programmed-I/O style: one bus word at a time.
+``burst``
+    DMA bursts of ``burst_words`` words with a setup cost per burst.
+``block``
+    One descriptor-driven block transfer with a single setup cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Tuple
+
+from ..core.errors import ProtocolError
+from .base import Protocol, ProtocolCodec
+from .bus import FixedWidthBusCodec, _as_bytes
+
+
+class DmaBurstCodec(ProtocolCodec):
+    """Bursts of ``burst_words`` bus words per chunk."""
+
+    def __init__(self, *, word_width: int = 4, burst_words: int = 8,
+                 cycle_time: float = 2e-7, setup_time: float = 1e-6) -> None:
+        if burst_words < 1:
+            raise ProtocolError(f"burst length must be >= 1, got {burst_words}")
+        self.word_width = word_width
+        self.burst_words = burst_words
+        self.cycle_time = cycle_time
+        self.setup_time = setup_time
+        self.chunk_wire_bytes = word_width * burst_words
+
+    def chunk_payload(self, payload: Any) -> Iterator[Tuple[float, Any]]:
+        data = _as_bytes(payload, "dma/burst")
+        stride = self.word_width * self.burst_words
+        for offset in range(0, len(data), stride):
+            piece = data[offset:offset + stride]
+            words = -(-len(piece) // self.word_width)
+            yield self.setup_time + words * self.cycle_time, piece
+
+
+class DmaBlockCodec(ProtocolCodec):
+    """A whole block moved behind one descriptor."""
+
+    def __init__(self, *, word_width: int = 4, cycle_time: float = 2e-7,
+                 setup_time: float = 5e-6) -> None:
+        self.word_width = word_width
+        self.cycle_time = cycle_time
+        self.setup_time = setup_time
+
+    def chunk_payload(self, payload: Any) -> Iterator[Tuple[float, Any]]:
+        data = _as_bytes(payload, "dma/block")
+        words = -(-len(data) // self.word_width)
+        yield self.setup_time + words * self.cycle_time, data
+
+
+def dma_protocol(name: str = "dma", *, word_width: int = 4,
+                 burst_words: int = 8, cycle_time: float = 2e-7,
+                 burst_setup: float = 1e-6,
+                 block_setup: float = 5e-6) -> Protocol:
+    """The DMA protocol family: ``word``, ``burst`` and ``block``.
+
+    The ``word`` level models programmed I/O: each word costs several bus
+    cycles of CPU load/store loop, which is what makes DMA worthwhile.
+    """
+    return Protocol(name, {
+        "word": FixedWidthBusCodec(word_width, 5 * cycle_time),
+        "burst": DmaBurstCodec(word_width=word_width, burst_words=burst_words,
+                               cycle_time=cycle_time, setup_time=burst_setup),
+        "block": DmaBlockCodec(word_width=word_width, cycle_time=cycle_time,
+                               setup_time=block_setup),
+    }, default_level="burst")

@@ -1,0 +1,78 @@
+"""An I2C-style serial protocol with hardware, byte and transaction levels.
+
+The paper's switchpoint example (section 2.1.3) switches an
+``I2CComponent`` to ``hardwareLevel`` and a ``VidCamComponent`` to
+``byteLevel`` — this module provides exactly those levels.
+
+``hardwareLevel``
+    Bit-accurate timing: a start condition, then 9 bit-slots per byte
+    (8 data bits + acknowledge), then a stop condition.  Wire values are
+    still bytes (posting individual bits would multiply event count by
+    eight without changing any observable the framework exposes), but the
+    per-byte delay is the true 9-bit-slot figure and the start/stop
+    conditions appear as explicit zero-length chunks.
+``byteLevel``
+    One chunk per byte at the effective byte rate.
+``transaction``
+    The whole message as a single abstract transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Tuple
+
+from .base import Protocol, ProtocolCodec
+from .bus import TransactionCodec, _as_bytes
+
+#: Standard-mode I2C: 100 kbit/s.
+STANDARD_MODE_HZ = 100_000
+#: Fast-mode I2C: 400 kbit/s.
+FAST_MODE_HZ = 400_000
+
+
+class I2CHardwareCodec(ProtocolCodec):
+    """Bit-slot accurate rendering of an I2C write transaction."""
+
+    chunk_wire_bytes = 1
+
+    def __init__(self, scl_hz: int = STANDARD_MODE_HZ) -> None:
+        self.scl_hz = scl_hz
+        self.bit_time = 1.0 / scl_hz
+
+    def chunk_payload(self, payload: Any) -> Iterator[Tuple[float, Any]]:
+        data = _as_bytes(payload, "i2c/hardware")
+        last = len(data) - 1
+        for index, byte in enumerate(data):
+            # 8 data bits + ACK slot per byte.
+            dt = 9 * self.bit_time
+            if index == 0:
+                # Start condition + 7-bit address + R/W bit + ACK slot.
+                dt += 10 * self.bit_time
+            if index == last:
+                dt += self.bit_time   # stop condition
+            yield dt, bytes([byte])
+
+
+class I2CByteCodec(ProtocolCodec):
+    """Byte-level rendering: one chunk per data byte, amortised timing."""
+
+    chunk_wire_bytes = 1
+
+    def __init__(self, scl_hz: int = STANDARD_MODE_HZ) -> None:
+        self.scl_hz = scl_hz
+        self.byte_time = 9.0 / scl_hz
+
+    def chunk_payload(self, payload: Any) -> Iterator[Tuple[float, Any]]:
+        data = _as_bytes(payload, "i2c/byte")
+        for byte in data:
+            yield self.byte_time, bytes([byte])
+
+
+def i2c_protocol(name: str = "i2c", *, scl_hz: int = STANDARD_MODE_HZ) -> Protocol:
+    """The I2C protocol family with the paper's level names."""
+    byte_rate = scl_hz / 9.0   # bytes per second including ACK slots
+    return Protocol(name, {
+        "hardwareLevel": I2CHardwareCodec(scl_hz),
+        "byteLevel": I2CByteCodec(scl_hz),
+        "transaction": TransactionCodec(byte_rate, overhead=11.0 / scl_hz),
+    }, default_level="byteLevel")

@@ -1,0 +1,72 @@
+"""The standard protocol library (paper section 2.1.3).
+
+"We are in the process of building a library of standard communication
+protocols, each with several built-in detail levels."  This module is that
+library: a registry of ready-made protocol families, extensible with
+user-defined ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.errors import ProtocolError
+from .base import Protocol
+from .bus import bus_protocol
+from .dma import dma_protocol
+from .i2c import FAST_MODE_HZ, i2c_protocol
+from .packetized import packet_protocol
+
+
+class ProtocolLibrary:
+    """A named registry of protocol factories.
+
+    Factories (rather than instances) are stored so every request yields a
+    fresh, independently configurable protocol object.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., Protocol]] = {}
+
+    def register(self, name: str, factory: Callable[..., Protocol],
+                 *, replace: bool = False) -> None:
+        if name in self._factories and not replace:
+            raise ProtocolError(f"protocol {name!r} already registered")
+        self._factories[name] = factory
+
+    def names(self) -> list:
+        return sorted(self._factories)
+
+    def get(self, name: str, **params) -> Protocol:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise ProtocolError(
+                f"no protocol named {name!r} in the library "
+                f"(available: {self.names()})") from None
+        return factory(name, **params)
+
+
+def standard_library() -> ProtocolLibrary:
+    """The built-in protocols every Pia installation ships with."""
+    library = ProtocolLibrary()
+    library.register("bus32", lambda name, **kw: bus_protocol(name, **kw))
+    library.register("bus8", lambda name, **kw: bus_protocol(
+        name, word_width=kw.pop("word_width", 1), **kw))
+    library.register("packet", lambda name, **kw: packet_protocol(name, **kw))
+    library.register("i2c", lambda name, **kw: i2c_protocol(name, **kw))
+    library.register("i2c-fast", lambda name, **kw: i2c_protocol(
+        name, scl_hz=kw.pop("scl_hz", FAST_MODE_HZ), **kw))
+    library.register("dma", lambda name, **kw: dma_protocol(name, **kw))
+    return library
+
+
+_default_library: Optional[ProtocolLibrary] = None
+
+
+def default_library() -> ProtocolLibrary:
+    """The process-wide shared library instance."""
+    global _default_library
+    if _default_library is None:
+        _default_library = standard_library()
+    return _default_library

@@ -1,0 +1,5 @@
+"""Wrappers connecting external design tools to Pia (paper section 2)."""
+
+from .wrapper import ExternalToolComponent, ToolError, python_tool_argv
+
+__all__ = ["ExternalToolComponent", "ToolError", "python_tool_argv"]

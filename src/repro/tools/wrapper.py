@@ -1,0 +1,212 @@
+"""Wrapping external design tools into the co-simulation (paper section 2).
+
+"Design tools can have built in support for Pia sockets (as do all the
+Chinook tools), but if not, the tools can be connected through a
+customized wrapper."
+
+:class:`ExternalToolComponent` is that wrapper: it runs a foreign tool as
+a subprocess and speaks a small newline-delimited JSON protocol with it,
+so anything that can read stdin and write stdout — a legacy simulator, a
+synthesis engine, a checker written in another language — participates in
+the simulation as an ordinary component.
+
+The wire protocol (one JSON object per line):
+
+simulator -> tool
+    ``{"op": "init", "config": {...}}``      once, before anything else
+    ``{"op": "deliver", "port": p, "time": t, "value": v}``
+    ``{"op": "save"}`` / ``{"op": "restore", "state": s}``  (optional)
+    ``{"op": "quit"}``
+
+tool -> simulator (after init/deliver, a sequence of actions terminated
+by a flow op)
+    ``{"op": "advance", "dt": seconds}``
+    ``{"op": "send", "port": p, "value": v, "delay": seconds}``
+    ``{"op": "log", "text": ...}``
+    ``{"op": "yield"}``     — done for now, wait for the next delivery
+    ``{"op": "halt"}``      — the tool is finished
+    ``{"op": "state", "state": s}`` / ``{"op": "ok"}``  — save/restore replies
+
+Values must be JSON-serialisable.  Tools that implement ``save``/
+``restore`` participate fully in checkpoint/rollback; for others a restore
+reinstates only the wrapper's bookkeeping and the tool keeps running
+forward (the same contract as non-Pia-aware hardware).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.component import ReactiveComponent
+from ..core.errors import PiaError
+from ..core.port import PortDirection
+
+
+class ToolError(PiaError):
+    """The external tool misbehaved (died, bad protocol, timeout)."""
+
+
+class ExternalToolComponent(ReactiveComponent):
+    """A foreign tool process as a reactive component."""
+
+    def __init__(self, name: str, argv: Sequence[str], *,
+                 in_ports: Sequence[str] = ("in",),
+                 out_ports: Sequence[str] = ("out",),
+                 config: Optional[dict] = None,
+                 supports_state: bool = False) -> None:
+        super().__init__(name)
+        # The subprocess and its pipes are infrastructure, never part of a
+        # checkpoint image.
+        self._argv = list(argv)
+        self._proc: Optional[subprocess.Popen] = None
+        self._infra_keys.update({"_argv", "_proc"})
+        self.config = dict(config or {})
+        self.supports_state = supports_state
+        self.tool_log: List[str] = []
+        self.halted = False
+        self.deliveries = 0
+        for port in in_ports:
+            self.add_port(port, PortDirection.IN)
+        for port in out_ports:
+            self.add_port(port, PortDirection.OUT)
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def _ensure_process(self) -> subprocess.Popen:
+        if self._proc is None or self._proc.poll() is not None:
+            raise ToolError(f"{self.name}: tool process is not running")
+        return self._proc
+
+    def _spawn(self) -> None:
+        try:
+            self._proc = subprocess.Popen(
+                self._argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                text=True, bufsize=1)
+        except OSError as exc:
+            raise ToolError(
+                f"{self.name}: cannot start {self._argv!r}: {exc}") from exc
+
+    def close(self) -> None:
+        """Terminate the tool process (idempotent)."""
+        if self._proc is None:
+            return
+        try:
+            if self._proc.poll() is None:
+                self._request({"op": "quit"}, expect_reply=False)
+                self._proc.wait(timeout=5.0)
+        except (ToolError, subprocess.TimeoutExpired, OSError):
+            self._proc.kill()
+        finally:
+            self._proc = None
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            if self._proc is not None and self._proc.poll() is None:
+                self._proc.kill()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # protocol plumbing
+    # ------------------------------------------------------------------
+    def _write(self, message: dict) -> None:
+        proc = self._ensure_process()
+        try:
+            assert proc.stdin is not None
+            proc.stdin.write(json.dumps(message) + "\n")
+            proc.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            raise ToolError(f"{self.name}: tool pipe broke: {exc}") from exc
+
+    def _read(self) -> dict:
+        proc = self._ensure_process()
+        assert proc.stdout is not None
+        line = proc.stdout.readline()
+        if not line:
+            raise ToolError(
+                f"{self.name}: tool exited mid-conversation "
+                f"(code {proc.poll()})")
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ToolError(
+                f"{self.name}: tool spoke garbage: {line!r}") from exc
+        if not isinstance(message, dict) or "op" not in message:
+            raise ToolError(f"{self.name}: malformed tool message {message!r}")
+        return message
+
+    def _request(self, message: dict, *, expect_reply: bool = True) -> None:
+        self._write(message)
+        if not expect_reply:
+            return
+        self._drain_actions()
+
+    def _drain_actions(self) -> None:
+        """Apply tool actions until a flow op arrives."""
+        while True:
+            action = self._read()
+            op = action["op"]
+            if op == "advance":
+                self.advance(float(action["dt"]))
+            elif op == "send":
+                self.send(action["port"], action["value"],
+                          float(action.get("delay", 0.0)))
+            elif op == "log":
+                self.tool_log.append(str(action.get("text", "")))
+            elif op == "yield":
+                return
+            elif op == "halt":
+                self.halted = True
+                return
+            else:
+                raise ToolError(
+                    f"{self.name}: unknown tool action {op!r}")
+
+    # ------------------------------------------------------------------
+    # component behaviour
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._spawn()
+        self._request({"op": "init", "config": self.config})
+
+    def on_event(self, port: str, time: float, value: Any) -> None:
+        if self.halted:
+            return
+        self.deliveries += 1
+        self._request({"op": "deliver", "port": port, "time": time,
+                       "value": value})
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        snap = super().snapshot()
+        if self.supports_state and self._proc is not None:
+            self._write({"op": "save"})
+            reply = self._read()
+            if reply.get("op") != "state":
+                raise ToolError(
+                    f"{self.name}: expected state reply, got {reply!r}")
+            snap.extra["tool_state"] = reply.get("state")
+        return snap
+
+    def restore(self, snap) -> None:
+        super().restore(snap)
+        if "tool_state" in snap.extra and self._proc is not None:
+            self._write({"op": "restore",
+                         "state": snap.extra["tool_state"]})
+            reply = self._read()
+            if reply.get("op") != "ok":
+                raise ToolError(
+                    f"{self.name}: tool failed to restore: {reply!r}")
+            self.halted = False
+
+
+def python_tool_argv(script_path: str) -> List[str]:
+    """Argv running ``script_path`` under the current interpreter —
+    convenient for tools shipped as Python files."""
+    return [sys.executable, "-u", script_path]

@@ -1,0 +1,21 @@
+"""Inter-node transports: the reproduction's substitute for Java RMI."""
+
+from .accounting import LinkStats, NetworkAccounting
+from .inmemory import InMemoryTransport
+from .latency import (
+    BROADBAND,
+    INTERNET,
+    LAN,
+    PRESETS,
+    SAME_HOST,
+    LatencyModel,
+    preset,
+)
+from .message import Message, MessageKind, decode, encode, wire_size
+from .tcp import TcpTransport
+
+__all__ = [
+    "BROADBAND", "INTERNET", "InMemoryTransport", "LAN", "LatencyModel",
+    "LinkStats", "Message", "MessageKind", "NetworkAccounting", "PRESETS",
+    "SAME_HOST", "TcpTransport", "decode", "encode", "preset", "wire_size",
+]

@@ -1,0 +1,86 @@
+"""Per-link traffic accounting.
+
+Table 1 of the paper reports wall-clock simulation times whose remote
+configurations are dominated by network cost.  Because this reproduction
+runs on one machine, the network component of wall time is *modelled*: each
+message crossing a link is charged ``latency + size/bandwidth`` against
+that link, and experiments report measured CPU time plus the accumulated
+link time (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .latency import SAME_HOST, LatencyModel
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic over one directed link."""
+
+    model: LatencyModel
+    messages: int = 0
+    bytes: int = 0
+    #: Total modelled wall-clock time spent on the wire, assuming the
+    #: communication is serialised (conservative, like the paper's setup
+    #: where the simulator blocks on channel traffic).
+    delay: float = 0.0
+
+    def record(self, size: int) -> float:
+        d = self.model.delay(size, seq=self.messages)
+        self.messages += 1
+        self.bytes += size
+        self.delay += d
+        return d
+
+
+class NetworkAccounting:
+    """Traffic accounting across every directed link of a Pia system."""
+
+    def __init__(self, default_model: LatencyModel = SAME_HOST) -> None:
+        self.default_model = default_model
+        self._models: Dict[Tuple[str, str], LatencyModel] = {}
+        self.links: Dict[Tuple[str, str], LinkStats] = {}
+
+    def set_model(self, src: str, dst: str, model: LatencyModel,
+                  *, both_ways: bool = True) -> None:
+        self._models[(src, dst)] = model
+        if both_ways:
+            self._models[(dst, src)] = model
+
+    def model_for(self, src: str, dst: str) -> LatencyModel:
+        return self._models.get((src, dst), self.default_model)
+
+    def record(self, src: str, dst: str, size: int) -> float:
+        """Charge one message; returns its modelled wall delay."""
+        key = (src, dst)
+        stats = self.links.get(key)
+        if stats is None:
+            stats = self.links[key] = LinkStats(self.model_for(src, dst))
+        return stats.record(size)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.links.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes for s in self.links.values())
+
+    @property
+    def total_delay(self) -> float:
+        return sum(s.delay for s in self.links.values())
+
+    def reset(self) -> None:
+        self.links.clear()
+
+    def report(self) -> list:
+        """Rows of (src, dst, model, messages, bytes, delay), sorted."""
+        return [
+            (src, dst, stats.model.name, stats.messages, stats.bytes,
+             stats.delay)
+            for (src, dst), stats in sorted(self.links.items())
+        ]

@@ -1,0 +1,136 @@
+"""The deterministic in-memory transport.
+
+Carries :class:`~repro.transport.message.Message` objects between Pia
+nodes living in one process, preserving the properties Pia gets from RMI:
+FIFO ordering per directed link, synchronous request/response calls, and
+(simulated) serialisation — messages are deep-copied through an encode/
+decode cycle so nodes cannot share mutable state by accident, exactly as
+if they had crossed a real wire.
+
+Every message is charged against :class:`NetworkAccounting`, which is how
+the "geographically distributed" experiments obtain their modelled network
+cost while the whole simulation runs deterministically in one process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import TransportError
+from .accounting import NetworkAccounting
+from .latency import SAME_HOST, LatencyModel
+from .message import Message, MessageKind, decode, encode
+
+#: Handles an asynchronous message.
+InboxHandler = Callable[[Message], None]
+#: Handles a synchronous call, returning the reply message.
+CallHandler = Callable[[Message], Message]
+
+
+class InMemoryTransport:
+    """FIFO message passing between registered nodes, with accounting."""
+
+    def __init__(self, *, default_model: LatencyModel = SAME_HOST,
+                 simulate_wire: bool = True) -> None:
+        self.accounting = NetworkAccounting(default_model)
+        #: Encode/decode every message to emulate crossing the wire.
+        self.simulate_wire = simulate_wire
+        self._inboxes: Dict[str, deque] = {}
+        self._call_handlers: Dict[str, CallHandler] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, name: str,
+                 call_handler: Optional[CallHandler] = None) -> None:
+        if name in self._inboxes:
+            raise TransportError(f"node {name!r} already registered")
+        self._inboxes[name] = deque()
+        if call_handler is not None:
+            self._call_handlers[name] = call_handler
+
+    def unregister(self, name: str) -> None:
+        self._inboxes.pop(name, None)
+        self._call_handlers.pop(name, None)
+
+    def nodes(self) -> list:
+        return sorted(self._inboxes)
+
+    def set_link(self, a: str, b: str, model: LatencyModel) -> None:
+        """Configure the latency model between two nodes (both ways)."""
+        self.accounting.set_model(a, b, model)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def _through_wire(self, message: Message) -> Tuple[Message, int]:
+        blob = encode(message)
+        if self.simulate_wire:
+            return decode(blob), len(blob)
+        return message, len(blob)
+
+    def send(self, message: Message) -> float:
+        """Queue ``message`` for its destination; returns the wire delay."""
+        if message.dst not in self._inboxes:
+            raise TransportError(f"unknown destination node {message.dst!r}")
+        delivered, size = self._through_wire(message)
+        delay = self.accounting.record(message.src, message.dst, size)
+        self._inboxes[message.dst].append(delivered)
+        return delay
+
+    def call(self, message: Message) -> Message:
+        """Synchronous request/response (the RMI analogue).
+
+        The destination's call handler runs inline; both directions are
+        charged to accounting.
+        """
+        handler = self._call_handlers.get(message.dst)
+        if handler is None:
+            raise TransportError(
+                f"node {message.dst!r} accepts no calls "
+                f"(registered: {sorted(self._call_handlers)})")
+        request, req_size = self._through_wire(message)
+        self.accounting.record(message.src, message.dst, req_size)
+        reply = handler(request)
+        if not isinstance(reply, Message):
+            raise TransportError(
+                f"call handler of {message.dst!r} returned "
+                f"{type(reply).__name__}, not Message")
+        response, resp_size = self._through_wire(reply)
+        self.accounting.record(message.dst, message.src, resp_size)
+        return response
+
+    def poll(self, name: str, *, limit: Optional[int] = None) -> List[Message]:
+        """Drain (up to ``limit``) queued messages for node ``name``."""
+        try:
+            inbox = self._inboxes[name]
+        except KeyError:
+            raise TransportError(f"unknown node {name!r}") from None
+        drained: List[Message] = []
+        while inbox and (limit is None or len(drained) < limit):
+            drained.append(inbox.popleft())
+        return drained
+
+    def pending(self, name: Optional[str] = None) -> int:
+        """Messages queued for ``name`` (or for every node)."""
+        if name is not None:
+            return len(self._inboxes.get(name, ()))
+        return sum(len(q) for q in self._inboxes.values())
+
+    def flush(self) -> int:
+        """Drop every undelivered message (optimistic rollback support)."""
+        dropped = sum(len(q) for q in self._inboxes.values())
+        for inbox in self._inboxes.values():
+            inbox.clear()
+        return dropped
+
+    def drop_if(self, predicate: Callable[[Message], bool]) -> int:
+        """Drop queued messages matching ``predicate``; returns the count."""
+        dropped = 0
+        for name, inbox in self._inboxes.items():
+            kept = [m for m in inbox if not predicate(m)]
+            dropped += len(inbox) - len(kept)
+            inbox.clear()
+            inbox.extend(kept)
+        return dropped

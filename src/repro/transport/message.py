@@ -1,0 +1,87 @@
+"""Wire messages between Pia nodes.
+
+The paper interconnects nodes through Java RMI (section 2.2.1); the
+properties Pia actually relies on are FIFO ordering per channel,
+request/response calls (the safe-time protocol) and serialisation.  These
+message types are the protocol-neutral representation both transports
+(in-memory and TCP) carry.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.errors import TransportError
+
+
+class MessageKind(enum.Enum):
+    """What a message means to the receiving node."""
+
+    #: A timestamped signal crossing a split net (channel traffic).
+    SIGNAL = "signal"
+    #: Safe-time request (conservative channels, paper section 2.2.2.1).
+    SAFE_TIME_REQUEST = "safe-time-request"
+    #: Safe-time response.
+    SAFE_TIME_REPLY = "safe-time-reply"
+    #: A Chandy-Lamport checkpoint mark (paper section 2.2.3).
+    MARK = "mark"
+    #: Coordinated restore command (optimistic recovery).
+    RESTORE = "restore"
+    #: Remote hardware server call / reply (paper section 2.3).
+    HW_CALL = "hw-call"
+    HW_REPLY = "hw-reply"
+    #: Node management (attach, detach, shutdown).
+    CONTROL = "control"
+
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One unit of inter-node communication."""
+
+    kind: MessageKind
+    src: str                       # source node name
+    dst: str                       # destination node name
+    channel: Optional[str] = None  # channel id for SIGNAL/MARK traffic
+    #: Virtual time attached to the content (signal stamp, safe time...).
+    time: float = 0.0
+    payload: Any = None
+    #: Correlates requests with replies.
+    request_id: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def reply(self, kind: MessageKind, *, time: float = 0.0,
+              payload: Any = None) -> "Message":
+        """Build the response message for a request."""
+        return Message(kind=kind, src=self.dst, dst=self.src,
+                       channel=self.channel, time=time, payload=payload,
+                       request_id=self.request_id)
+
+
+def encode(message: Message) -> bytes:
+    """Serialise for the TCP transport (and for byte accounting)."""
+    try:
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise TransportError(f"cannot serialise {message.kind}: {exc}") from exc
+
+
+def decode(blob: bytes) -> Message:
+    try:
+        message = pickle.loads(blob)
+    except Exception as exc:
+        raise TransportError(f"cannot deserialise message: {exc}") from exc
+    if not isinstance(message, Message):
+        raise TransportError(f"decoded object is {type(message).__name__}")
+    return message
+
+
+def wire_size(message: Message) -> int:
+    """Bytes this message occupies on the wire."""
+    return len(encode(message))

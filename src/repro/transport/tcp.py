@@ -1,0 +1,213 @@
+"""A real socket transport over localhost TCP.
+
+The paper's Pia nodes are separate JVM processes joined by RMI over the
+Internet; this transport mirrors that deployment shape inside one machine:
+each registered node owns a listening socket and a receiver thread, frames
+are length-prefixed pickles, and synchronous calls block on a correlation
+table.  An optional ``delay_scale`` injects a real ``sleep`` proportional
+to the link's modelled latency so wall-clock behaviour can be observed,
+scaled down to keep experiments tractable.
+
+The deterministic experiments use :class:`InMemoryTransport`; this class
+exists to exercise the genuinely concurrent, multi-threaded deployment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import struct
+import threading
+import time as _time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import TransportError
+from .accounting import NetworkAccounting
+from .latency import SAME_HOST, LatencyModel
+from .message import Message, MessageKind, decode, encode
+
+_LENGTH = struct.Struct("!I")
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        piece = sock.recv(n)
+        if not piece:
+            raise ConnectionError("peer closed")
+        chunks.append(piece)
+        n -= len(piece)
+    return b"".join(chunks)
+
+
+def _send_frame(sock: socket.socket, blob: bytes) -> None:
+    sock.sendall(_LENGTH.pack(len(blob)) + blob)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    return _recv_exact(sock, length)
+
+
+class _NodeEndpoint:
+    """Server socket + receiver threads for one node."""
+
+    def __init__(self, transport: "TcpTransport", name: str) -> None:
+        self.transport = transport
+        self.name = name
+        self.inbox: deque = deque()
+        self.lock = threading.Lock()
+        self.server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.server.bind(("127.0.0.1", 0))
+        self.server.listen(16)
+        self.port = self.server.getsockname()[1]
+        self.running = True
+        self.accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"pia-accept-{name}", daemon=True)
+        self.accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while self.running:
+            try:
+                conn, __ = self.server.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._serve, args=(conn,),
+                             name=f"pia-conn-{self.name}", daemon=True).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            while self.running:
+                message = decode(_recv_frame(conn))
+                if message.kind in (MessageKind.SAFE_TIME_REQUEST,
+                                    MessageKind.HW_CALL):
+                    reply = self.transport._dispatch_call(self.name, message)
+                    _send_frame(conn, encode(reply))
+                else:
+                    with self.lock:
+                        self.inbox.append(message)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self.running = False
+        try:
+            self.server.close()
+        except OSError:
+            pass
+
+
+class TcpTransport:
+    """Message passing between in-process nodes over real TCP sockets."""
+
+    def __init__(self, *, default_model: LatencyModel = SAME_HOST,
+                 delay_scale: float = 0.0) -> None:
+        self.accounting = NetworkAccounting(default_model)
+        #: Multiply modelled link delay by this and really sleep (0 = off).
+        self.delay_scale = delay_scale
+        self._endpoints: Dict[str, _NodeEndpoint] = {}
+        self._call_handlers: Dict[str, Callable[[Message], Message]] = {}
+        self._conns: Dict[tuple, socket.socket] = {}
+        self._conn_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def register(self, name: str,
+                 call_handler: Optional[Callable[[Message], Message]] = None
+                 ) -> int:
+        """Create the node's endpoint; returns its TCP port."""
+        if name in self._endpoints:
+            raise TransportError(f"node {name!r} already registered")
+        endpoint = _NodeEndpoint(self, name)
+        self._endpoints[name] = endpoint
+        if call_handler is not None:
+            self._call_handlers[name] = call_handler
+        return endpoint.port
+
+    def set_link(self, a: str, b: str, model: LatencyModel) -> None:
+        self.accounting.set_model(a, b, model)
+
+    def close(self) -> None:
+        for endpoint in self._endpoints.values():
+            endpoint.close()
+        with self._conn_lock:
+            for conn in self._conns.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._conns.clear()
+        self._endpoints.clear()
+
+    # ------------------------------------------------------------------
+    def _connection(self, src: str, dst: str) -> socket.socket:
+        key = (src, dst)
+        with self._conn_lock:
+            conn = self._conns.get(key)
+            if conn is None:
+                endpoint = self._endpoints.get(dst)
+                if endpoint is None:
+                    raise TransportError(f"unknown destination node {dst!r}")
+                conn = socket.create_connection(("127.0.0.1", endpoint.port),
+                                                timeout=10.0)
+                self._conns[key] = conn
+            return conn
+
+    def _charge(self, src: str, dst: str, size: int) -> None:
+        delay = self.accounting.record(src, dst, size)
+        if self.delay_scale > 0:
+            _time.sleep(delay * self.delay_scale)
+
+    def _dispatch_call(self, name: str, message: Message) -> Message:
+        handler = self._call_handlers.get(name)
+        if handler is None:
+            raise TransportError(f"node {name!r} accepts no calls")
+        return handler(message)
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> float:
+        blob = encode(message)
+        self._charge(message.src, message.dst, len(blob))
+        conn = self._connection(message.src, message.dst)
+        with self._conn_lock:
+            _send_frame(conn, blob)
+        return 0.0
+
+    def call(self, message: Message) -> Message:
+        """Blocking request/response over a dedicated connection."""
+        blob = encode(message)
+        self._charge(message.src, message.dst, len(blob))
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None:
+            raise TransportError(f"unknown destination node {message.dst!r}")
+        with socket.create_connection(("127.0.0.1", endpoint.port),
+                                      timeout=10.0) as conn:
+            _send_frame(conn, blob)
+            reply = decode(_recv_frame(conn))
+        self._charge(message.dst, message.src, len(encode(reply)))
+        return reply
+
+    def poll(self, name: str, *, limit: Optional[int] = None) -> List[Message]:
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise TransportError(f"unknown node {name!r}")
+        drained: List[Message] = []
+        with endpoint.lock:
+            while endpoint.inbox and (limit is None or len(drained) < limit):
+                drained.append(endpoint.inbox.popleft())
+        return drained
+
+    def pending(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            endpoint = self._endpoints.get(name)
+            return len(endpoint.inbox) if endpoint else 0
+        return sum(len(e.inbox) for e in self._endpoints.values())
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,55 @@
+"""Multi-page browsing sessions through the WubbleU system."""
+
+import pytest
+
+from repro.apps import WubbleUConfig, build_local, build_split, run_page_load
+from repro.transport import LAN
+
+SMALL = dict(total_bytes=12_000, image_count=2, image_size=48)
+
+
+class TestBrowsingSession:
+    def test_three_loads_complete_in_order(self):
+        config = WubbleUConfig(level="packet", page_loads=3, **SMALL)
+        cosim, __, page = build_local(config)
+        result = run_page_load(cosim, location="local", level="packet")
+        ui = cosim.component("UI")
+        times = [t for t, __ in ui.history]
+        assert len(times) == 3
+        assert times == sorted(times)
+        assert times[0] < times[1] < times[2]
+        browser = cosim.component("Browser")
+        assert browser.pages_loaded == 3
+        assert browser.bytes_received == 3 * page.total_bytes
+        origin = cosim.component("Origin")
+        assert origin.requests_served == 3 * (1 + len(page.images))
+
+    def test_session_over_split_topology(self):
+        config = WubbleUConfig(level="packet", page_loads=2, **SMALL)
+        cosim, __, page = build_split(config, network=LAN)
+        run_page_load(cosim, location="remote", level="packet")
+        ui = cosim.component("UI")
+        assert len(ui.history) == 2
+        assert cosim.component("NetIf").frames_down == 2 * (1 + len(page.images))
+
+    def test_session_matches_local_virtual_times(self):
+        def times(builder, **kw):
+            config = WubbleUConfig(level="packet", page_loads=2, **SMALL)
+            cosim, __, ___ = builder(config, **kw)
+            run_page_load(cosim, location="x", level="packet")
+            return [t for t, __ in cosim.component("UI").history]
+
+        assert times(build_local) == pytest.approx(
+            times(build_split, network=LAN))
+
+    def test_amortisation(self):
+        """Later loads cost no more virtual time than the first (no state
+        leaks between rounds)."""
+        config = WubbleUConfig(level="packet", page_loads=3, **SMALL)
+        cosim, __, ___ = build_local(config)
+        run_page_load(cosim, location="local", level="packet")
+        times = [t for t, __ in cosim.component("UI").history]
+        first = times[0]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        for gap in gaps:
+            assert gap <= first * 1.1

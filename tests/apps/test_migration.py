@@ -1,0 +1,127 @@
+"""Gradual migration to hardware: the modem chip swap (paper section 1)."""
+
+import pytest
+
+from repro.apps import (
+    HardwareBackedModem,
+    ModemChip,
+    WubbleUConfig,
+    build_local,
+    build_split,
+    run_page_load,
+)
+from repro.core import HardwareStubError
+from repro.transport import LAN
+
+SMALL = dict(total_bytes=12_000, image_count=2, image_size=48)
+
+
+def config(backend, **overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return WubbleUConfig(level="packet", modem_backend=backend, **params)
+
+
+class TestModemChip:
+    def test_job_timing(self):
+        chip = ModemChip(clock_hz=10e6, setup_ticks=100, ticks_per_byte=2)
+        chip.poke(0x8, 50)                  # 100 + 50*2 = 200 ticks
+        assert chip.peek(0x4) == 1          # busy
+        records = chip.run_for(199)
+        assert records == []
+        records = chip.run_for(1)
+        assert len(records) == 1
+        assert records[0].tick == 200
+        assert records[0].payload == 50
+        assert chip.peek(0x4) == 0          # idle again
+        assert chip.jobs_done == 1
+
+    def test_single_job_at_a_time(self):
+        chip = ModemChip()
+        chip.poke(0x8, 10)
+        with pytest.raises(HardwareStubError):
+            chip.poke(0x8, 10)
+
+    def test_bad_register_access(self):
+        chip = ModemChip()
+        with pytest.raises(HardwareStubError):
+            chip.poke(0x0, 1)
+        with pytest.raises(HardwareStubError):
+            chip.peek(0x99)
+        with pytest.raises(HardwareStubError):
+            chip.poke(0x8, 0)
+
+    def test_state_save_roundtrip(self):
+        chip = ModemChip()
+        chip.poke(0x8, 100)
+        chip.run_for(50)
+        state = chip.save_state()
+        chip.run_for(10_000)
+        assert chip.jobs_done == 1
+        chip.restore_state(state)
+        assert chip.peek(0x4) == 1          # busy again, mid-job
+        assert chip.jobs_done == 0
+
+    def test_frame_seconds(self):
+        chip = ModemChip(clock_hz=10e6, setup_ticks=240, ticks_per_byte=4)
+        assert chip.frame_seconds(100) == pytest.approx((240 + 400) / 10e6)
+
+    def test_stall(self):
+        chip = ModemChip(setup_ticks=0, ticks_per_byte=1)
+        chip.poke(0x8, 5)
+        chip.stall()
+        assert chip.run_for(100) == []
+        chip.resume()
+        assert len(chip.run_for(5)) == 1
+
+
+class TestMigratedSystem:
+    def test_hardware_backed_load_delivers_the_page(self):
+        cosim, __, page = build_local(config("hardware"))
+        result = run_page_load(cosim, location="local", level="packet")
+        assert result.bytes_loaded == page.total_bytes
+        netif = cosim.component("NetIf")
+        assert isinstance(netif, HardwareBackedModem)
+        assert netif.stub.jobs_done == netif.frames_up + netif.frames_down
+
+    def test_same_payload_as_software_model(self):
+        """The migration criterion: the system still works identically at
+        the observable level; only the chip's timing is now measured from
+        hardware ticks rather than estimated."""
+        model_cosim, __, ___ = build_local(config("model"))
+        model = run_page_load(model_cosim, location="local", level="packet")
+        hw_cosim, __, ___ = build_local(config("hardware"))
+        hardware = run_page_load(hw_cosim, location="local", level="packet")
+        assert hardware.bytes_loaded == model.bytes_loaded
+        assert model_cosim.component("UI").summary == \
+            hw_cosim.component("UI").summary
+        # timing differs (estimate vs measured ticks) but stays same-order
+        ratio = hardware.virtual_time / model.virtual_time
+        assert 0.2 < ratio < 5.0
+
+    def test_hardware_modem_in_split_topology(self):
+        """Migration composes with distribution: the fabricated chip on
+        the remote node, just like Fig. 6's remote operation."""
+        cosim, deployment, page = build_split(config("hardware"),
+                                              network=LAN)
+        result = run_page_load(cosim, location="remote", level="packet")
+        assert result.bytes_loaded == page.total_bytes
+        assert result.messages > 0
+
+    def test_hardware_modem_supports_checkpoints(self):
+        cosim, __, ___ = build_local(config("hardware"))
+        cosim.start()
+        cosim.run(until=0.05)
+        snap_id = cosim.snapshot()
+        cosim.run()
+        ui_after = cosim.component("UI").page_loaded_at
+        cosim.recovery.rollback_to(cosim.registry.snapshots[snap_id])
+        assert cosim.component("UI").page_loaded_at is None
+        cosim.run()
+        assert cosim.component("UI").page_loaded_at == ui_after
+
+    def test_unknown_backend_rejected(self):
+        from repro.apps import build_design
+        from repro.core import SimulationError
+        with pytest.raises(SimulationError):
+            build_design(config("quantum"))

@@ -1,0 +1,60 @@
+"""The shipped WubbleU run-control file drives the real system."""
+
+import os
+
+import pytest
+
+from repro.apps import WubbleUConfig, build_split
+from repro.core.runcontrol import load
+from repro.transport import LAN
+
+RUNCONTROL = os.path.join(os.path.dirname(__file__), "..", "..",
+                          "examples", "wubbleu.runcontrol")
+
+SMALL = dict(total_bytes=12_000, image_count=2, image_size=48)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    return load(RUNCONTROL)
+
+
+class TestShippedFile:
+    def test_parses(self, loaded):
+        assert loaded.runlevels == {"Stack.bus": "word",
+                                    "NetIf.bus": "word"}
+        assert len(loaded.switchpoints) == 1
+        assert "link" in loaded.sliders
+        assert loaded.checkpoint_interval == 0.2
+        assert loaded.until == 2.0
+
+    def test_drives_the_split_system(self, loaded):
+        cosim, __, page = build_split(WubbleUConfig(level="packet", **SMALL),
+                                      network=LAN)
+        sliders = loaded.apply(cosim)
+        # initial levels from the file override the builder's
+        assert cosim.component("Stack").interface("bus").level == "word"
+        cosim.run(until=loaded.until)
+        ui = cosim.component("UI")
+        assert ui.page_loaded_at is not None
+        assert ui.page_loaded_at <= loaded.until
+        # the selective-focus switchpoint fired mid-load
+        assert cosim.component("Stack").interface("bus").level == "packet"
+        assert len(cosim.switchpoints.history) == 1
+        # the checkpoint cadence produced snapshots
+        assert cosim.registry.completed()
+        # and the slider is live for interactive use
+        assert sliders["link"].levels == ["transaction", "packet", "word"]
+
+    def test_selective_focus_saved_traffic(self, loaded):
+        baseline_cosim, __, ___ = build_split(
+            WubbleUConfig(level="word", **SMALL), network=LAN)
+        baseline_cosim.run()
+        baseline = baseline_cosim.transport.accounting.total_messages
+
+        controlled_cosim, __, ___ = build_split(
+            WubbleUConfig(level="packet", **SMALL), network=LAN)
+        loaded.apply(controlled_cosim)
+        controlled_cosim.run(until=loaded.until)
+        controlled = controlled_cosim.transport.accounting.total_messages
+        assert controlled < baseline / 3

@@ -1,0 +1,66 @@
+"""WubbleU on the thread-per-node executor: the paper's real deployment.
+
+The evaluation ran the split WubbleU on two workstations as separate
+processes; this test runs the same split on two OS threads joined by the
+transport, and checks the result matches the deterministic cooperative
+executor."""
+
+import pytest
+
+from repro.apps import ASSIGN_SPLIT, WubbleUConfig, build_design
+from repro.distributed import ThreadedCoSimulation
+from repro.distributed.partition import deploy as coop_deploy
+
+SMALL = dict(total_bytes=8_000, image_count=1, image_size=48)
+
+
+def _deploy_threaded(config):
+    """Hand-roll the split deployment on the threaded runner (deploy()
+    targets the cooperative executor's node factory)."""
+    design, page = build_design(config)
+    runner = ThreadedCoSimulation()
+    handheld = runner.add_subsystem(runner.add_node("host-a"), "handheld")
+    cellsite = runner.add_subsystem(runner.add_node("host-b"), "cellsite")
+    homes = {"handheld": handheld, "cellsite": cellsite}
+    for name, component in design.components.items():
+        homes[ASSIGN_SPLIT[name]].add(component)
+    channel = None
+    for spec in sorted(design.nets.values(), key=lambda s: s.name):
+        sides = {}
+        for comp_name, port_name in spec.endpoints:
+            home = ASSIGN_SPLIT[comp_name]
+            sides.setdefault(home, []).append(
+                design.components[comp_name].port(port_name))
+        if len(sides) == 1:
+            home = next(iter(sides))
+            homes[home].wire(spec.name, *sides[home], delay=spec.delay)
+            continue
+        if channel is None:
+            channel = runner.connect(handheld, cellsite)
+        halves = {}
+        for home, ports in sides.items():
+            halves[home] = homes[home].wire(spec.name, *ports,
+                                            delay=spec.delay)
+        channel.split_net(halves["handheld"], halves["cellsite"])
+    return runner, design, page
+
+
+def test_threaded_split_matches_cooperative():
+    config = WubbleUConfig(level="packet", **SMALL)
+    runner, design, page = _deploy_threaded(config)
+    runner.run(timeout=90.0)
+    ui = design.components["UI"]
+    assert ui.page_loaded_at is not None
+    threaded_time = ui.page_loaded_at
+    threaded_bytes = design.components["Browser"].bytes_received
+    assert threaded_bytes == page.total_bytes
+
+    # cooperative reference
+    from repro.distributed import CoSimulation
+    config2 = WubbleUConfig(level="packet", **SMALL)
+    design2, page2 = build_design(config2)
+    cosim = CoSimulation()
+    coop_deploy(design2, ASSIGN_SPLIT, cosim)
+    cosim.run()
+    assert design2.components["UI"].page_loaded_at == \
+        pytest.approx(threaded_time)

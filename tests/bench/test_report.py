@@ -1,0 +1,77 @@
+"""The system activity report."""
+
+import pytest
+
+from repro.apps import WubbleUConfig, build_local, build_split, run_page_load
+from repro.bench.report import ActivityReport, activity_report
+from repro.core import Advance, FunctionComponent, Receive, Send, Simulator
+from repro.transport import LAN
+
+SMALL = dict(total_bytes=12_000, image_count=2, image_size=48)
+
+
+class TestSingleHostReport:
+    def _run(self):
+        sim = Simulator("demo")
+
+        def produce(comp):
+            for i in range(3):
+                yield Advance(1.0)
+                yield Send("out", i)
+
+        def consume(comp):
+            for __ in range(3):
+                yield Receive("in")
+
+        p = sim.add(FunctionComponent("p", produce, ports={"out": "out"}))
+        c = sim.add(FunctionComponent("c", consume, ports={"in": "in"}))
+        sim.wire("w", p.port("out"), c.port("in"))
+        sim.run()
+        sim.checkpoint()
+        return sim
+
+    def test_collects_everything(self):
+        report = activity_report(self._run())
+        assert report.title == "demo"
+        assert [row["name"] for row in report.components] == ["c", "p"]
+        assert report.subsystems[0]["checkpoints"] == 1
+        assert report.nets[0]["posts"] == 3
+        statuses = {row["name"]: row["status"] for row in report.components}
+        assert statuses == {"p": "finished", "c": "finished"}
+
+    def test_render_contains_tables(self):
+        text = activity_report(self._run()).render()
+        assert "demo: subsystems" in text
+        assert "demo: components" in text
+        assert "demo: nets" in text
+
+
+class TestDistributedReport:
+    def test_wubbleu_split_report(self):
+        cosim, __, ___ = build_split(WubbleUConfig(level="packet", **SMALL),
+                                     network=LAN)
+        run_page_load(cosim, location="remote", level="packet")
+        report = activity_report(cosim, title="wubbleu")
+        names = {row["name"] for row in report.components}
+        assert {"UI", "Browser", "NetIf", "Origin"} <= names
+        assert not any(name.startswith("__channel") for name in names)
+        assert len(report.channels) == 2           # one endpoint per side
+        for row in report.channels:
+            assert row["mode"] == "conservative"
+            assert row["forwarded"] > 0 or row["injected"] > 0
+        interfaces = {row["name"]: row for row in report.interfaces}
+        assert interfaces["NetIf.bus"]["payload"] >= 12_000
+        text = report.render()
+        assert "wubbleu: channels" in text
+
+    def test_local_wubbleu_has_no_channels(self):
+        cosim, __, ___ = build_local(WubbleUConfig(level="packet", **SMALL))
+        run_page_load(cosim, location="local", level="packet")
+        report = activity_report(cosim)
+        assert report.channels == []
+
+
+class TestErrors:
+    def test_wrong_target_type(self):
+        with pytest.raises(TypeError):
+            activity_report(42)

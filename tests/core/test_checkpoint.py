@@ -1,0 +1,245 @@
+"""Checkpoint/restore: full images, replay, incremental stores."""
+
+import pytest
+
+from repro.core import (
+    Advance,
+    CheckpointError,
+    FunctionComponent,
+    IncrementalCheckpointStore,
+    NoSuchCheckpointError,
+    PortDirection,
+    ProcessComponent,
+    ReactiveComponent,
+    Receive,
+    Send,
+    Simulator,
+)
+
+
+class Accumulator(ProcessComponent):
+    def __init__(self, name):
+        super().__init__(name)
+        self.seen = []
+        self.add_port("in", PortDirection.IN)
+
+    def run(self):
+        while True:
+            t, v = yield Receive("in")
+            self.seen.append((t, v))
+
+
+class Ticker(ProcessComponent):
+    def __init__(self, name, count=10):
+        super().__init__(name)
+        self.count = count
+        self.add_port("out", PortDirection.OUT)
+
+    def run(self):
+        for i in range(self.count):
+            yield Advance(1.0)
+            yield Send("out", i)
+
+
+def build():
+    sim = Simulator()
+    ticker = sim.add(Ticker("ticker"))
+    acc = sim.add(Accumulator("acc"))
+    sim.wire("n", ticker.port("out"), acc.port("in"))
+    return sim, ticker, acc
+
+
+class TestProcessReplayCheckpoint:
+    def test_restore_rewinds_state_and_time(self):
+        sim, ticker, acc = build()
+        sim.run(until=3.0)
+        cid = sim.checkpoint("mid")
+        state_at_ckpt = list(acc.seen)
+        sim.run()
+        assert len(acc.seen) == 10
+        sim.restore(cid)
+        assert acc.seen == state_at_ckpt
+        assert sim.now == 3.0
+        assert acc.local_time == 3.0
+
+    def test_reexecution_after_restore_matches_original(self):
+        sim, ticker, acc = build()
+        sim.run(until=4.0)
+        cid = sim.checkpoint()
+        sim.run()
+        original = list(acc.seen)
+        sim.restore(cid)
+        sim.run()
+        assert acc.seen == original
+
+    def test_restore_before_any_delivery(self):
+        sim, ticker, acc = build()
+        cid = sim.checkpoint("start")
+        sim.run()
+        sim.restore(cid)
+        assert acc.seen == []
+        sim.run()
+        assert len(acc.seen) == 10
+
+    def test_multiple_restores_of_same_checkpoint(self):
+        sim, ticker, acc = build()
+        sim.run(until=5.0)
+        cid = sim.checkpoint()
+        for __ in range(3):
+            sim.run()
+            assert len(acc.seen) == 10
+            sim.restore(cid)
+            assert len(acc.seen) == 5
+
+    def test_restore_unknown_id_raises(self):
+        sim, *_ = build()
+        with pytest.raises(NoSuchCheckpointError):
+            sim.restore(999)
+
+    def test_checkpoint_of_finished_component(self):
+        sim, ticker, acc = build()
+        sim.run()
+        assert ticker.finished
+        cid = sim.checkpoint()
+        sim.restore(cid)
+        assert ticker.finished
+        assert acc.seen[-1] == (10.0, 9)
+
+    def test_replay_detects_nondeterminism(self):
+        import itertools
+        counter = itertools.count()   # external state: NOT checkpointed
+
+        class Fickle(ProcessComponent):
+            def run(self):
+                yield Advance(1.0)
+                if next(counter) > 0:   # behaves differently on re-run
+                    t, v = yield Receive("nope")
+
+        sim = Simulator()
+        fickle = sim.add(Fickle("fickle"))
+        fickle.add_port("nope", PortDirection.IN)
+        sim.run()
+        cid = sim.checkpoint()
+        with pytest.raises(CheckpointError):
+            sim.restore(cid)
+
+
+class TestReactiveCheckpoint:
+    def test_reactive_state_roundtrip(self):
+        class Summer(ReactiveComponent):
+            def __init__(self, name):
+                super().__init__(name)
+                self.total = 0
+                self.log = []
+                self.add_port("in", PortDirection.IN)
+
+            def on_event(self, port, time, value):
+                self.total += value
+                self.log.append(value)
+
+        sim = Simulator()
+        summer = sim.add(Summer("sum"))
+        ticker = sim.add(Ticker("ticker", count=6))
+        sim.wire("n", ticker.port("out"), summer.port("in"))
+        sim.run(until=3.0)
+        cid = sim.checkpoint()
+        assert summer.total == 3        # 0+1+2
+        sim.run()
+        assert summer.total == 15
+        sim.restore(cid)
+        assert summer.total == 3
+        assert summer.log == [0, 1, 2]
+        sim.run()
+        assert summer.total == 15
+
+    def test_rng_state_restored(self):
+        class Dice(ReactiveComponent):
+            def __init__(self, name):
+                super().__init__(name)
+                self.rolls = []
+                self.add_port("in", PortDirection.IN)
+
+            def on_event(self, port, time, value):
+                self.rolls.append(self.rng.randint(1, 6))
+
+        sim = Simulator()
+        dice = sim.add(Dice("dice"))
+        ticker = sim.add(Ticker("ticker", count=8))
+        sim.wire("n", ticker.port("out"), dice.port("in"))
+        sim.run(until=4.0)
+        cid = sim.checkpoint()
+        sim.run()
+        original = list(dice.rolls)
+        sim.restore(cid)
+        sim.run()
+        assert dice.rolls == original
+
+
+class TestAutoCheckpointAndStores:
+    def test_auto_checkpoint_takes_periodic_images(self):
+        sim, *_ = build()
+        sim.auto_checkpoint(2.0)
+        sim.run()
+        store = sim.subsystem.checkpoints
+        times = sorted(store.image(cid).time for cid in store.ids())
+        assert times == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_latest_at_or_before(self):
+        sim, *_ = build()
+        sim.auto_checkpoint(2.0)
+        sim.run()
+        store = sim.subsystem.checkpoints
+        cid = store.latest_at_or_before(5.0)
+        assert store.image(cid).time == 4.0
+        assert store.latest_at_or_before(0.5) is None
+
+    def test_keep_last_prunes(self):
+        from repro.core import CheckpointStore
+        sim = Simulator(checkpoint_store=CheckpointStore(keep_last=2))
+        ticker = sim.add(Ticker("ticker"))
+        acc = sim.add(Accumulator("acc"))
+        sim.wire("n", ticker.port("out"), acc.port("in"))
+        sim.auto_checkpoint(1.0)
+        sim.run()
+        assert len(sim.subsystem.checkpoints) == 2
+
+    def test_incremental_store_restores_identically(self):
+        store = IncrementalCheckpointStore(full_every=3)
+        sim = Simulator(checkpoint_store=store)
+        ticker = sim.add(Ticker("ticker"))
+        acc = sim.add(Accumulator("acc"))
+        sim.wire("n", ticker.port("out"), acc.port("in"))
+        cids = []
+        for t in [2.0, 4.0, 6.0, 8.0]:
+            sim.run(until=t)
+            cids.append(sim.checkpoint())
+        sim.run()
+        final = list(acc.seen)
+        sim.restore(cids[1])            # a delta record
+        assert len(acc.seen) == 4
+        sim.run()
+        assert acc.seen == final
+        sim.restore(cids[3])
+        assert len(acc.seen) == 8
+
+    def test_incremental_store_is_smaller_than_full(self):
+        def run_with(store):
+            sim = Simulator(checkpoint_store=store)
+            ticker = sim.add(Ticker("ticker", count=40))
+            acc = sim.add(Accumulator("acc"))
+            # Give the accumulator bulky, mostly-constant state.
+            acc.bulk = list(range(5000))
+            sim.wire("n", ticker.port("out"), acc.port("in"))
+            for t in range(2, 40, 2):
+                sim.run(until=float(t))
+                sim.checkpoint()
+            return store.storage_bytes()
+
+        from repro.core import CheckpointStore
+        full = run_with(CheckpointStore())
+        incremental = run_with(IncrementalCheckpointStore(full_every=100))
+        assert incremental < full / 3
+
+    def test_incremental_rejects_pruning(self):
+        with pytest.raises(CheckpointError):
+            IncrementalCheckpointStore(keep_last=3)

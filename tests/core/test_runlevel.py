@@ -1,0 +1,210 @@
+"""Switchpoint parsing/evaluation, sliders, imperative switches."""
+
+import pytest
+
+from repro.core import (
+    Advance,
+    FunctionComponent,
+    RunLevelError,
+    Simulator,
+    SwitchLevel,
+    SwitchpointSyntaxError,
+    parse_switchpoint,
+)
+from repro.core.runlevel import (
+    And,
+    Comparison,
+    LocalTimeRef,
+    Or,
+    SignalRef,
+    SwitchpointEnvironment,
+)
+
+
+class TestParser:
+    def test_paper_example(self):
+        sp = parse_switchpoint(
+            "when I2CComponent.localtime >= 67: "
+            "I2CComponent -> hardwareLevel, VidCamComponent -> byteLevel")
+        assert sp.condition == Comparison(LocalTimeRef("I2CComponent"), ">=", 67)
+        assert sp.assignments == [("I2CComponent", "hardwareLevel"),
+                                  ("VidCamComponent", "byteLevel")]
+
+    def test_when_keyword_optional(self):
+        sp = parse_switchpoint("A.localtime > 5: A -> fast")
+        assert sp.assignments == [("A", "fast")]
+
+    def test_conjunction_and_disjunction(self):
+        sp = parse_switchpoint(
+            "A.localtime >= 1 and (B.localtime >= 2 or C.localtime < 3): "
+            "A -> x")
+        assert isinstance(sp.condition, And)
+        assert isinstance(sp.condition.terms[1], Or)
+
+    def test_signal_reference(self):
+        sp = parse_switchpoint("net.irq == 1: Cpu -> hardwareLevel")
+        assert sp.condition == Comparison(SignalRef("irq"), "==", 1)
+
+    def test_interface_target(self):
+        sp = parse_switchpoint("A.localtime >= 0: A.bus -> word")
+        assert sp.assignments == [("A.bus", "word")]
+
+    def test_float_and_string_values(self):
+        sp = parse_switchpoint("A.localtime >= 1.5: A -> x")
+        assert sp.condition.value == 1.5
+        sp = parse_switchpoint('net.mode == "idle": A -> x')
+        assert sp.condition.value == "idle"
+
+    @pytest.mark.parametrize("bad", [
+        "A.localtime >= : A -> x",
+        "A.localtime 5: A -> x",
+        "A.localtime >= 5",
+        "A.localtime >= 5: A ->",
+        "A.weird >= 5: A -> x",
+        "A.localtime >= 5: A -> x garbage",
+        ": A -> x",
+        "A.localtime >= 5: A -> x,",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SwitchpointSyntaxError):
+            parse_switchpoint(bad)
+
+    def test_evaluation(self):
+        env = SwitchpointEnvironment(
+            local_time={"A": 10.0, "B": 1.0}.__getitem__,
+            signal={"irq": 1}.__getitem__)
+        assert parse_switchpoint("A.localtime >= 5: A -> x").evaluate(env)
+        assert not parse_switchpoint("B.localtime >= 5: A -> x").evaluate(env)
+        assert parse_switchpoint(
+            "B.localtime >= 5 or net.irq == 1: A -> x").evaluate(env)
+        assert not parse_switchpoint(
+            "B.localtime >= 5 and net.irq == 1: A -> x").evaluate(env)
+
+
+def _two_level_system():
+    """Two wait-looping components whose local times tick up one second at
+    a time, generating an event (and a switchpoint poll) per tick."""
+    from repro.core import WaitUntil
+
+    sim = Simulator()
+
+    def worker(comp):
+        for __ in range(100):
+            yield WaitUntil(comp.local_time + 1.0)
+
+    a = sim.add(FunctionComponent("A", worker))
+    b = sim.add(FunctionComponent("B", worker))
+    return sim, a, b
+
+
+class TestSwitchpointFiring:
+    def test_fires_on_local_time(self):
+        sim = Simulator()
+        from repro.core import Interface
+        from repro.protocols import i2c_protocol
+
+        def chatter(comp):
+            from repro.core import Transfer, WaitUntil
+            for __ in range(30):
+                # Block each round so local time tracks system time and the
+                # switch is observed mid-run rather than at start-up.
+                yield WaitUntil(comp.local_time + 10.0)
+                yield Transfer("link", b"ab")
+
+        def sink(comp):
+            while True:
+                from repro.core import ReceiveTransfer
+                yield ReceiveTransfer("link")
+
+        i2c = FunctionComponent("I2CComponent", chatter)
+        i2c.add_interface(Interface("link", i2c_protocol(),
+                                    out_port="out", level="byteLevel"))
+        cam = FunctionComponent("VidCamComponent", sink)
+        cam.add_interface(Interface("link", i2c_protocol(),
+                                    in_port="in", level="byteLevel"))
+        sim.add(i2c)
+        sim.add(cam)
+        sim.wire("n", i2c.port("out"), cam.port("in"))
+        sim.add_switchpoint(
+            "when I2CComponent.localtime >= 67: "
+            "I2CComponent -> hardwareLevel, VidCamComponent -> hardwareLevel")
+        sim.run()
+        assert i2c.interface("link").level == "hardwareLevel"
+        assert i2c.runlevel == "hardwareLevel"
+        assert len(sim.switchpoints.history) == 1
+        fired_at = sim.switchpoints.history[0][0]
+        assert fired_at >= 67.0
+
+    def test_once_semantics(self):
+        sim, a, b = _two_level_system()
+        fired = []
+        sim.switchpoints.apply = lambda t, l: fired.append((t, l))
+        sim.add_switchpoint("A.localtime >= 5: A -> fast")
+        sim.run(until=50.0)
+        assert fired == [("A", "fast")]
+
+    def test_repeating_switchpoint(self):
+        sim, a, b = _two_level_system()
+        fired = []
+        sim.switchpoints.apply = lambda t, l: fired.append((t, l))
+        sim.add_switchpoint("A.localtime >= 5: A -> fast", once=False)
+        sim.run(until=10.0)
+        assert len(fired) > 1
+
+
+class TestSliderAndImperative:
+    def test_slider_moves_levels(self):
+        sim = Simulator()
+        from repro.core import Interface
+        from repro.protocols import packet_protocol
+
+        def idle(comp):
+            yield Advance(1.0)
+
+        a = FunctionComponent("A", idle)
+        a.add_interface(Interface("bus", packet_protocol(), out_port="o"))
+        sim.add(a)
+        slider = sim.slider(["A.bus"], ["transaction", "packet", "word"])
+        assert slider.level == "transaction"
+        slider.set(0)
+        assert a.interface("bus").level == "transaction"
+        slider.more_detail()
+        assert a.interface("bus").level == "packet"
+        slider.more_detail()
+        slider.more_detail()   # clamps at most detailed
+        assert a.interface("bus").level == "word"
+        slider.less_detail()
+        assert a.interface("bus").level == "packet"
+        with pytest.raises(RunLevelError):
+            slider.set(5)
+
+    def test_imperative_switch_statement(self):
+        sim = Simulator()
+        from repro.core import Interface
+        from repro.protocols import packet_protocol
+
+        def behaviour(comp):
+            yield Advance(1.0)
+            yield SwitchLevel("word", target="A.bus")
+
+        a = FunctionComponent("A", behaviour)
+        a.add_interface(Interface("bus", packet_protocol(), out_port="o"))
+        sim.add(a)
+        sim.run()
+        assert a.interface("bus").level == "word"
+
+    def test_unknown_level_raises(self):
+        sim = Simulator()
+        from repro.core import Interface
+        from repro.protocols import packet_protocol
+
+        def idle(comp):
+            yield Advance(1.0)
+
+        a = FunctionComponent("A", idle)
+        a.add_interface(Interface("bus", packet_protocol(), out_port="o"))
+        sim.add(a)
+        with pytest.raises(RunLevelError):
+            sim.set_runlevel("A.bus", "nonsense")
+        with pytest.raises(RunLevelError):
+            sim.set_runlevel("A", "nonsense")

@@ -1,0 +1,179 @@
+"""Scheduler mechanics and the remaining process commands."""
+
+import pytest
+
+from repro.core import (
+    Advance,
+    CausalityError,
+    Event,
+    EventKind,
+    FunctionComponent,
+    PortDirection,
+    ProcessComponent,
+    Receive,
+    SaveCheckpoint,
+    Send,
+    Simulator,
+    Subsystem,
+    SwitchLevel,
+    Timestamp,
+)
+
+
+def idle(comp):
+    yield Advance(1.0)
+
+
+class TestSchedulerMechanics:
+    def _loaded_subsystem(self):
+        subsystem = Subsystem("ss")
+        fired = []
+
+        def make(tag):
+            def control(event):
+                fired.append((tag, event.ts.time))
+            return control
+
+        for time, tag in [(3.0, "c"), (1.0, "a"), (2.0, "b")]:
+            subsystem.scheduler.schedule(
+                Event(Timestamp(time), EventKind.CONTROL, target=make(tag)))
+        return subsystem, fired
+
+    def test_control_events_dispatch_in_order(self):
+        subsystem, fired = self._loaded_subsystem()
+        subsystem.run()
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        assert subsystem.scheduler.dispatched == 3
+
+    def test_max_events(self):
+        subsystem, fired = self._loaded_subsystem()
+        subsystem.run(max_events=2)
+        assert len(fired) == 2
+
+    def test_until_bound_inclusive(self):
+        subsystem, fired = self._loaded_subsystem()
+        subsystem.run(until=2.0)
+        assert [t for __, t in fired] == [1.0, 2.0]
+
+    def test_callable_horizon_reevaluated_per_event(self):
+        """A horizon that collapses after the first dispatch stops the
+        run immediately — the echo-bound mechanism in miniature."""
+        subsystem, fired = self._loaded_subsystem()
+        state = {"limit": 10.0}
+
+        def horizon():
+            return state["limit"]
+
+        def clamp(event):
+            state["limit"] = event.ts.time     # no further progress
+
+        subsystem.scheduler.schedule(
+            Event(Timestamp(0.5), EventKind.CONTROL, target=clamp))
+        count = subsystem.run(horizon=horizon)
+        assert count == 1                      # only the clamp ran
+        assert subsystem.scheduler.stalls == 1
+
+    def test_scheduling_into_past_raises(self):
+        subsystem, __ = self._loaded_subsystem()
+        subsystem.run()
+        with pytest.raises(CausalityError):
+            subsystem.scheduler.schedule(
+                Event(Timestamp(0.5), EventKind.CONTROL, target=lambda e: None))
+
+    def test_post_step_hooks_see_each_event(self):
+        subsystem, __ = self._loaded_subsystem()
+        seen = []
+        subsystem.scheduler.post_step_hooks.append(
+            lambda event: seen.append(event.ts.time))
+        subsystem.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+
+class TestSaveCheckpointCommand:
+    def test_component_requests_checkpoint(self):
+        """A behaviour saves a checkpoint right before risky work —
+        imperative checkpointing from inside the source."""
+        sim = Simulator()
+
+        class Careful(ProcessComponent):
+            def __init__(self, name):
+                super().__init__(name)
+                self.progress = []
+                self.add_port("in", PortDirection.IN)
+
+            def run(self):
+                t, v = yield Receive("in")
+                self.progress.append(v)
+                yield SaveCheckpoint(label="before-risky")
+                t, v = yield Receive("in")
+                self.progress.append(v)
+
+        def feeder(comp):
+            for value in (1, 2):
+                yield Advance(1.0)
+                yield Send("out", value)
+
+        careful = sim.add(Careful("careful"))
+        feed = sim.add(FunctionComponent("feed", feeder,
+                                         ports={"out": "out"}))
+        sim.wire("w", feed.port("out"), careful.port("in"))
+        sim.run()
+        store = sim.subsystem.checkpoints
+        assert len(store) == 1
+        cid = store.latest()
+        assert store.image(cid).label == "before-risky"
+        sim.restore(cid)
+        assert careful.progress == [1]
+        sim.run()
+        assert careful.progress == [1, 2]
+
+
+class TestSwitchLevelCommand:
+    def test_self_target(self):
+        from repro.core import Interface
+        from repro.protocols import packet_protocol
+        sim = Simulator()
+
+        class Switcher(ProcessComponent):
+            def __init__(self, name):
+                super().__init__(name)
+                self.add_interface(Interface("bus", packet_protocol(),
+                                             out_port="o"))
+
+            def run(self):
+                yield Advance(1.0)
+                yield SwitchLevel("word")      # target=None: myself
+
+        switcher = sim.add(Switcher("sw"))
+        sim.run()
+        assert switcher.runlevel == "word"
+        assert switcher.interface("bus").level == "word"
+
+    def test_switch_suppressed_during_replay(self):
+        """Restoring replays behaviour with side effects suppressed; the
+        level at the checkpoint comes from the component image, not from
+        re-executing the switch."""
+        from repro.core import Interface, WaitUntil
+        from repro.protocols import packet_protocol
+        sim = Simulator()
+
+        class Switcher(ProcessComponent):
+            def __init__(self, name):
+                super().__init__(name)
+                self.add_interface(Interface("bus", packet_protocol(),
+                                             out_port="o"))
+
+            def run(self):
+                yield WaitUntil(1.0)
+                yield SwitchLevel("word", target="sw.bus")
+                yield WaitUntil(5.0)
+
+        switcher = sim.add(Switcher("sw"))
+        sim.run(until=2.0)
+        assert switcher.interface("bus").level == "word"
+        cid = sim.checkpoint()
+        switcher.interface("bus").set_level("transaction")  # out-of-band
+        sim.restore(cid)
+        assert switcher.interface("bus").level == "word"
+        sim.run()
+        assert switcher.finished

@@ -1,0 +1,149 @@
+"""Debugging the system as a whole: the distributed debugger."""
+
+import pytest
+
+from repro.core import Advance, FunctionComponent, Receive, Send
+from repro.debug import DebuggerError
+from repro.debug.distributed import DistributedDebugger
+from repro.distributed import CoSimulation
+
+
+def build():
+    cosim = CoSimulation()
+    ss_a = cosim.add_subsystem(cosim.add_node("na"), "sa")
+    ss_b = cosim.add_subsystem(cosim.add_node("nb"), "sb")
+
+    def produce(comp):
+        for index in range(8):
+            yield Advance(1.0)
+            yield Send("out", index)
+
+    def consume(comp):
+        comp.got = []
+        for __ in range(8):
+            t, v = yield Receive("in")
+            comp.got.append(v)
+
+    p = FunctionComponent("p", produce, ports={"out": "out"})
+    c = FunctionComponent("c", consume, ports={"in": "in"})
+    ss_a.add(p)
+    ss_b.add(c)
+    channel = cosim.connect(ss_a, ss_b)
+    channel.split_net(ss_a.wire("w", p.port("out")),
+                      ss_b.wire("w", c.port("in")))
+    return cosim, c
+
+
+class TestGlobalBreakpoints:
+    def test_break_at_global_time(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        reason = debugger.run()   # no breakpoints: runs to completion
+        assert reason.finished
+
+    def test_break_on_signal_across_nodes(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        bp = debugger.break_on_signal("w", value=3)
+        reason = debugger.run()
+        assert not reason.finished
+        assert reason.event.payload == 3
+        assert consumer.got[-1] <= 3
+        resumed = debugger.run()
+        assert resumed.finished
+        assert consumer.got == list(range(8))
+
+    def test_break_at_subsystem_time(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        debugger.break_at_subsystem_time("sb", 4.0)
+        reason = debugger.run()
+        assert not reason.finished
+        assert cosim.subsystem("sb").now >= 4.0
+
+    def test_break_at_component_local_time(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        debugger.break_at_local_time("c", 2.0)
+        reason = debugger.run()
+        assert not reason.finished
+        assert cosim.component("c").local_time >= 2.0
+
+    def test_break_when_predicate(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        debugger.break_when(lambda cs: len(cs.component("c").got) >= 5,
+                            description="five consumed")
+        reason = debugger.run()
+        assert not reason.finished
+        assert len(consumer.got) >= 5
+
+    def test_delete(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        bp = debugger.break_on_signal("w")
+        debugger.delete(bp.bp_id)
+        assert debugger.run().finished
+        with pytest.raises(DebuggerError):
+            debugger.delete(bp.bp_id)
+
+
+class TestGlobalInspection:
+    def test_where_spans_nodes(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        debugger.break_on_signal("w", value=2)
+        debugger.run()
+        text = debugger.where()
+        assert "sa @ na" in text
+        assert "sb @ nb" in text
+        assert "p:" in text and "c:" in text
+        assert "__channel" not in text
+
+    def test_inspect_across_subsystems(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        debugger.break_on_signal("w", value=2)
+        debugger.run()
+        # The break fires on the first delivery of value 2 anywhere on the
+        # split net — possibly on the sender-side hidden port, before the
+        # consumer itself has received it.
+        assert debugger.inspect("c")["got"] in ([0, 1], [0, 1, 2])
+
+    def test_watch_both_halves(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        debugger.watch("w")
+        debugger.run()
+        # the source half posts, the destination half injects: both logged
+        sides = {record.net for record in debugger.watch_log}
+        assert sides == {"sa:w", "sb:w"}
+        with pytest.raises(DebuggerError):
+            debugger.watch("nonexistent")
+
+
+class TestDistributedTimeTravel:
+    def test_snapshot_and_rewind(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        debugger.break_on_signal("w", value=2)
+        debugger.run()
+        snap = debugger.snapshot()
+        assert debugger.run().finished
+        assert consumer.got == list(range(8))
+        rewound_to = debugger.rewind(snap)
+        assert len(consumer.got) <= 3
+        assert debugger.run().finished
+        assert consumer.got == list(range(8))
+
+    def test_rewind_without_snapshot(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        with pytest.raises(DebuggerError):
+            debugger.rewind()
+
+    def test_rewind_unknown_id(self):
+        cosim, consumer = build()
+        debugger = DistributedDebugger(cosim)
+        with pytest.raises(DebuggerError):
+            debugger.rewind("snap-99999")

@@ -1,0 +1,159 @@
+"""The VCD waveform tracer."""
+
+import pytest
+
+from repro.core import (
+    Advance,
+    FunctionComponent,
+    Receive,
+    Send,
+    Simulator,
+    WaitUntil,
+)
+from repro.debug import VcdError, VcdTracer
+from repro.debug.vcd import _identifier
+
+
+def build_and_run(tracer=None, values=(1, 2, 3)):
+    sim = Simulator()
+
+    def producer(comp):
+        for value in values:
+            yield Advance(1e-6)
+            yield Send("out", value)
+
+    def consumer(comp):
+        while True:
+            yield Receive("in")
+
+    p = sim.add(FunctionComponent("p", producer, ports={"out": "out"}))
+    c = sim.add(FunctionComponent("c", consumer, ports={"in": "in"}))
+    net = sim.wire("data", p.port("out"), c.port("in"))
+    if tracer is not None:
+        tracer.trace_net(net, width=8)
+    sim.run()
+    return sim
+
+
+class TestIdentifiers:
+    def test_first_ids(self):
+        assert _identifier(0) == "!"
+        assert _identifier(1) == '"'
+
+    def test_ids_unique_over_large_range(self):
+        ids = {_identifier(i) for i in range(5000)}
+        assert len(ids) == 5000
+
+    def test_multichar_rollover(self):
+        assert len(_identifier(94)) == 2
+
+
+class TestTracing:
+    def test_net_changes_recorded(self):
+        tracer = VcdTracer()
+        build_and_run(tracer)
+        assert tracer.change_count() == 3
+
+    def test_render_structure(self):
+        tracer = VcdTracer(timescale="1 ns", module="demo")
+        build_and_run(tracer)
+        text = tracer.render()
+        assert "$timescale 1 ns $end" in text
+        assert "$scope module demo $end" in text
+        assert "$var wire 8 ! data $end" in text
+        assert "$enddefinitions $end" in text
+        # changes at 1, 2, 3 microseconds = 1000, 2000, 3000 ns
+        assert "#1000" in text and "#3000" in text
+        assert "b1 !" in text and "b11 !" in text
+
+    def test_write_file(self, tmp_path):
+        tracer = VcdTracer()
+        build_and_run(tracer)
+        path = tracer.write(str(tmp_path / "wave.vcd"))
+        content = open(path).read()
+        assert content.startswith("$date")
+
+    def test_timescale_validation(self):
+        with pytest.raises(VcdError):
+            VcdTracer(timescale="1 parsec")
+
+    def test_duplicate_signal_rejected(self):
+        sim = Simulator()
+
+        def idle(comp):
+            yield Advance(1.0)
+
+        a = sim.add(FunctionComponent("a", idle, ports={"o": "out"}))
+        net = sim.wire("n", a.port("o"))
+        tracer = VcdTracer()
+        tracer.trace_net(net)
+        with pytest.raises(VcdError):
+            tracer.trace_net(net)
+
+    def test_value_encodings(self):
+        tracer = VcdTracer()
+        sim = Simulator()
+
+        def producer(comp):
+            for value in (True, 5, 2.5, b"abcd", {"x": 1}):
+                yield Advance(1e-6)
+                yield Send("out", value)
+
+        def consumer(comp):
+            while True:
+                yield Receive("in")
+
+        p = sim.add(FunctionComponent("p", producer, ports={"out": "out"}))
+        c = sim.add(FunctionComponent("c", consumer, ports={"in": "in"}))
+        net = sim.wire("mixed", p.port("out"), c.port("in"))
+        tracer.trace_net(net, width=8)
+        sim.run()
+        text = tracer.render()
+        assert "r2.5 !" in text              # float -> real
+        assert "b101 !" in text              # int -> vector
+        assert "b100 !" in text              # bytes -> length (4)
+
+    def test_negative_int_masked(self):
+        tracer = VcdTracer()
+        sim = Simulator()
+
+        def producer(comp):
+            yield Send("out", -1)
+
+        def consumer(comp):
+            yield Receive("in")
+
+        p = sim.add(FunctionComponent("p", producer, ports={"out": "out"}))
+        c = sim.add(FunctionComponent("c", consumer, ports={"in": "in"}))
+        net = sim.wire("neg", p.port("out"), c.port("in"))
+        tracer.trace_net(net, width=4)
+        sim.run()
+        assert "b1111 !" in tracer.render()
+
+
+class TestLocalTimeTraces:
+    def test_two_level_time_visualised(self):
+        """Component local times appear as real signals sampled alongside
+        net activity — the run-ahead is visible in the waveform."""
+        tracer = VcdTracer(timescale="1 us")
+        sim = Simulator()
+
+        def stepper(comp):
+            for __ in range(3):
+                yield WaitUntil(comp.local_time + 1e-6)
+                yield Send("out", 1)
+
+        def consumer(comp):
+            while True:
+                yield Receive("in")
+
+        p = sim.add(FunctionComponent("p", stepper, ports={"out": "out"}))
+        c = sim.add(FunctionComponent("c", consumer, ports={"in": "in"}))
+        net = sim.wire("tick", p.port("out"), c.port("in"))
+        tracer.trace_net(net, width=1)
+        tracer.trace_local_time(p)
+        sim.run()
+        text = tracer.render()
+        assert "$var real 64" in text
+        assert "p.localtime" in text
+        assert tracer.change_count() > 3

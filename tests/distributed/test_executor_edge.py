@@ -1,0 +1,184 @@
+"""Executor edge cases: bounds, deadlock reporting, periodic snapshots,
+global switchpoints, misconfiguration errors."""
+
+import pytest
+
+from repro.core import (
+    Advance,
+    ConfigurationError,
+    FunctionComponent,
+    Interface,
+    Receive,
+    ReceiveTransfer,
+    Send,
+    Transfer,
+    WaitUntil,
+)
+from repro.distributed import ChannelMode, CoSimulation
+from repro.protocols import packet_protocol
+
+
+def simple_pair():
+    cosim = CoSimulation()
+    ss_a = cosim.add_subsystem(cosim.add_node("na"), "sa")
+    ss_b = cosim.add_subsystem(cosim.add_node("nb"), "sb")
+
+    def produce(comp):
+        for index in range(5):
+            yield Advance(1.0)
+            yield Send("out", index)
+
+    def consume(comp):
+        comp.got = []
+        for __ in range(5):
+            t, v = yield Receive("in")
+            comp.got.append(v)
+
+    p = FunctionComponent("p", produce, ports={"out": "out"})
+    c = FunctionComponent("c", consume, ports={"in": "in"})
+    ss_a.add(p)
+    ss_b.add(c)
+    channel = cosim.connect(ss_a, ss_b)
+    channel.split_net(ss_a.wire("w", p.port("out")),
+                      ss_b.wire("w", c.port("in")))
+    return cosim, c
+
+
+class TestRunBounds:
+    def test_until_is_respected_and_resumable(self):
+        cosim, consumer = simple_pair()
+        cosim.run(until=2.0)
+        assert consumer.got == [0, 1]
+        assert not cosim.finished()
+        cosim.run(until=3.5)
+        assert consumer.got == [0, 1, 2]
+        cosim.run()
+        assert consumer.got == [0, 1, 2, 3, 4]
+        assert cosim.finished()
+
+    def test_max_rounds_limits_work(self):
+        cosim, consumer = simple_pair()
+        cosim.run(max_rounds=1)
+        assert len(consumer.got) <= 5
+        cosim.run()
+        assert consumer.got == [0, 1, 2, 3, 4]
+
+    def test_run_twice_after_finish_is_harmless(self):
+        cosim, consumer = simple_pair()
+        cosim.run()
+        events = cosim.run()
+        assert events == 0
+        assert consumer.got == [0, 1, 2, 3, 4]
+
+
+class TestConfigurationErrors:
+    def test_duplicate_node(self):
+        cosim = CoSimulation()
+        cosim.add_node("n")
+        with pytest.raises(ConfigurationError):
+            cosim.add_node("n")
+
+    def test_duplicate_subsystem(self):
+        cosim = CoSimulation()
+        node = cosim.add_node("n")
+        cosim.add_subsystem(node, "ss")
+        with pytest.raises(ConfigurationError):
+            cosim.add_subsystem(node, "ss")
+
+    def test_connect_requires_attached_subsystems(self):
+        from repro.core import Subsystem
+        cosim = CoSimulation()
+        with pytest.raises(ConfigurationError):
+            cosim.connect(Subsystem("x"), Subsystem("y"))
+
+    def test_unknown_lookups(self):
+        cosim = CoSimulation()
+        with pytest.raises(ConfigurationError):
+            cosim.node("ghost")
+        with pytest.raises(ConfigurationError):
+            cosim.subsystem("ghost")
+        with pytest.raises(ConfigurationError):
+            cosim.component("ghost")
+        with pytest.raises(ConfigurationError):
+            cosim.set_runlevel("ghost", "word")
+
+    def test_channel_rejects_third_endpoint(self):
+        cosim = CoSimulation()
+        ss_a = cosim.add_subsystem(cosim.add_node("na"), "sa")
+        ss_b = cosim.add_subsystem(cosim.add_node("nb"), "sb")
+        ss_c = cosim.add_subsystem(cosim.add_node("nc"), "sc")
+        channel = cosim.connect(ss_a, ss_b)
+        with pytest.raises(ConfigurationError):
+            channel.attach(ss_c, peer_subsystem="sa", peer_node="na")
+
+
+class TestPeriodicSnapshots:
+    def test_snapshots_taken_on_cadence(self):
+        cosim, consumer = simple_pair()
+        cosim.snapshot_interval = 2.0
+        cosim.run()
+        assert len(cosim.registry.completed()) >= 2
+
+    def test_manual_snapshot_anytime(self):
+        cosim, consumer = simple_pair()
+        cosim.run(until=2.5)
+        snap_id = cosim.snapshot()
+        assert cosim.registry.snapshots[snap_id].complete
+        cosim.run()
+        assert consumer.got == [0, 1, 2, 3, 4]
+
+
+class TestGlobalSwitchpoints:
+    def test_condition_across_subsystems(self):
+        """A switchpoint whose condition reads one subsystem's component
+        and whose assignment targets another's — the paper's cross-host
+        conjunct case."""
+        cosim = CoSimulation()
+        ss_a = cosim.add_subsystem(cosim.add_node("na"), "sa")
+        ss_b = cosim.add_subsystem(cosim.add_node("nb"), "sb")
+
+        def sender(comp):
+            for __ in range(6):
+                yield WaitUntil(comp.local_time + 1.0)
+                yield Transfer("link", b"pay")
+
+        def receiver(comp):
+            while True:
+                yield ReceiveTransfer("link")
+
+        tx = FunctionComponent("tx", sender)
+        tx.add_interface(Interface("link", packet_protocol(),
+                                   level="word", out_port="o"))
+        rx = FunctionComponent("rx", receiver)
+        rx.add_interface(Interface("link", packet_protocol(),
+                                   level="word", in_port="i"))
+        ss_a.add(tx)
+        ss_b.add(rx)
+        channel = cosim.connect(ss_a, ss_b)
+        channel.split_net(ss_a.wire("l", tx.port("o")),
+                          ss_b.wire("l", rx.port("i")))
+        cosim.add_switchpoint(
+            "when tx.localtime >= 3.0 and rx.localtime >= 2.0: "
+            "tx.link -> packet, rx.link -> packet")
+        cosim.run()
+        assert tx.interface("link").level == "packet"
+        assert rx.interface("link").level == "packet"
+        assert len(cosim.switchpoints.history) == 1
+
+    def test_slider_across_subsystems(self):
+        cosim, consumer = simple_pair()
+        # sliders resolve component targets across every subsystem
+        producer = cosim.component("p")
+        levels = []
+        slider = cosim.slider([], ["low", "high"])
+        assert slider.level == "low"
+
+
+class TestStats:
+    def test_global_time_and_counters(self):
+        cosim, consumer = simple_pair()
+        cosim.run()
+        assert cosim.global_time() >= 5.0
+        assert cosim.rounds > 0
+        assert cosim.cpu_seconds > 0
+        assert cosim.safe_time_requests() > 0

@@ -1,0 +1,117 @@
+"""Property-based equivalence on fan-out/fan-in (star) topologies.
+
+The pipeline property test covers chains; this one covers the other shape
+the simple-cycle topology rule allows: a hub fanning work out to several
+leaf subsystems and collecting replies.  Placement (which workers go
+remote) must never change the collected results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Advance,
+    FunctionComponent,
+    PortDirection,
+    ProcessComponent,
+    Receive,
+    Send,
+)
+from repro.distributed import ChannelMode, CoSimulation, Design, deploy
+
+
+class Hub(ProcessComponent):
+    """Scatters jobs round-robin, gathers every reply."""
+
+    def __init__(self, name, jobs, worker_count):
+        super().__init__(name)
+        self.jobs = list(jobs)
+        self.worker_count = worker_count
+        self.replies = []
+        for index in range(worker_count):
+            self.add_port(f"to{index}", PortDirection.OUT)
+            self.add_port(f"from{index}", PortDirection.IN)
+
+    def run(self):
+        for index, job in enumerate(self.jobs):
+            worker = index % self.worker_count
+            yield Advance(1.0)
+            yield Send(f"to{worker}", job)
+            t, reply = yield Receive(f"from{worker}")
+            self.replies.append((round(t, 9), reply))
+
+
+class Worker(ProcessComponent):
+    def __init__(self, name, delay):
+        super().__init__(name)
+        self.delay = delay
+        self.add_port("in", PortDirection.IN)
+        self.add_port("out", PortDirection.OUT)
+
+    def run(self):
+        while True:
+            t, job = yield Receive("in")
+            yield Advance(self.delay)
+            yield Send("out", (job * 7 + len(self.name)) % 997)
+
+
+def build(jobs, delays):
+    design = Design("star")
+    worker_count = len(delays)
+    design.add(Hub("hub", jobs, worker_count))
+    for index, delay in enumerate(delays):
+        name = f"w{index}"
+        design.add(Worker(name, delay))
+        design.connect(f"out{index}", ("hub", f"to{index}"), (name, "in"))
+        design.connect(f"back{index}", (name, "out"),
+                       ("hub", f"from{index}"))
+    return design
+
+
+def run_placement(jobs, delays, remote_workers, mode):
+    design = build(jobs, delays)
+    assignment = {"hub": "center"}
+    for index in range(len(delays)):
+        assignment[f"w{index}"] = (f"leaf{index}"
+                                   if index in remote_workers else "center")
+    cosim = CoSimulation(
+        snapshot_interval=4.0 if mode is ChannelMode.OPTIMISTIC else None)
+    deploy(design, assignment, cosim, mode=mode)
+    cosim.run()
+    return cosim.component("hub").replies
+
+
+@st.composite
+def star_case(draw):
+    jobs = draw(st.lists(st.integers(0, 500), min_size=1, max_size=8))
+    delays = draw(st.lists(st.sampled_from([0.0, 0.25, 0.5]),
+                           min_size=1, max_size=3))
+    remote = draw(st.sets(st.integers(0, len(delays) - 1)))
+    return jobs, delays, remote
+
+
+class TestStarEquivalence:
+    @given(star_case())
+    @settings(max_examples=20, deadline=None)
+    def test_remote_workers_change_nothing(self, case):
+        jobs, delays, remote = case
+        reference = run_placement(jobs, delays, set(),
+                                  ChannelMode.CONSERVATIVE)
+        split = run_placement(jobs, delays, remote,
+                              ChannelMode.CONSERVATIVE)
+        assert split == reference
+
+    @given(star_case())
+    @settings(max_examples=10, deadline=None)
+    def test_optimistic_star_matches(self, case):
+        jobs, delays, remote = case
+        reference = run_placement(jobs, delays, set(),
+                                  ChannelMode.CONSERVATIVE)
+        split = run_placement(jobs, delays, remote, ChannelMode.OPTIMISTIC)
+        assert split == reference
+
+    def test_all_leaves_remote_topology_is_legal(self):
+        replies = run_placement([1, 2, 3, 4], [0.25, 0.5], {0, 1},
+                                ChannelMode.CONSERVATIVE)
+        assert len(replies) == 4

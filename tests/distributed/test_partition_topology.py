@@ -1,0 +1,222 @@
+"""Net splitting by graph cut, partition suggestion, topology rules."""
+
+import pytest
+
+from repro.core import (
+    Advance,
+    ConfigurationError,
+    FunctionComponent,
+    PortDirection,
+    Receive,
+    Send,
+    TopologyError,
+)
+from repro.distributed import (
+    ChannelMode,
+    CoSimulation,
+    Design,
+    deploy,
+    suggest_partition,
+)
+from repro.distributed import topology
+
+
+def _source(values):
+    def behave(comp):
+        for v in values:
+            yield Advance(1.0)
+            yield Send("out", v)
+    return behave
+
+
+def _sink(count):
+    def behave(comp):
+        comp.got = []
+        for __ in range(count):
+            t, v = yield Receive("in")
+            comp.got.append((t, v))
+    return behave
+
+
+def simple_design(values=(1, 2, 3)):
+    design = Design("d")
+    design.add(FunctionComponent("src", _source(list(values)),
+                                 ports={"out": "out"}))
+    design.add(FunctionComponent("dst", _sink(len(values)),
+                                 ports={"in": "in"}))
+    design.connect("wire", ("src", "out"), ("dst", "in"))
+    return design
+
+
+class TestDesign:
+    def test_duplicate_component_rejected(self):
+        design = simple_design()
+        with pytest.raises(ConfigurationError):
+            design.add(FunctionComponent("src", _source([])))
+
+    def test_connect_unknown_component(self):
+        design = simple_design()
+        with pytest.raises(ConfigurationError):
+            design.connect("w2", ("ghost", "out"))
+
+    def test_connect_unknown_port(self):
+        design = simple_design()
+        with pytest.raises(ConfigurationError):
+            design.connect("w2", ("src", "nope"))
+
+    def test_cut_nets(self):
+        design = simple_design()
+        assert design.cut_nets({"src": "a", "dst": "a"}) == []
+        assert design.cut_nets({"src": "a", "dst": "b"}) == ["wire"]
+
+    def test_component_graph_weights(self):
+        design = simple_design()
+        graph = design.component_graph(weights={"wire": 5.0})
+        assert graph["src"]["dst"]["weight"] == 5.0
+
+
+class TestDeploy:
+    def test_local_placement_runs(self):
+        design = simple_design()
+        cosim = CoSimulation()
+        deploy(design, {"src": "only", "dst": "only"}, cosim)
+        cosim.run()
+        assert cosim.component("dst").got == [(1.0, 1), (2.0, 2), (3.0, 3)]
+        assert not cosim.channels    # nothing split
+
+    def test_split_placement_runs_identically(self):
+        design = simple_design()
+        cosim = CoSimulation()
+        deployment = deploy(design, {"src": "a", "dst": "b"}, cosim)
+        assert deployment.splits == {"wire": ["a", "b"]}
+        cosim.run()
+        assert cosim.component("dst").got == [(1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_missing_assignment_rejected(self):
+        design = simple_design()
+        with pytest.raises(ConfigurationError):
+            deploy(design, {"src": "a"}, CoSimulation())
+
+    def test_hidden_ports_introduced_only_on_split(self):
+        design = simple_design()
+        cosim = CoSimulation()
+        deploy(design, {"src": "a", "dst": "b"}, cosim)
+        ss_a = cosim.subsystem("a")
+        hidden = [p for net in ss_a.nets.values() for p in net.ports
+                  if p.hidden]
+        assert len(hidden) == 1
+
+    def test_three_way_net_star_relay(self):
+        """A net spanning three subsystems relays through the root without
+        duplicate deliveries."""
+        design = Design()
+        design.add(FunctionComponent("src", _source([42]),
+                                     ports={"out": "out"}))
+        design.add(FunctionComponent("d1", _sink(1), ports={"in": "in"}))
+        design.add(FunctionComponent("d2", _sink(1), ports={"in": "in"}))
+        design.connect("bus", ("src", "out"), ("d1", "in"), ("d2", "in"))
+        cosim = CoSimulation()
+        deployment = deploy(design, {"src": "a", "d1": "b", "d2": "c"}, cosim)
+        assert deployment.splits["bus"] == ["a", "b", "c"]
+        cosim.run()
+        assert cosim.component("d1").got == [(1.0, 42)]
+        assert cosim.component("d2").got == [(1.0, 42)]
+
+    def test_no_pass_through_subsystems(self):
+        """The global view: a net between a and c must not touch b."""
+        design = Design()
+        design.add(FunctionComponent("src", _source([1]),
+                                     ports={"out": "out"}))
+        design.add(FunctionComponent("dst", _sink(1), ports={"in": "in"}))
+        design.add(FunctionComponent("bystander", _source([]),
+                                     ports={"out": "out"}))
+        design.connect("wire", ("src", "out"), ("dst", "in"))
+        cosim = CoSimulation()
+        deploy(design, {"src": "a", "bystander": "b", "dst": "c"}, cosim)
+        assert "wire" not in cosim.subsystem("b").nets
+
+    def test_placement_maps_subsystems_to_nodes(self):
+        design = simple_design()
+        cosim = CoSimulation()
+        deploy(design, {"src": "a", "dst": "b"}, cosim,
+               placement={"a": "seattle", "b": "boston"})
+        assert set(cosim.nodes) == {"seattle", "boston"}
+
+
+class TestSuggestPartition:
+    def test_bisection_balances_and_separates(self):
+        design = Design()
+        # two tightly coupled clusters joined by one thin wire
+        for cluster, names in (("l", ["l0", "l1", "l2"]),
+                               ("r", ["r0", "r1", "r2"])):
+            for name in names:
+                comp = FunctionComponent(name, _source([]))
+                comp.add_port("p", PortDirection.INOUT)
+                comp.add_port("q", PortDirection.INOUT)
+                design.add(comp)
+        design.connect("lc1", ("l0", "p"), ("l1", "p"))
+        design.connect("lc2", ("l1", "q"), ("l2", "p"))
+        design.connect("lc3", ("l0", "q"), ("l2", "q"))
+        design.connect("rc1", ("r0", "p"), ("r1", "p"))
+        design.connect("rc2", ("r1", "q"), ("r2", "p"))
+        design.connect("rc3", ("r0", "q"), ("r2", "q"))
+        design.connect("thin", ("l0", "p"), ("r0", "p"))
+        assignment = suggest_partition(design, seed=1)
+        homes = {assignment[n] for n in ["l0", "l1", "l2"]}
+        assert len(homes) == 1
+        other = {assignment[n] for n in ["r0", "r1", "r2"]}
+        assert len(other) == 1
+        assert homes != other
+
+    def test_single_component(self):
+        design = Design()
+        design.add(FunctionComponent("only", _source([])))
+        assert suggest_partition(design) == {"only": "ss0"}
+
+
+class TestTopologyRules:
+    def _chain(self, edges, directed_pairs):
+        """Build a cosim with given subsystem edges; directed_pairs maps
+        (a, b) -> True if traffic flows a->b only."""
+        cosim = CoSimulation()
+        subsystems = {}
+
+        def get_ss(name):
+            if name not in subsystems:
+                subsystems[name] = cosim.add_subsystem(
+                    cosim.add_node(f"n{name}"), name)
+            return subsystems[name]
+
+        made = []
+        for a, b in edges:
+            ss_a, ss_b = get_ss(a), get_ss(b)
+            src = FunctionComponent(f"src-{a}{b}", _source([]),
+                                    ports={"out": "out"})
+            dst = FunctionComponent(f"dst-{a}{b}", _sink(0),
+                                    ports={"in": "in"})
+            ss_a.add(src)
+            ss_b.add(dst)
+            channel = cosim.connect(ss_a, ss_b)
+            channel.split_net(ss_a.wire(f"w{a}{b}", src.port("out")),
+                              ss_b.wire(f"w{a}{b}", dst.port("in")))
+            made.append(channel)
+        return cosim
+
+    def test_pair_is_legal(self):
+        cosim = self._chain([("a", "b"), ("b", "a")], {})
+        cosim.validate_topology()   # no raise
+
+    def test_three_cycle_rejected(self):
+        cosim = self._chain([("a", "b"), ("b", "c"), ("c", "a")], {})
+        with pytest.raises(TopologyError):
+            cosim.validate_topology()
+
+    def test_tree_is_legal(self):
+        cosim = self._chain([("a", "b"), ("a", "c"), ("c", "d")], {})
+        graph = cosim.validate_topology()
+        assert set(graph.nodes) == {"a", "b", "c", "d"}
+
+    def test_run_validates_topology(self):
+        cosim = self._chain([("a", "b"), ("b", "c"), ("c", "a")], {})
+        with pytest.raises(TopologyError):
+            cosim.run()

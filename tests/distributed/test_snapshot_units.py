@@ -1,0 +1,85 @@
+"""Unit-level coverage of the snapshot data structures and registry."""
+
+import pytest
+
+from repro.distributed.snapshot import (
+    GlobalSnapshot,
+    SnapshotRegistry,
+    SubsystemCut,
+    new_snapshot_id,
+)
+from repro.transport import Message, MessageKind
+
+
+def _cut(snapshot_id, name, time, pending=()):
+    cut = SubsystemCut(snapshot_id, name, checkpoint_id=1, time=time)
+    cut.pending = set(pending)
+    cut.recorded = {channel: [] for channel in pending} or {}
+    return cut
+
+
+class TestSubsystemCut:
+    def test_complete_when_no_pending_marks(self):
+        cut = _cut("s", "ss", 1.0)
+        assert cut.complete
+        cut.pending.add("ch1")
+        assert not cut.complete
+
+
+class TestGlobalSnapshot:
+    def test_complete_requires_all_subsystems(self):
+        snap = GlobalSnapshot("s", expected={"a", "b"})
+        snap.cuts["a"] = _cut("s", "a", 1.0)
+        assert not snap.complete
+        snap.cuts["b"] = _cut("s", "b", 2.0)
+        assert snap.complete
+
+    def test_complete_requires_closed_channels(self):
+        snap = GlobalSnapshot("s", expected={"a"})
+        snap.cuts["a"] = _cut("s", "a", 1.0, pending=["ch"])
+        assert not snap.complete
+
+    def test_times(self):
+        snap = GlobalSnapshot("s", expected={"a", "b"})
+        snap.cuts["a"] = _cut("s", "a", 1.0)
+        snap.cuts["b"] = _cut("s", "b", 4.0)
+        assert snap.time_of("a") == 1.0
+        assert snap.max_time() == 4.0
+
+    def test_recorded_messages_flatten(self):
+        snap = GlobalSnapshot("s", expected={"a"})
+        cut = _cut("s", "a", 1.0)
+        cut.recorded = {"ch": [Message(MessageKind.SIGNAL, "x", "y",
+                                       channel="ch", time=0.5)]}
+        snap.cuts["a"] = cut
+        assert len(snap.recorded_messages()) == 1
+
+
+class TestRegistry:
+    def test_ensure_is_idempotent(self):
+        registry = SnapshotRegistry()
+        first = registry.ensure("s1", {"a"})
+        second = registry.ensure("s1", {"a", "b"})
+        assert first is second
+        assert first.expected == {"a"}     # first writer wins
+
+    def test_completed_sorted_by_time(self):
+        registry = SnapshotRegistry()
+        late = registry.ensure("late", {"a"})
+        late.cuts["a"] = _cut("late", "a", 9.0)
+        early = registry.ensure("early", {"a"})
+        early.cuts["a"] = _cut("early", "a", 2.0)
+        open_snap = registry.ensure("open", {"a"})
+        open_snap.cuts["a"] = _cut("open", "a", 5.0, pending=["ch"])
+        done = registry.completed()
+        assert [snap.snapshot_id for snap in done] == ["early", "late"]
+
+    def test_drop(self):
+        registry = SnapshotRegistry()
+        registry.ensure("s", {"a"})
+        registry.drop("s")
+        registry.drop("s")                 # idempotent
+        assert registry.snapshots == {}
+
+    def test_ids_unique(self):
+        assert new_snapshot_id() != new_snapshot_id()

@@ -1,0 +1,121 @@
+"""The gate-level circuit library on the simulated Pamette."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError
+from repro.hw import SimulatedPamette
+from repro.hw.circuits import (
+    LFSR_TAPS,
+    adder_bitstream,
+    lfsr_bitstream,
+    lfsr_reference,
+    shift_register_bitstream,
+)
+
+
+class TestShiftRegister:
+    def test_serial_in_parallel_out(self):
+        board = SimulatedPamette(shift_register_bitstream(4))
+        # shift in 1,0,1,1 (LSB-first through the chain)
+        for bit in (1, 0, 1, 1):
+            board.poke(0x10, bit)
+            board.run_for(1)
+        # s0 (LSB of the readback) holds the newest bit, s3 the oldest:
+        # in-order 1,0,1,1 reads back as s3..s0 = 1,0,1,1 -> 0b1011
+        assert board.peek(0x0) == 0b1011
+
+    def test_msb_irq_is_sync_detector(self):
+        board = SimulatedPamette(shift_register_bitstream(3, tap_irq=True))
+        board.poke(0x10, 1)
+        records = board.run_for(5)
+        # the 1 reaches the MSB after 3 clocks and stays (level held)
+        assert [r.tick for r in records] == [3]
+        assert records[0].line == "msb"
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shift_register_bitstream(0)
+
+
+class TestLfsr:
+    @pytest.mark.parametrize("bits", sorted(LFSR_TAPS))
+    def test_matches_software_reference(self, bits):
+        board = SimulatedPamette(lfsr_bitstream(bits, init=1))
+        expected = lfsr_reference(bits, 1, 30)
+        got = []
+        for __ in range(30):
+            board.run_for(1)
+            got.append(board.peek(0x0))
+        assert got == expected
+
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6, 7])
+    def test_maximal_period(self, bits):
+        """Canonical taps give the full 2^n - 1 cycle through every
+        non-zero state."""
+        board = SimulatedPamette(lfsr_bitstream(bits, init=1))
+        seen = set()
+        period = (1 << bits) - 1
+        for __ in range(period):
+            board.run_for(1)
+            seen.add(board.peek(0x0))
+        assert len(seen) == period
+        assert 0 not in seen
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            lfsr_bitstream(9)               # no canonical taps listed
+        with pytest.raises(ConfigurationError):
+            lfsr_bitstream(4, init=0)
+        with pytest.raises(ConfigurationError):
+            lfsr_bitstream(4, init=16)
+
+    @given(st.integers(min_value=1, max_value=255))
+    @settings(max_examples=20, deadline=None)
+    def test_any_seed_tracks_reference(self, init):
+        board = SimulatedPamette(lfsr_bitstream(8, init=init))
+        expected = lfsr_reference(8, init, 12)
+        got = []
+        for __ in range(12):
+            board.run_for(1)
+            got.append(board.peek(0x0))
+        assert got == expected
+
+
+class TestAdder:
+    def test_basic_addition(self):
+        board = SimulatedPamette(adder_bitstream(4))
+        board.poke(0x10, 7)
+        board.poke(0x14, 5)
+        board.run_for(1)                     # one clock to register
+        assert board.peek(0x0) == 12
+
+    def test_carry_out_in_top_bit(self):
+        board = SimulatedPamette(adder_bitstream(4))
+        board.poke(0x10, 15)
+        board.poke(0x14, 1)
+        board.run_for(1)
+        assert board.peek(0x0) == 16         # 0b1_0000: carry set
+
+    def test_registered_output_lags_inputs(self):
+        board = SimulatedPamette(adder_bitstream(4))
+        board.poke(0x10, 3)
+        board.poke(0x14, 4)
+        assert board.peek(0x0) == 0          # before the clock edge
+        board.run_for(1)
+        assert board.peek(0x0) == 7
+        board.poke(0x10, 9)
+        assert board.peek(0x0) == 7          # still the old sum
+        board.run_for(1)
+        assert board.peek(0x0) == 13
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_exhaustive_property(self, a, b):
+        board = SimulatedPamette(adder_bitstream(8))
+        board.poke(0x10, a)
+        board.poke(0x14, b)
+        board.run_for(1)
+        assert board.peek(0x0) == a + b

@@ -1,0 +1,278 @@
+"""Hardware in the loop: Pamette netlists, devices, remote servers."""
+
+import pytest
+
+from repro.core import (
+    Advance,
+    ConfigurationError,
+    FunctionComponent,
+    HardwareStubError,
+    Receive,
+    Send,
+    Simulator,
+)
+from repro.hw import (
+    REG_CONTROL,
+    REG_DATA,
+    REG_STATUS,
+    Bitstream,
+    HardwareComponent,
+    RemoteHardwareClient,
+    RemoteHardwareServer,
+    SimulatedPamette,
+    TimerDevice,
+    UartDevice,
+    counter_bitstream,
+)
+
+
+class TestBitstream:
+    def test_counter_counts(self):
+        board = SimulatedPamette(counter_bitstream(4))
+        board.run_for(5)
+        assert board.peek(0x0) == 5
+        board.run_for(11)
+        assert board.peek(0x0) == 0     # wrapped at 16
+
+    def test_wrap_interrupt(self):
+        board = SimulatedPamette(counter_bitstream(3, irq_on_wrap=True))
+        records = board.run_for(20)
+        # carry rises when count reaches 7: ticks 7 and 15.
+        assert [r.tick for r in records] == [7, 15]
+        assert all(r.line == "wrap" for r in records)
+
+    def test_stall_freezes_state_not_time(self):
+        board = SimulatedPamette(counter_bitstream(4))
+        board.run_for(3)
+        board.stall()
+        board.run_for(5)
+        assert board.read_time() == 8
+        assert board.peek(0x0) == 3
+        board.resume()
+        board.run_for(1)
+        assert board.peek(0x0) == 4
+
+    def test_input_register_feeds_logic(self):
+        bs = Bitstream("andbox")
+        bs.add_input_register(0x10, "a", 2)
+        bs.and_gate("y", "a[0]", "a[1]")
+        bs.add_output_register(0x20, ["y"])
+        board = SimulatedPamette(bs)
+        assert board.peek(0x20) == 0
+        board.poke(0x10, 0b11)
+        assert board.peek(0x20) == 1
+        board.poke(0x10, 0b01)
+        assert board.peek(0x20) == 0
+
+    def test_combinational_loop_rejected(self):
+        bs = Bitstream("loop")
+        bs.add_lut("a", ["b"], 0b01)
+        bs.add_lut("b", ["a"], 0b01)
+        with pytest.raises(ConfigurationError):
+            SimulatedPamette(bs)
+
+    def test_undriven_signal_rejected(self):
+        bs = Bitstream("dangling")
+        bs.add_lut("y", ["ghost"], 0b01)
+        with pytest.raises(ConfigurationError):
+            SimulatedPamette(bs)
+
+    def test_duplicate_driver_rejected(self):
+        bs = Bitstream("dup")
+        bs.add_input("x")
+        with pytest.raises(ConfigurationError):
+            bs.add_lut("x", [], 0)
+
+    def test_lut_width_enforced(self):
+        bs = Bitstream("wide")
+        for name in "abcde":
+            bs.add_input(name)
+        with pytest.raises(ConfigurationError):
+            bs.add_lut("y", list("abcde"), 0)
+
+    def test_peek_unknown_register(self):
+        board = SimulatedPamette(counter_bitstream(2))
+        with pytest.raises(HardwareStubError):
+            board.peek(0x99)
+        with pytest.raises(HardwareStubError):
+            board.poke(0x0, 1)      # counter reg is read-only
+
+
+class TestDevices:
+    def test_timer_fires_periodically(self):
+        timer = TimerDevice(period=10)
+        timer.poke(REG_CONTROL, 1)
+        records = timer.run_for(35)
+        assert [r.tick for r in records] == [10, 20, 30]
+        assert timer.peek(REG_STATUS) == 3
+
+    def test_timer_disabled_by_default(self):
+        timer = TimerDevice(period=5)
+        assert timer.run_for(20) == []
+
+    def test_uart_loopback_latency(self):
+        uart = UartDevice(divisor=4)        # 40 ticks per byte
+        uart.poke(REG_DATA, 0x55)
+        records = uart.run_for(100)
+        assert len(records) == 1
+        assert records[0].tick == 40
+        assert records[0].payload == 0x55
+        assert uart.peek(REG_STATUS) == 1
+        assert uart.peek(REG_DATA) == 0x55
+        assert uart.peek(REG_STATUS) == 0
+
+    def test_uart_fifo_order(self):
+        uart = UartDevice(divisor=1)
+        for b in [1, 2, 3]:
+            uart.poke(REG_DATA, b)
+        uart.run_for(100)
+        assert [uart.peek(REG_DATA) for __ in range(3)] == [1, 2, 3]
+
+
+class TestHardwareComponent:
+    def test_timer_interrupts_reach_simulation(self):
+        sim = Simulator()
+        timer = TimerDevice(clock_hz=1e6, period=100)   # fires every 100us
+        timer.poke(REG_CONTROL, 1)
+        hw = HardwareComponent("hw", timer, window=250e-6, lifetime=1e-3,
+                               irq_lines=["timer"])
+        got = []
+
+        def listener(comp):
+            while True:
+                t, v = yield Receive("in")
+                got.append((round(t * 1e6), v))
+
+        lst = FunctionComponent("lst", listener, ports={"in": "in"})
+        sim.add(hw)
+        sim.add(lst)
+        sim.wire("irq", hw.port("timer"), lst.port("in"))
+        sim.run()
+        assert [t for t, __ in got] == [100, 200, 300, 400, 500,
+                                        600, 700, 800, 900, 1000]
+
+    def test_pokes_cross_mmio_port(self):
+        sim = Simulator()
+        timer = TimerDevice(clock_hz=1e6, period=50)
+        hw = HardwareComponent("hw", timer, window=100e-6, lifetime=1e-3,
+                               irq_lines=["timer"])
+
+        def enabler(comp):
+            yield Send("out", (REG_CONTROL, 1))   # enable at t=0
+
+        en = FunctionComponent("en", enabler, ports={"out": "out"})
+
+        def sinkhole(comp):
+            while True:
+                yield Receive("in")
+
+        sink = FunctionComponent("sink", sinkhole, ports={"in": "in"})
+        sim.add(hw)
+        sim.add(en)
+        sim.add(sink)
+        sim.wire("mmio", en.port("out"), hw.port("mmio"))
+        sim.wire("irq", hw.port("timer"), sink.port("in"))
+        sim.run()
+        assert hw.pokes_applied == 1
+        assert hw.interrupts_raised > 0
+
+    def test_unknown_irq_line_raises(self):
+        sim = Simulator()
+        timer = TimerDevice(period=10)
+        timer.poke(REG_CONTROL, 1)
+        hw = HardwareComponent("hw", timer, window=1e-4, lifetime=1e-3,
+                               irq_lines=[])    # "timer" not wired
+        sim.add(hw)
+        with pytest.raises(HardwareStubError):
+            sim.run()
+
+    def test_checkpoint_restore_replays_hw_responses(self):
+        sim = Simulator()
+        timer = TimerDevice(clock_hz=1e6, period=100)
+        timer.poke(REG_CONTROL, 1)
+        hw = HardwareComponent("hw", timer, window=250e-6, lifetime=1e-3,
+                               irq_lines=["timer"])
+
+        class Collector(FunctionComponent):
+            pass
+
+        def listener(comp):
+            comp.got = []
+            while True:
+                t, v = yield Receive("in")
+                comp.got.append(round(t * 1e6))
+
+        lst = FunctionComponent("lst", listener, ports={"in": "in"})
+        sim.add(hw)
+        sim.add(lst)
+        sim.wire("irq", hw.port("timer"), lst.port("in"))
+        sim.run(until=500e-6)
+        cid = sim.checkpoint()
+        sim.run()
+        full = list(lst.got)
+        sim.restore(cid)
+        assert lst.got == [100, 200, 300, 400, 500]
+        sim.run()
+        assert lst.got == full
+
+
+class TestRemoteHardware:
+    def _system(self):
+        from repro.distributed import CoSimulation
+        cosim = CoSimulation()
+        lab = cosim.add_node("lab")           # hardware host
+        desk = cosim.add_node("desk")         # designer's host
+        server = RemoteHardwareServer(lab)
+        timer = TimerDevice(clock_hz=1e6, period=100)
+        timer.poke(REG_CONTROL, 1)
+        server.attach("timer0", timer)
+        return cosim, lab, desk, server
+
+    def test_client_proxies_full_contract(self):
+        cosim, lab, desk, server = self._system()
+        client = RemoteHardwareClient(desk, "lab", "timer0")
+        assert client.remote_type == "TimerDevice"
+        assert client.clock_hz == 1e6
+        client.set_time(0)
+        records = client.run_for(250)
+        assert [r.tick for r in records] == [100, 200]
+        assert client.peek(REG_STATUS) == 2
+        client.stall()
+        assert client.run_for(100) == []
+        client.resume()
+        assert server.calls_served > 4
+
+    def test_unknown_hardware_name(self):
+        cosim, lab, desk, server = self._system()
+        with pytest.raises(Exception):
+            RemoteHardwareClient(desk, "lab", "ghost")
+
+    def test_remote_hardware_in_cosimulation(self):
+        """Fig. 1's 'remote hardware connection': a hardware component on
+        one node drives a stub served by another node."""
+        cosim, lab, desk, server = self._system()
+        ss = cosim.add_subsystem(desk, "design")
+        client = RemoteHardwareClient(desk, "lab", "timer0")
+        hw = HardwareComponent("hw", client, window=250e-6, lifetime=1e-3,
+                               irq_lines=["timer"])
+
+        def listener(comp):
+            comp.got = []
+            while True:
+                t, v = yield Receive("in")
+                comp.got.append(round(t * 1e6))
+
+        lst = FunctionComponent("lst", listener, ports={"in": "in"})
+        ss.add(hw)
+        ss.add(lst)
+        ss.wire("irq", hw.port("timer"), lst.port("in"))
+        cosim.run()
+        assert lst.got[:3] == [100, 200, 300]
+        # every hardware interaction crossed the transport
+        acct = cosim.transport.accounting
+        assert acct.links[("desk", "lab")].messages > 0
+
+    def test_duplicate_attach_rejected(self):
+        cosim, lab, desk, server = self._system()
+        with pytest.raises(HardwareStubError):
+            server.attach("timer0", TimerDevice())

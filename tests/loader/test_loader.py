@@ -1,0 +1,121 @@
+"""The dynamic class loader."""
+
+import textwrap
+
+import pytest
+
+from repro.core import LoaderError, ReactiveComponent
+from repro.loader import ComponentLoader
+
+SOURCE_V1 = textwrap.dedent("""
+    from repro.core import ReactiveComponent
+
+    class Blinker(ReactiveComponent):
+        VERSION = 1
+""")
+
+SOURCE_V2 = SOURCE_V1.replace("VERSION = 1", "VERSION = 2")
+
+
+@pytest.fixture
+def component_file(tmp_path):
+    path = tmp_path / "blinker.py"
+    path.write_text(SOURCE_V1)
+    return path
+
+
+class TestFileLoading:
+    def test_load_from_path(self, component_file):
+        loader = ComponentLoader()
+        cls = loader.load(f"{component_file}:Blinker")
+        assert cls.VERSION == 1
+        assert issubclass(cls, ReactiveComponent)
+
+    def test_load_from_file_url(self, component_file):
+        loader = ComponentLoader()
+        cls = loader.load(f"file://{component_file}:Blinker")
+        assert cls.VERSION == 1
+
+    def test_search_paths(self, component_file):
+        loader = ComponentLoader(search_paths=[str(component_file.parent)])
+        cls = loader.load("blinker.py:Blinker")
+        assert cls.VERSION == 1
+
+    def test_cache_hit_on_unchanged_file(self, component_file):
+        loader = ComponentLoader()
+        spec = f"{component_file}:Blinker"
+        first = loader.load(spec)
+        second = loader.load(spec)
+        assert first is second
+        assert loader.cache_hits == 1
+
+    def test_reload_after_edit_without_restart(self, component_file):
+        """The paper's headline feature: recompile and reload a component
+        without restarting the simulator."""
+        import os
+        loader = ComponentLoader()
+        spec = f"{component_file}:Blinker"
+        assert loader.load(spec).VERSION == 1
+        component_file.write_text(SOURCE_V2)
+        os.utime(component_file, (1e9, 2e9))   # force a new mtime
+        assert loader.load(spec).VERSION == 2
+
+    def test_invalidate(self, component_file):
+        loader = ComponentLoader()
+        spec = f"{component_file}:Blinker"
+        loader.load(spec)
+        loader.invalidate()
+        loader.load(spec)
+        assert loader.cache_hits == 0
+
+    def test_instantiate(self, component_file):
+        loader = ComponentLoader()
+        instance = loader.instantiate(f"{component_file}:Blinker", "b1")
+        assert instance.name == "b1"
+
+    def test_missing_class(self, component_file):
+        loader = ComponentLoader()
+        with pytest.raises(LoaderError):
+            loader.load(f"{component_file}:Ghost")
+
+    def test_missing_file(self, tmp_path):
+        loader = ComponentLoader(search_paths=[str(tmp_path)])
+        with pytest.raises(LoaderError):
+            loader.load("nothere.py:X")
+
+    def test_broken_source(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("this is not python ]][")
+        with pytest.raises(LoaderError):
+            ComponentLoader().load(f"{path}:X")
+
+    def test_non_component_rejected(self, tmp_path):
+        path = tmp_path / "notcomp.py"
+        path.write_text("class Thing:\n    pass\n")
+        with pytest.raises(LoaderError):
+            ComponentLoader().load(f"{path}:Thing")
+        cls = ComponentLoader(require_component=False).load(f"{path}:Thing")
+        assert cls.__name__ == "Thing"
+
+
+class TestModuleFallback:
+    def test_builtin_loader_fallback(self):
+        loader = ComponentLoader()
+        cls = loader.load("repro.core.component:ReactiveComponent")
+        assert cls is ReactiveComponent
+
+    def test_unknown_module(self):
+        with pytest.raises(LoaderError):
+            ComponentLoader().load("no.such.module:X")
+
+    def test_unknown_class_in_module(self):
+        with pytest.raises(LoaderError):
+            ComponentLoader().load("repro.core.component:Ghost")
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("bad", ["nocolon", ":Leading", "trail:",
+                                     "mod:not a name"])
+    def test_bad_specs(self, bad):
+        with pytest.raises(LoaderError):
+            ComponentLoader().load(bad)

@@ -1,0 +1,267 @@
+"""Protocol codecs: framing, timing, reassembly, detail levels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProtocolError
+from repro.protocols import (
+    INCOMPLETE,
+    ActionRule,
+    AssertionCodec,
+    PacketCodec,
+    Protocol,
+    ProtocolCodec,
+    assertion_level,
+    bus_protocol,
+    default_library,
+    dma_protocol,
+    i2c_protocol,
+    packet_protocol,
+    reassemble_step,
+    standard_library,
+)
+
+
+def roundtrip(codec, payload, transfer_id=("t", 1)):
+    """Expand then reassemble; returns (payload, chunk_count, total_dt)."""
+    partial = {}
+    result = None
+    chunks = 0
+    total_dt = 0.0
+    for dt, wire in codec.expand(payload, transfer_id):
+        total_dt += dt
+        chunks += 1
+        outcome = reassemble_step(partial, wire)
+        if outcome is not INCOMPLETE:
+            result = outcome
+    assert not partial, "transfer left partial state behind"
+    return result, chunks, total_dt
+
+
+class TestBusCodecs:
+    def test_word_level_chunk_count(self):
+        proto = bus_protocol()
+        payload = bytes(range(256)) * 4     # 1024 bytes
+        result, chunks, __ = roundtrip(proto.codec("word"), payload)
+        assert result == payload
+        assert chunks == 1024 // 4 + 1      # header + words
+
+    def test_byte_level_chunk_count(self):
+        proto = bus_protocol()
+        payload = b"hello world"
+        result, chunks, __ = roundtrip(proto.codec("byte"), payload)
+        assert result == payload
+        assert chunks == len(payload) + 1
+
+    def test_transaction_is_single_chunk(self):
+        proto = bus_protocol()
+        payload = b"x" * 4096
+        result, chunks, __ = roundtrip(proto.codec("transaction"), payload)
+        assert result == payload
+        assert chunks == 2                  # header + one body chunk
+
+    def test_word_timing(self):
+        proto = bus_protocol(cycle_time=1e-6)
+        codec = proto.codec("word")
+        assert codec.transfer_time(b"x" * 40) == pytest.approx(10e-6)
+
+    def test_uneven_tail_word(self):
+        proto = bus_protocol()
+        payload = b"abcdef"                 # 1.5 words
+        result, chunks, __ = roundtrip(proto.codec("word"), payload)
+        assert result == payload
+        assert chunks == 3
+
+    def test_empty_payload(self):
+        proto = bus_protocol()
+        result, chunks, __ = roundtrip(proto.codec("word"), b"")
+        assert result == b""
+
+    def test_object_payload_rejected_below_transaction(self):
+        proto = bus_protocol()
+        with pytest.raises(ProtocolError):
+            list(proto.codec("word").expand({"a": 1}, ("t", 1)))
+
+    def test_object_payload_ok_at_transaction(self):
+        proto = bus_protocol()
+        result, __, ___ = roundtrip(proto.codec("transaction"), {"a": 1})
+        assert result == {"a": 1}
+
+    @given(st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=40)
+    def test_roundtrip_property_word(self, payload):
+        proto = bus_protocol()
+        result, __, ___ = roundtrip(proto.codec("word"), payload)
+        assert result == payload
+
+
+class TestPacketCodec:
+    def test_1kb_packets(self):
+        codec = PacketCodec(1024)
+        payload = b"z" * 66_000     # the paper's 66 KB page, roughly
+        result, chunks, __ = roundtrip(codec, payload)
+        assert result == payload
+        assert chunks == -(-66_000 // 1024) + 1
+
+    def test_packet_vs_word_chunk_ratio(self):
+        """Packet passage moves ~256x fewer wire values than word passage."""
+        proto = packet_protocol()
+        payload = b"q" * 66_000
+        __, word_chunks, ___ = roundtrip(proto.codec("word"), payload)
+        __, pkt_chunks, ___ = roundtrip(proto.codec("packet"), payload)
+        assert word_chunks / pkt_chunks > 200
+
+    @given(st.integers(min_value=1, max_value=5000),
+           st.integers(min_value=1, max_value=2048))
+    @settings(max_examples=40)
+    def test_roundtrip_any_packet_size(self, size, packet_size):
+        codec = PacketCodec(packet_size)
+        payload = bytes(i % 251 for i in range(size))
+        result, __, ___ = roundtrip(codec, payload)
+        assert result == payload
+
+
+class TestI2C:
+    def test_levels_exist(self):
+        proto = i2c_protocol()
+        assert proto.levels() == {"hardwareLevel", "byteLevel", "transaction"}
+
+    def test_hardware_level_slower_than_byte_level(self):
+        proto = i2c_protocol()
+        payload = b"\x01\x02\x03\x04"
+        hw = proto.codec("hardwareLevel").transfer_time(payload)
+        by = proto.codec("byteLevel").transfer_time(payload)
+        assert hw > by
+
+    def test_hardware_roundtrip(self):
+        proto = i2c_protocol()
+        payload = bytes(range(16))
+        result, chunks, __ = roundtrip(proto.codec("hardwareLevel"), payload)
+        assert result == payload
+        assert chunks == 16 + 1
+
+    def test_bit_accurate_timing(self):
+        proto = i2c_protocol(scl_hz=100_000)
+        # 1 byte: start(1) + addr(9) + byte(9) + stop(1) = 20 bit slots.
+        assert proto.codec("hardwareLevel").transfer_time(b"x") == \
+            pytest.approx(20 / 100_000)
+
+
+class TestDma:
+    def test_burst_roundtrip(self):
+        proto = dma_protocol(burst_words=4)
+        payload = bytes(range(100))
+        result, chunks, __ = roundtrip(proto.codec("burst"), payload)
+        assert result == payload
+        assert chunks == -(-100 // 16) + 1
+
+    def test_block_single_chunk(self):
+        proto = dma_protocol()
+        result, chunks, __ = roundtrip(proto.codec("block"), b"x" * 999)
+        assert result == b"x" * 999
+        assert chunks == 2
+
+    def test_block_faster_than_word(self):
+        proto = dma_protocol()
+        payload = b"x" * 4096
+        assert proto.codec("block").transfer_time(payload) < \
+            proto.codec("word").transfer_time(payload)
+
+
+class TestAssertionCodec:
+    def test_size_dependent_rules(self):
+        codec = AssertionCodec([
+            ActionRule(when="size <= 64", chunks="1", dt="1e-6"),
+            ActionRule(when="size > 64", chunks="ceil(size / 1024)",
+                       dt="5e-6 + chunk_size / 20e6"),
+        ])
+        result, chunks, __ = roundtrip(codec, b"tiny")
+        assert result == b"tiny" and chunks == 1 + 1       # header + 1
+        result, chunks, __ = roundtrip(codec, b"x" * 3000)
+        assert result == b"x" * 3000 and chunks == 3 + 1   # header + 3
+
+    def test_attach_to_protocol(self):
+        proto = bus_protocol()
+        assertion_level(proto, "custom", [ActionRule(dt="size / 1e6")])
+        assert "custom" in proto.levels()
+        result, __, total = roundtrip(proto.codec("custom"), b"x" * 1000)
+        assert result == b"x" * 1000
+        assert total == pytest.approx(1e-3)
+
+    def test_no_matching_rule_raises(self):
+        codec = AssertionCodec([ActionRule(when="size > 100")])
+        with pytest.raises(ProtocolError):
+            list(codec.expand(b"small", ("t", 1)))
+
+    def test_unsafe_expression_rejected(self):
+        codec = AssertionCodec([ActionRule(dt="__import__('os').getpid()")])
+        with pytest.raises(ProtocolError):
+            list(codec.expand(b"x", ("t", 1)))
+
+    def test_negative_dt_rejected(self):
+        codec = AssertionCodec([ActionRule(dt="-1.0")])
+        with pytest.raises(ProtocolError):
+            list(codec.expand(b"x", ("t", 1)))
+
+
+class TestFramingErrors:
+    def test_chunk_without_header(self):
+        with pytest.raises(ProtocolError):
+            reassemble_step({}, ("CHK", ("t", 1), 0, b"x"))
+
+    def test_duplicate_chunk(self):
+        partial = {}
+        reassemble_step(partial, ("HDR", ("t", 1), "word", 2, "bytes"))
+        reassemble_step(partial, ("CHK", ("t", 1), 0, b"a"))
+        with pytest.raises(ProtocolError):
+            reassemble_step(partial, ("CHK", ("t", 1), 0, b"a"))
+
+    def test_unknown_tag(self):
+        with pytest.raises(ProtocolError):
+            reassemble_step({}, ("WAT", 1))
+
+    def test_malformed_wire(self):
+        with pytest.raises(ProtocolError):
+            reassemble_step({}, "not-a-tuple")
+
+    def test_interleaved_transfers(self):
+        """Two concurrent transfers on one link reassemble independently."""
+        partial = {}
+        reassemble_step(partial, ("HDR", "a", "word", 1, "bytes"))
+        reassemble_step(partial, ("HDR", "b", "word", 1, "bytes"))
+        got_b = reassemble_step(partial, ("CHK", "b", 0, b"B"))
+        got_a = reassemble_step(partial, ("CHK", "a", 0, b"A"))
+        assert (got_a, got_b) == (b"A", b"B")
+
+
+class TestLibrary:
+    def test_standard_names(self):
+        lib = standard_library()
+        assert {"bus32", "bus8", "packet", "i2c", "i2c-fast", "dma"} <= \
+            set(lib.names())
+
+    def test_get_returns_fresh_instances(self):
+        lib = standard_library()
+        assert lib.get("bus32") is not lib.get("bus32")
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ProtocolError):
+            standard_library().get("nope")
+
+    def test_duplicate_register(self):
+        lib = standard_library()
+        with pytest.raises(ProtocolError):
+            lib.register("bus32", lambda name: None)
+        lib.register("bus32", lambda name: bus_protocol(name), replace=True)
+
+    def test_default_library_is_shared(self):
+        assert default_library() is default_library()
+
+    def test_protocol_requires_codecs(self):
+        with pytest.raises(ProtocolError):
+            Protocol("empty", {})
+
+    def test_default_level_validated(self):
+        with pytest.raises(ProtocolError):
+            Protocol("p", {"a": ProtocolCodec()}, default_level="zzz")

@@ -1,0 +1,124 @@
+"""Property-based protocol laws: every codec, every level.
+
+Three invariants must hold for any protocol codec:
+
+1. **roundtrip** — expand then reassemble returns the payload;
+2. **timing sanity** — transfer time is finite, non-negative, and
+   monotone in payload size;
+3. **framing conservation** — chunk count equals what the header declares.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import (
+    INCOMPLETE,
+    ActionRule,
+    AssertionCodec,
+    bus_protocol,
+    dma_protocol,
+    i2c_protocol,
+    packet_protocol,
+    reassemble_step,
+)
+
+
+def all_byte_codecs():
+    """Every (protocol, level) pair that carries byte payloads."""
+    pairs = []
+    for protocol in (bus_protocol(), packet_protocol(), i2c_protocol(),
+                     dma_protocol()):
+        for level in sorted(protocol.levels()):
+            pairs.append((f"{protocol.name}/{level}", protocol.codec(level)))
+    pairs.append(("assertion/custom", AssertionCodec([
+        ActionRule(when="size <= 16", chunks="1", dt="1e-6"),
+        ActionRule(when="size > 16", chunks="ceil(size / 64)",
+                   dt="1e-6 + chunk_size / 1e6"),
+    ])))
+    return pairs
+
+
+CODECS = all_byte_codecs()
+
+
+def full_roundtrip(codec, payload):
+    partial = {}
+    result = None
+    chunk_events = 0
+    total_dt = 0.0
+    for dt, wire in codec.expand(payload, ("t", 1)):
+        assert dt >= 0.0
+        total_dt += dt
+        outcome = reassemble_step(partial, wire)
+        chunk_events += 1
+        if outcome is not INCOMPLETE:
+            result = outcome
+    assert not partial
+    return result, chunk_events, total_dt
+
+
+class TestRoundtripLaw:
+    @pytest.mark.parametrize("label,codec", CODECS,
+                             ids=[label for label, __ in CODECS])
+    @given(payload=st.binary(min_size=0, max_size=600))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip(self, label, codec, payload):
+        result, __, ___ = full_roundtrip(codec, payload)
+        assert result == payload
+
+    @pytest.mark.parametrize("label,codec", CODECS,
+                             ids=[label for label, __ in CODECS])
+    def test_empty_payload(self, label, codec):
+        result, __, ___ = full_roundtrip(codec, b"")
+        assert result == b""
+
+
+class TestTimingLaw:
+    @pytest.mark.parametrize("label,codec", CODECS,
+                             ids=[label for label, __ in CODECS])
+    @given(size=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_in_size(self, label, codec, size):
+        small = codec.transfer_time(b"x" * size)
+        large = codec.transfer_time(b"x" * (size + 64))
+        assert 0 <= small <= large
+
+    @pytest.mark.parametrize("label,codec", CODECS,
+                             ids=[label for label, __ in CODECS])
+    def test_wire_bytes_at_least_payload_info(self, label, codec):
+        payload = b"q" * 300
+        assert codec.wire_bytes(payload) > 0
+
+
+class TestFramingLaw:
+    @pytest.mark.parametrize("label,codec", CODECS,
+                             ids=[label for label, __ in CODECS])
+    @given(payload=st.binary(min_size=1, max_size=300))
+    @settings(max_examples=10, deadline=None)
+    def test_header_declares_exact_chunk_count(self, label, codec, payload):
+        wires = [wire for __, wire in codec.expand(payload, ("t", 2))]
+        header = wires[0]
+        assert header[0] == "HDR"
+        assert header[3] == len(wires) - 1      # declared == actual chunks
+
+    @pytest.mark.parametrize("label,codec", CODECS,
+                             ids=[label for label, __ in CODECS])
+    @given(payload=st.binary(min_size=2, max_size=200),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_out_of_order_chunks_still_reassemble(self, label, codec,
+                                                  payload, seed):
+        """Chunks may arrive reordered (two nets racing): indices make
+        reassembly order-insensitive once the header has arrived."""
+        import random
+        wires = [wire for __, wire in codec.expand(payload, ("t", 3))]
+        header, chunks = wires[0], wires[1:]
+        random.Random(seed).shuffle(chunks)
+        partial = {}
+        assert reassemble_step(partial, header) is INCOMPLETE or not chunks
+        result = INCOMPLETE
+        for wire in chunks:
+            result = reassemble_step(partial, wire)
+        if chunks:
+            assert result == payload

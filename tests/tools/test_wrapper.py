@@ -1,0 +1,154 @@
+"""The external-tool wrapper and its wire protocol."""
+
+import textwrap
+
+import pytest
+
+from repro.core import Advance, FunctionComponent, Receive, Send, Simulator
+from repro.tools import ExternalToolComponent, ToolError, python_tool_argv
+
+#: A legacy "filter tool": squares every delivered integer, with a fixed
+#: compute delay, and halts on a negative input.  Supports state save.
+FILTER_TOOL = textwrap.dedent("""
+    import json, sys
+
+    total = 0
+
+    def reply(**msg):
+        sys.stdout.write(json.dumps(msg) + "\\n")
+        sys.stdout.flush()
+
+    for line in sys.stdin:
+        msg = json.loads(line)
+        op = msg["op"]
+        if op == "init":
+            reply(op="log", text="filter ready")
+            reply(op="yield")
+        elif op == "deliver":
+            value = msg["value"]
+            if value < 0:
+                reply(op="halt")
+                continue
+            total += value
+            reply(op="advance", dt=0.25)
+            reply(op="send", port="out", value=value * value)
+            reply(op="yield")
+        elif op == "save":
+            reply(op="state", state={"total": total})
+        elif op == "restore":
+            total = msg["state"]["total"]
+            reply(op="ok")
+        elif op == "quit":
+            break
+""")
+
+BROKEN_TOOL = "import sys\nsys.exit(3)\n"
+
+GARBAGE_TOOL = textwrap.dedent("""
+    import sys
+    for line in sys.stdin:
+        sys.stdout.write("this is not json\\n")
+        sys.stdout.flush()
+""")
+
+
+@pytest.fixture
+def filter_tool(tmp_path):
+    path = tmp_path / "filter_tool.py"
+    path.write_text(FILTER_TOOL)
+    return str(path)
+
+
+def build_system(tool_path, values, *, supports_state=False):
+    sim = Simulator()
+    tool = ExternalToolComponent(
+        "tool", python_tool_argv(tool_path),
+        supports_state=supports_state)
+    sim.add(tool)
+
+    def feeder(comp):
+        for value in values:
+            yield Advance(1.0)
+            yield Send("out", value)
+
+    def collector(comp):
+        comp.got = []
+        while True:
+            t, v = yield Receive("in")
+            comp.got.append((t, v))
+
+    feed = sim.add(FunctionComponent("feed", feeder, ports={"out": "out"}))
+    coll = sim.add(FunctionComponent("coll", collector, ports={"in": "in"}))
+    sim.wire("to_tool", feed.port("out"), tool.port("in"))
+    sim.wire("from_tool", tool.port("out"), coll.port("in"))
+    return sim, tool, coll
+
+
+class TestProtocol:
+    def test_tool_transforms_traffic(self, filter_tool):
+        sim, tool, coll = build_system(filter_tool, [2, 3, 4])
+        try:
+            sim.run()
+            assert [v for __, v in coll.got] == [4, 9, 16]
+            # tool's advance shows in the arrival times
+            assert [t for t, __ in coll.got] == [1.25, 2.25, 3.25]
+            assert tool.tool_log == ["filter ready"]
+            assert tool.deliveries == 3
+        finally:
+            tool.close()
+
+    def test_halt_action(self, filter_tool):
+        sim, tool, coll = build_system(filter_tool, [2, -1, 5])
+        try:
+            sim.run()
+            assert [v for __, v in coll.got] == [4]    # halted after -1
+            assert tool.halted
+        finally:
+            tool.close()
+
+    def test_close_is_idempotent(self, filter_tool):
+        sim, tool, coll = build_system(filter_tool, [1])
+        sim.run()
+        tool.close()
+        tool.close()
+
+    def test_dead_tool_raises(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text(BROKEN_TOOL)
+        sim, tool, coll = build_system(str(path), [1])
+        with pytest.raises(ToolError):
+            sim.run()
+
+    def test_garbage_protocol_raises(self, tmp_path):
+        path = tmp_path / "garbage.py"
+        path.write_text(GARBAGE_TOOL)
+        sim, tool, coll = build_system(str(path), [1])
+        with pytest.raises(ToolError):
+            sim.run()
+        tool.close()
+
+    def test_missing_binary(self):
+        sim = Simulator()
+        tool = sim.add(ExternalToolComponent(
+            "tool", ["/no/such/binary-xyz"]))
+        with pytest.raises(ToolError):
+            sim.run()
+
+
+class TestToolCheckpointing:
+    def test_stateful_tool_rewinds(self, filter_tool):
+        """A tool implementing save/restore participates in rollback."""
+        sim, tool, coll = build_system(filter_tool, [2, 3, 4, 5],
+                                       supports_state=True)
+        try:
+            sim.run(until=2.5)
+            cid = sim.checkpoint()
+            sim.run()
+            full = [v for __, v in coll.got]
+            assert full == [4, 9, 16, 25]
+            sim.restore(cid)
+            assert [v for __, v in coll.got] == [4, 9]
+            sim.run()
+            assert [v for __, v in coll.got] == full
+        finally:
+            tool.close()
