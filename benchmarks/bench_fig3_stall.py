@@ -13,6 +13,10 @@ This bench builds the scenario both ways:
   arrives as a straggler, and a rollback repairs history.
 
 Either way the observable behaviour is identical to a single-host run.
+
+Run statistics are read from the :mod:`repro.observability` layer — the
+``RunReport`` each run assembles — rather than by poking scheduler or
+recovery internals.
 """
 
 import pytest
@@ -20,11 +24,14 @@ import pytest
 from repro.bench import Table, format_count
 from repro.core import Advance, FunctionComponent, Receive, Send, WaitUntil
 from repro.distributed import ChannelMode, CoSimulation
+from repro.observability import Telemetry
 
 
-def _build(mode: ChannelMode, send_time: float = 15.0):
+def _build(mode: ChannelMode, send_time: float = 15.0, *,
+           telemetry_enabled: bool = True):
     cosim = CoSimulation(
-        snapshot_interval=5.0 if mode is ChannelMode.OPTIMISTIC else None)
+        snapshot_interval=5.0 if mode is ChannelMode.OPTIMISTIC else None,
+        telemetry=Telemetry(enabled=telemetry_enabled))
     # Name ss1 so it is scheduled first: under optimism it runs ahead.
     ss1 = cosim.add_subsystem(cosim.add_node("n1"), "a-ss1")
     ss2 = cosim.add_subsystem(cosim.add_node("n2"), "z-ss2")
@@ -59,48 +66,90 @@ def _build(mode: ChannelMode, send_time: float = 15.0):
 @pytest.fixture(scope="module")
 def fig3():
     rows = {}
+    reports = {}
     for mode in (ChannelMode.CONSERVATIVE, ChannelMode.OPTIMISTIC):
         cosim, wait, listen = _build(mode)
+        report = cosim.report(title=f"fig3-{mode.value}")
         rows[mode.value] = {
-            "stalls": cosim.stalls(),
-            "rollbacks": len(cosim.recovery.rollbacks),
+            "stalls": report.counter("scheduler.stalls"),
+            "rollbacks": report.counter("rollback.count"),
             "message_at": listen.order[0][1],
             "event_at": wait.order[0][1],
-            "safe_time_requests": cosim.safe_time_requests(),
+            "safe_time_requests": report.counter("safetime.requests"),
         }
-    return rows
+        reports[mode.value] = report
+    return rows, reports
 
 
 def test_fig3_report(fig3):
+    rows, __ = fig3
     table = Table("Fig. 3 — the stall scenario, conservative vs optimistic",
                   ["mode", "stalls", "rollbacks", "msg delivered at",
                    "local event at", "safe-time reqs"])
-    for mode, row in fig3.items():
+    for mode, row in rows.items():
         table.add(mode, format_count(row["stalls"]),
                   format_count(row["rollbacks"]),
                   f"t={row['message_at']:g}", f"t={row['event_at']:g}",
                   format_count(row["safe_time_requests"]))
     table.note("both modes end with the message (t=15) observed and the "
-               "local event (t=20) fired — identical behaviour")
+               "local event (t=20) fired — identical behaviour; all "
+               "statistics sourced from repro.observability RunReport")
     table.show()
     table.save("fig3_stall")
 
 
 def test_conservative_stalls_at_least_once(fig3):
-    assert fig3["conservative"]["stalls"] >= 1
-    assert fig3["conservative"]["rollbacks"] == 0
+    rows, __ = fig3
+    assert rows["conservative"]["stalls"] >= 1
+    assert rows["conservative"]["rollbacks"] == 0
 
 
 def test_optimistic_rolls_back_instead(fig3):
-    assert fig3["optimistic"]["rollbacks"] >= 1
+    rows, __ = fig3
+    assert rows["optimistic"]["rollbacks"] >= 1
 
 
 def test_behaviour_identical_across_modes(fig3):
+    rows, __ = fig3
     for mode in ("conservative", "optimistic"):
-        assert fig3[mode]["message_at"] == 15.0
-        assert fig3[mode]["event_at"] == 20.0
+        assert rows[mode]["message_at"] == 15.0
+        assert rows[mode]["event_at"] == 20.0
+
+
+def test_report_counters_sourced_from_observability(fig3):
+    """Acceptance: nonzero dispatch, stall and per-link byte counters all
+    come out of the telemetry layer, not scattered internals."""
+    __, reports = fig3
+    report = reports["conservative"]
+    data = report.to_dict()
+    assert data["counters"]["scheduler.dispatched"] > 0
+    assert data["counters"]["scheduler.stalls"] >= 1
+    link_bytes = {name: value for name, value in data["counters"].items()
+                  if name.startswith("link.") and name.endswith(".bytes")}
+    assert link_bytes, "per-link byte counters missing from the registry"
+    assert all(value > 0 for value in link_bytes.values())
+    # The accounting table and the counters describe the same traffic.
+    assert sum(link_bytes.values()) == report.link_totals()["bytes"]
+    assert data["counters"]["transport.bytes"] == \
+        report.link_totals()["bytes"]
+
+
+def test_rollback_recorded_in_report(fig3):
+    __, reports = fig3
+    data = reports["optimistic"].to_dict()
+    assert data["counters"]["rollback.count"] == len(data["rollbacks"])
+    assert all(row["straggler_time"] == 15.0 for row in data["rollbacks"])
 
 
 def test_benchmark_conservative_scenario(benchmark):
     benchmark.pedantic(lambda: _build(ChannelMode.CONSERVATIVE),
                        rounds=3, iterations=1)
+
+
+def test_benchmark_conservative_telemetry_disabled(benchmark):
+    """The no-op fast path: same scenario with telemetry off, for
+    side-by-side overhead comparison in the benchmark report."""
+    cosim, *_ = benchmark.pedantic(
+        lambda: _build(ChannelMode.CONSERVATIVE, telemetry_enabled=False),
+        rounds=3, iterations=1)
+    assert cosim.report().to_dict()["counters"] == {}

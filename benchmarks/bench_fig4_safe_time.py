@@ -79,22 +79,34 @@ def fig4():
 
 def test_fig4_report(fig4):
     cosim, ss1, ss2, ss3 = fig4
+    report = cosim.report(title="fig4-safe-time")
     table = Table("Fig. 4 — safe-time requests among three subsystems",
                   ["subsystem", "events dispatched", "safe-time reqs sent",
                    "stalls", "final time"])
-    for subsystem in (ss1, ss2, ss3):
-        client = cosim._sync[subsystem.name]
-        table.add(subsystem.name,
-                  format_count(subsystem.scheduler.dispatched),
-                  format_count(client.requests_sent),
-                  format_count(subsystem.scheduler.stalls),
-                  f"t={subsystem.now:g}")
-    total = cosim.safe_time_requests()
-    events = sum(ss.scheduler.dispatched for ss in (ss1, ss2, ss3))
+    for row in report.subsystems:
+        table.add(row["name"],
+                  format_count(row["dispatched"]),
+                  format_count(row["safe_time_requests"]),
+                  format_count(row["stalls"]),
+                  f"t={row['time']:g}")
+    total = report.counter("safetime.requests")
+    events = report.counter("scheduler.dispatched")
     table.note(f"{total} requests for {events} events "
-               f"({total / max(events, 1):.2f} requests/event)")
+               f"({total / max(events, 1):.2f} requests/event) — "
+               "statistics sourced from repro.observability RunReport")
     table.show()
     table.save("fig4_safe_time")
+
+
+def test_report_totals_match_legacy_accessors(fig4):
+    """The telemetry counters agree with the pre-existing ad-hoc tallies
+    (which remain for API compatibility)."""
+    cosim, ss1, ss2, ss3 = fig4
+    report = cosim.report()
+    assert report.counter("safetime.requests") == cosim.safe_time_requests()
+    assert report.counter("scheduler.stalls") == cosim.stalls()
+    assert report.counter("scheduler.dispatched") == \
+        sum(ss.scheduler.dispatched for ss in (ss1, ss2, ss3))
 
 
 def test_ss1_consults_both_peers(fig4):

@@ -12,6 +12,16 @@ the two-level time model on screen).
 Run:  python examples/debug_and_waves.py
 """
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.core import (
     Advance,
     FunctionComponent,

@@ -11,6 +11,16 @@ down to word level while the page loads keep producing identical results.
 Run:  python examples/distributed_codesign.py
 """
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.apps import ASSIGN_SPLIT, WubbleUConfig, build_design, run_page_load
 from repro.bench import Table, format_count, format_seconds
 from repro.distributed import CoSimulation, deploy, suggest_partition

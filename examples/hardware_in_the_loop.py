@@ -11,6 +11,16 @@ run — hardware included — can be checkpointed and rewound.
 Run:  python examples/hardware_in_the_loop.py
 """
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.core import FunctionComponent, Receive
 from repro.distributed import CoSimulation
 from repro.hw import (

@@ -11,6 +11,16 @@ profile.
 Run:  python examples/iss_firmware.py
 """
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.core import Advance, FunctionComponent, Receive, Send, Simulator
 from repro.processor import I960, IssComponent, assemble
 

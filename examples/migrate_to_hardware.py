@@ -15,6 +15,16 @@ from changes — estimates, local ticks, remote ticks.
 Run:  python examples/migrate_to_hardware.py
 """
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.apps import (
     ModemChip,
     WubbleUConfig,

@@ -11,6 +11,16 @@ safe-time traffic and stalls instead.  Both deliver identical results.
 Run:  python examples/optimistic_recovery.py
 """
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.bench import Table, format_count, streaming_pair
 from repro.distributed import ChannelMode
 

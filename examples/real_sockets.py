@@ -10,6 +10,16 @@ discipline under true concurrency.
 Run:  python examples/real_sockets.py
 """
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.core import Advance, FunctionComponent, Receive, Send
 from repro.distributed import ThreadedCoSimulation
 from repro.transport import TcpTransport

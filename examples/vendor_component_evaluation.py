@@ -21,6 +21,16 @@ import os
 import tempfile
 import textwrap
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.core import Advance, FunctionComponent, Receive, Send, Simulator
 from repro.loader import ComponentLoader
 

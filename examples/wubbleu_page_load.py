@@ -7,6 +7,16 @@ Run:  python examples/wubbleu_page_load.py  [--small]
 
 import sys
 
+# Self-contained fallback: allow running from a fresh checkout without
+# installing the package or exporting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
 from repro.apps import WubbleUConfig, fetch_like_hotjava, page_load
 from repro.bench import PAPER_TABLE1, Table, format_count, format_seconds
 from repro.transport import INTERNET

@@ -37,10 +37,13 @@ Package map
     The WubbleU handheld web-browser benchmark from the evaluation.
 ``repro.bench``
     The experiment harness regenerating every table and figure.
+``repro.observability``
+    Unified run telemetry: metrics registry, bounded structured trace,
+    and the RunReport the benchmarks read their statistics from.
 """
 
 __version__ = "1.0.0"
 
-from . import core
+from . import core, observability
 
-__all__ = ["core", "__version__"]
+__all__ = ["core", "observability", "__version__"]

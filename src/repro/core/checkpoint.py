@@ -22,6 +22,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
+from ..observability import NULL_TELEMETRY, TraceKind
 from .component import ComponentSnapshot
 from .errors import CheckpointError, NoSuchCheckpointError
 from .events import Event
@@ -126,6 +127,8 @@ class CheckpointStore:
         self._order: list[int] = []
         self._ids = itertools.count(1)
         self.keep_last = keep_last
+        #: Telemetry sink (attached via Subsystem.attach_telemetry).
+        self.telemetry = NULL_TELEMETRY
 
     def __len__(self) -> int:
         return len(self._order)
@@ -143,11 +146,26 @@ class CheckpointStore:
         self._images[cid] = self._store(subsystem, cid, label)
         self._order.append(cid)
         self._prune()
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("checkpoint.saves")
+            telemetry.trace(TraceKind.CHECKPOINT_SAVE,
+                            time=subsystem.scheduler.now,
+                            subject=subsystem.name,
+                            checkpoint_id=cid, label=label)
         return cid
 
     def restore(self, subsystem: "Subsystem", checkpoint_id: int) -> CheckpointImage:
         image = self.image(checkpoint_id)
+        rewound_from = subsystem.scheduler.now
         reinstate(subsystem, image)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("checkpoint.restores")
+            telemetry.trace(TraceKind.CHECKPOINT_RESTORE, time=image.time,
+                            subject=subsystem.name,
+                            checkpoint_id=checkpoint_id,
+                            rewound_from=rewound_from)
         return image
 
     def image(self, checkpoint_id: int) -> CheckpointImage:

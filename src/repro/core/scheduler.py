@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..observability import NULL_TELEMETRY, TraceKind
 from .errors import CausalityError, SimulationError
 from .events import Event, EventKind, EventQueue
 
@@ -41,6 +42,9 @@ class Scheduler:
         self.stalls = 0
         #: Called after every dispatched event (switchpoint evaluation).
         self.post_step_hooks: list[Callable[[Event], None]] = []
+        #: Telemetry sink; the owning Simulator/CoSimulation attaches a
+        #: live one via Subsystem.attach_telemetry.
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     def schedule(self, event: Event) -> Event:
@@ -64,6 +68,12 @@ class Scheduler:
         self.now = event.ts.time
         self._dispatch(event)
         self.dispatched += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("scheduler.dispatched")
+            telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
+                            subject=self.subsystem.name,
+                            event=event.kind.value)
         for hook in self.post_step_hooks:
             hook(event)
         return event
@@ -89,6 +99,14 @@ class Scheduler:
             if self.queue.next_time() > bound:
                 if self.queue.next_time() <= until and limit < until:
                     self.stalls += 1
+                    telemetry = self.telemetry
+                    if telemetry.enabled:
+                        telemetry.count("scheduler.stalls")
+                        telemetry.trace(
+                            TraceKind.STALL, time=self.now,
+                            subject=self.subsystem.name,
+                            horizon=limit,
+                            next_event=self.queue.next_time())
                 break
             if max_events is not None and count >= max_events:
                 break

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional, Union
 
+from ..observability import RunReport, Telemetry, run_report
 from .checkpoint import CheckpointStore
 from .component import Component
 from .errors import CheckpointError, ConsistencyViolation, SimulationError
@@ -31,8 +32,13 @@ class Simulator:
     """Build and run a complete system on a single host."""
 
     def __init__(self, name: str = "system", *,
-                 checkpoint_store: Optional[CheckpointStore] = None) -> None:
+                 checkpoint_store: Optional[CheckpointStore] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.subsystem = Subsystem(name, checkpoint_store=checkpoint_store)
+        #: Run telemetry; on by default (the disabled path is a single
+        #: attribute read, see repro.observability).
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.subsystem.attach_telemetry(self.telemetry)
         env = SwitchpointEnvironment(local_time=self._local_time,
                                      signal=self._signal)
         self.switchpoints = SwitchpointManager(env, self.set_runlevel)
@@ -180,6 +186,13 @@ class Simulator:
         self.checkpoint(label="auto")
         if self._auto_interval is not None:
             self._schedule_auto(event.ts.time + self._auto_interval)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def report(self, *, title: Optional[str] = None) -> RunReport:
+        """Assemble the :class:`~repro.observability.RunReport` so far."""
+        return run_report(self, title=title)
 
     # ------------------------------------------------------------------
     # run levels

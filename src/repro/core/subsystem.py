@@ -42,6 +42,16 @@ class Subsystem:
         self.node: "Optional[PiaNode]" = None
         self._started = False
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Point this subsystem's scheduler and checkpoint store at the
+        owning simulation's :class:`~repro.observability.Telemetry`."""
+        self.scheduler.telemetry = telemetry
+        self.checkpoints.telemetry = telemetry
+
+    @property
+    def telemetry(self):
+        return self.scheduler.telemetry
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 from ..core.errors import ConfigurationError
+from ..observability import TraceKind
 from ..transport.message import Message, MessageKind
 from .channel import ChannelEndpoint, ChannelMode
 
@@ -115,6 +116,7 @@ class SafeTimeService:
         requester, target, path = message.payload
         subsystem = self.node.subsystem(target)
         self.requests_served += 1
+        subsystem.scheduler.telemetry.count("safetime.served")
         desired = message.time
         if self.client_for is not None:
             client = self.client_for(target)
@@ -176,6 +178,8 @@ class SafeTimeClient:
                 continue
             endpoint.safe_time_requests += 1
             self.requests_sent += 1
+            telemetry = self.subsystem.scheduler.telemetry
+            telemetry.count("safetime.requests")
             reply = node.transport.call(Message(
                 kind=MessageKind.SAFE_TIME_REQUEST,
                 src=node.name,
@@ -195,4 +199,10 @@ class SafeTimeClient:
                 # grant; the in-flight message will be pumped before the
                 # next refresh.)
                 endpoint.peer_grant = reply.time
+                if telemetry.enabled:
+                    telemetry.count("safetime.grants_accepted")
+                    telemetry.trace(TraceKind.GRANT, time=reply.time,
+                                    subject=self.subsystem.name,
+                                    peer=endpoint.peer_subsystem,
+                                    desired=desired)
         return self.horizon()

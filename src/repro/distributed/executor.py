@@ -24,6 +24,7 @@ from ..core.runlevel import (
     SwitchpointManager,
 )
 from ..core.subsystem import Subsystem
+from ..observability import RunReport, Telemetry, run_report
 from ..transport.inmemory import InMemoryTransport
 from ..transport.latency import SAME_HOST, LatencyModel
 from .channel import Channel, ChannelMode, StragglerError
@@ -41,15 +42,23 @@ class CoSimulation:
 
     def __init__(self, *, transport: Optional[InMemoryTransport] = None,
                  default_model: LatencyModel = SAME_HOST,
-                 snapshot_interval: Optional[float] = None) -> None:
+                 snapshot_interval: Optional[float] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.transport = transport if transport is not None \
             else InMemoryTransport(default_model=default_model)
+        #: Run telemetry shared by every layer; on by default (the
+        #: disabled path is a single attribute read per hot-path visit).
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        attach = getattr(self.transport, "attach_telemetry", None)
+        if attach is not None:
+            attach(self.telemetry)
         self.nodes: Dict[str, PiaNode] = {}
         self.subsystems: Dict[str, Subsystem] = {}
         self.channels: Dict[str, Channel] = {}
         self.registry = SnapshotRegistry()
         self.recovery = RecoveryManager(self.subsystems, self.transport,
                                         self.registry)
+        self.recovery.telemetry = self.telemetry
         self.recovery.on_rollback = self._restore_switchpoint_state
         #: snapshot id -> (switchpoint fired flags, switch history).
         self._switchpoint_states: Dict[str, tuple] = {}
@@ -78,8 +87,10 @@ class CoSimulation:
         self.nodes[name] = node
         SafeTimeService(node, client_for=self._sync.get,
                         conservative_override=self._conservative_now)
-        self._managers[name] = SnapshotManager(
+        manager = SnapshotManager(
             node, self.registry, expected_subsystems=lambda: set(self.subsystems))
+        manager.telemetry = self.telemetry
+        self._managers[name] = manager
         return node
 
     def node(self, name: str) -> PiaNode:
@@ -98,6 +109,7 @@ class CoSimulation:
             raise ConfigurationError(
                 f"duplicate subsystem {subsystem.name!r}")
         node.add_subsystem(subsystem)
+        subsystem.attach_telemetry(self.telemetry)
         self.subsystems[subsystem.name] = subsystem
         self._sync[subsystem.name] = SafeTimeClient(
             subsystem, conservative_override=self._conservative_now)
@@ -159,6 +171,10 @@ class CoSimulation:
 
     def safe_time_requests(self) -> int:
         return sum(client.requests_sent for client in self._sync.values())
+
+    def report(self, *, title: Optional[str] = None) -> RunReport:
+        """Assemble the :class:`~repro.observability.RunReport` so far."""
+        return run_report(self, title=title)
 
     # ------------------------------------------------------------------
     # run levels (global view, as switchpoint conditions may span hosts)
@@ -342,7 +358,12 @@ class CoSimulation:
                     self._report_deadlock(until)
             else:
                 idle_rounds = 0
-        self.cpu_seconds += _time.perf_counter() - started_at
+        elapsed = _time.perf_counter() - started_at
+        self.cpu_seconds += elapsed
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.registry.timer("executor.run").add(elapsed)
+            telemetry.gauge("executor.rounds", self.rounds)
         return dispatched
 
     def _all_past(self, until: float) -> bool:

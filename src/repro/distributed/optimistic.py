@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.errors import CheckpointError, SimulationError
+from ..observability import NULL_TELEMETRY, TraceKind
 from .channel import StragglerError
 from .snapshot import GlobalSnapshot, SnapshotRegistry
 
@@ -50,6 +51,8 @@ class RecoveryManager:
         self.on_rollback = None
         #: Virtual time until which every channel must act conservatively.
         self.conservative_until = float("-inf")
+        #: Telemetry sink (the owning CoSimulation attaches a live one).
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     def eligible(self, snap: GlobalSnapshot, straggler: StragglerError,
@@ -95,6 +98,13 @@ class RecoveryManager:
                                       straggler.straggler_time)
         self.rollbacks.append((straggler.straggler_time, snap.snapshot_id,
                                snap.max_time()))
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("rollback.count")
+            telemetry.trace(TraceKind.ROLLBACK,
+                            time=straggler.straggler_time, subject=receiver,
+                            snapshot_id=snap.snapshot_id,
+                            restored_time=snap.max_time())
         return snap
 
     def rollback_to(self, snap: GlobalSnapshot) -> None:
@@ -102,7 +112,8 @@ class RecoveryManager:
             raise CheckpointError(
                 f"snapshot {snap.snapshot_id} is incomplete; cannot restore")
         # 1. Everything in flight postdates the cut: drop it.
-        self.transport.flush()
+        dropped = self.transport.flush()
+        self.telemetry.count("rollback.messages_dropped", dropped)
         # 2. Restore every subsystem's local image.
         for name, cut in snap.cuts.items():
             subsystem = self.subsystems.get(name)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.errors import CheckpointError
+from ..observability import NULL_TELEMETRY, TraceKind
 from ..transport.message import Message, MessageKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -113,6 +114,8 @@ class SnapshotManager:
         self.expected_subsystems = expected_subsystems
         self.marks_sent = 0
         self.marks_received = 0
+        #: Telemetry sink (the owning CoSimulation attaches a live one).
+        self.telemetry = NULL_TELEMETRY
         node.handlers[MessageKind.MARK] = self.on_mark
         node.signal_observers.append(self.observe_signal)
 
@@ -134,10 +137,19 @@ class SnapshotManager:
             label=f"{snapshot_id}@{subsystem.name}")
         cut = SubsystemCut(snapshot_id, subsystem.name, checkpoint_id,
                            subsystem.scheduler.now)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("snapshot.cuts")
+            telemetry.trace(TraceKind.SNAPSHOT_CUT,
+                            time=subsystem.scheduler.now,
+                            subject=subsystem.name,
+                            snapshot_id=snapshot_id,
+                            checkpoint_id=checkpoint_id)
         for channel_id, endpoint in subsystem.channels.items():
             cut.recorded[channel_id] = []
             cut.pending.add(channel_id)
             self.marks_sent += 1
+            telemetry.count("snapshot.marks_sent")
             self.node.transport.send(Message(
                 kind=MessageKind.MARK,
                 src=self.node.name,
@@ -151,6 +163,7 @@ class SnapshotManager:
     def on_mark(self, message: Message) -> None:
         snapshot_id = message.payload
         self.marks_received += 1
+        self.telemetry.count("snapshot.marks_received")
         endpoint = self.node._endpoint_for(message.channel)
         subsystem = endpoint.subsystem
         # First mark (or request) for this identifier: checkpoint now,

@@ -1,0 +1,25 @@
+"""Unified simulation telemetry: metrics, structured tracing, run reports.
+
+The paper's evaluation is built from run statistics — stall counts
+(Fig. 3), safe-time traffic (Fig. 4), per-link byte totals (Table 1).
+This package gives those numbers one home: a :class:`Telemetry` instance
+shared by every layer of a simulation feeds a :class:`MetricsRegistry`
+(counters, gauges, wall-clock timers) and a bounded :class:`TraceBuffer`
+of typed records; :func:`run_report` assembles both into a
+:class:`RunReport` rendered as text or JSON.
+
+Zero dependencies, deterministic under the in-memory transport, and a
+one-attribute-read no-op path when disabled — cheap enough to leave on.
+"""
+
+from .metrics import Counter, Gauge, MetricError, MetricsRegistry, Timer
+from .report import RunReport, run_report
+from .telemetry import NULL_TELEMETRY, Telemetry
+from .trace import TraceBuffer, TraceKind, TraceRecord
+
+__all__ = [
+    "Counter", "Gauge", "MetricError", "MetricsRegistry", "Timer",
+    "NULL_TELEMETRY", "Telemetry",
+    "TraceBuffer", "TraceKind", "TraceRecord",
+    "RunReport", "run_report",
+]

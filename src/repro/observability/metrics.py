@@ -1,0 +1,139 @@
+"""The metrics registry: counters, gauges and wall-clock timers.
+
+Counters and gauges are *deterministic* under the in-memory transport:
+they only record simulation facts (events dispatched, bytes crossing a
+link), so two runs of the same scenario produce identical values.  Timers
+measure wall-clock seconds and are therefore kept apart — reports exclude
+them from the deterministic snapshot by default.
+
+Everything here is plain stdlib Python.  Thread safety is advisory: the
+TCP transport increments counters from receiver threads, where a lost
+update costs one tick of a statistic, never a wrong simulation result.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, Optional
+
+
+class MetricError(ValueError):
+    """An invalid metric operation (e.g. decrementing a counter)."""
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        if n < 0:
+            raise MetricError(
+                f"counter {self.name!r}: cannot increment by {n}")
+        self.value += n
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that can move both ways (queue depths, horizons, times)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Timer:
+    """Accumulated wall-clock time over any number of timed blocks."""
+
+    __slots__ = ("name", "total", "count", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = _time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._started is not None
+        self.total += _time.perf_counter() - self._started
+        self.count += 1
+        self._started = None
+
+    def add(self, seconds: float, blocks: int = 1) -> None:
+        """Fold in a duration measured elsewhere."""
+        self.total += seconds
+        self.count += blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Timer {self.name} total={self.total:.6f}s n={self.count}>"
+
+
+class MetricsRegistry:
+    """Lazily creates and owns every metric, keyed by name."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.timers: Dict[str, Timer] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        metric = self.timers.get(name)
+        if metric is None:
+            metric = self.timers[name] = Timer(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deterministic state: counters and gauges, sorted by name."""
+        return {
+            "counters": {name: self.counters[name].value
+                         for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name].value
+                       for name in sorted(self.gauges)},
+        }
+
+    def timings(self) -> dict:
+        """Wall-clock timers (nondeterministic; reported separately)."""
+        return {name: {"total_seconds": self.timers[name].total,
+                       "count": self.timers[name].count}
+                for name in sorted(self.timers)}
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()

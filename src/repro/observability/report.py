@@ -1,0 +1,203 @@
+"""The run report: one document describing a finished (or paused) run.
+
+Assembles per-subsystem virtual-time progress, stall/rollback/checkpoint
+tallies and per-link traffic totals from the telemetry layer and the
+simulation objects, and renders them as text or JSON.  The deterministic
+portion (:meth:`RunReport.to_dict` without timings) is bit-identical
+across two runs of the same scenario under the in-memory transport —
+which is what makes reports diffable regression artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .telemetry import NULL_TELEMETRY, Telemetry
+
+
+@dataclass
+class RunReport:
+    """The assembled summary of one run."""
+
+    title: str
+    #: name, node, time, dispatched, stalls, checkpoints, safe_time_requests
+    subsystems: List[dict] = field(default_factory=list)
+    #: src, dst, model, messages, bytes, delay
+    links: List[dict] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    #: (straggler_time, snapshot_id, restored_time) per recovery.
+    rollbacks: List[dict] = field(default_factory=list)
+    trace_counts: dict = field(default_factory=dict)
+    trace_dropped: int = 0
+    #: Wall-clock timers — nondeterministic, excluded from to_dict()
+    #: unless asked for.
+    timings: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self, *, include_timings: bool = False) -> dict:
+        data = {
+            "title": self.title,
+            "subsystems": self.subsystems,
+            "links": self.links,
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "rollbacks": self.rollbacks,
+            "trace": {"counts": self.trace_counts,
+                      "dropped": self.trace_dropped},
+        }
+        if include_timings:
+            data["timings"] = self.timings
+        return data
+
+    def to_json(self, *, include_timings: bool = False,
+                indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(include_timings=include_timings),
+                          indent=indent, sort_keys=True)
+
+    def save_json(self, path: str, **kwargs) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(**kwargs) + "\n")
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def link_totals(self) -> dict:
+        return {
+            "messages": sum(row["messages"] for row in self.links),
+            "bytes": sum(row["bytes"] for row in self.links),
+            "delay": sum(row["delay"] for row in self.links),
+        }
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        out: List[str] = [f"== RunReport: {self.title} =="]
+        if self.subsystems:
+            out.append("")
+            out.append(_table(
+                ["subsystem", "node", "time", "events", "stalls",
+                 "ckpts", "st-reqs"],
+                [[row["name"], row["node"], f"{row['time']:g}",
+                  str(row["dispatched"]), str(row["stalls"]),
+                  str(row["checkpoints"]), str(row["safe_time_requests"])]
+                 for row in self.subsystems]))
+        if self.links:
+            out.append("")
+            out.append(_table(
+                ["link", "model", "msgs", "bytes", "delay"],
+                [[f"{row['src']}->{row['dst']}", row["model"],
+                  str(row["messages"]), str(row["bytes"]),
+                  f"{row['delay']:.6g}s"]
+                 for row in self.links]))
+        if self.rollbacks:
+            out.append("")
+            out.append(_table(
+                ["rollback", "straggler t", "snapshot", "restored to"],
+                [[str(i + 1), f"{row['straggler_time']:g}",
+                  row["snapshot_id"], f"{row['restored_time']:g}"]
+                 for i, row in enumerate(self.rollbacks)]))
+        if self.counters:
+            out.append("")
+            out.append(_table(
+                ["counter", "value"],
+                [[name, str(value)]
+                 for name, value in sorted(self.counters.items())]))
+        if self.trace_counts:
+            out.append("")
+            dropped = f" (dropped {self.trace_dropped})" \
+                if self.trace_dropped else ""
+            out.append("trace records" + dropped + ": " + ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.trace_counts.items())))
+        if self.timings:
+            out.append("")
+            out.append(_table(
+                ["timer", "total", "blocks"],
+                [[name, f"{row['total_seconds']:.4f}s", str(row["count"])]
+                 for name, row in sorted(self.timings.items())]))
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), rule] + [line(row) for row in rows])
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def _subsystem_row(subsystem) -> dict:
+    node = subsystem.node.name if subsystem.node is not None else "-"
+    return {
+        "name": subsystem.name,
+        "node": node,
+        "time": subsystem.now,
+        "dispatched": subsystem.scheduler.dispatched,
+        "stalls": subsystem.scheduler.stalls,
+        "checkpoints": len(subsystem.checkpoints),
+        "safe_time_requests": sum(ep.safe_time_requests
+                                  for ep in subsystem.channels.values()),
+    }
+
+
+def _link_rows(transport) -> List[dict]:
+    accounting = getattr(transport, "accounting", None)
+    if accounting is None:
+        return []
+    return [{"src": src, "dst": dst, "model": model, "messages": messages,
+             "bytes": nbytes, "delay": delay}
+            for src, dst, model, messages, nbytes, delay
+            in accounting.report()]
+
+
+def run_report(target, *, title: Optional[str] = None) -> RunReport:
+    """Build a :class:`RunReport` for a Simulator or CoSimulation.
+
+    ``target`` is duck-typed: anything with a ``subsystems`` mapping (and
+    optionally ``transport``/``recovery``) reports as a co-simulation;
+    anything with a single ``subsystem`` reports as a single-host run.
+    """
+    telemetry: Telemetry = getattr(target, "telemetry", NULL_TELEMETRY)
+    subsystems = getattr(target, "subsystems", None)
+    if subsystems is not None:
+        report = RunReport(title or "co-simulation")
+        for name in sorted(subsystems):
+            report.subsystems.append(_subsystem_row(subsystems[name]))
+        transport = getattr(target, "transport", None)
+        if transport is not None:
+            report.links = _link_rows(transport)
+        recovery = getattr(target, "recovery", None)
+        if recovery is not None:
+            report.rollbacks = [
+                {"straggler_time": straggler_time, "snapshot_id": snapshot_id,
+                 "restored_time": restored_time}
+                for straggler_time, snapshot_id, restored_time
+                in recovery.rollbacks]
+    else:
+        subsystem = getattr(target, "subsystem", None)
+        if subsystem is None:
+            raise TypeError(
+                f"cannot report on {type(target).__name__}: expected a "
+                "Simulator-like or CoSimulation-like object")
+        report = RunReport(title or subsystem.name)
+        report.subsystems.append(_subsystem_row(subsystem))
+    snapshot = telemetry.registry.snapshot()
+    report.counters = snapshot["counters"]
+    report.gauges = snapshot["gauges"]
+    report.trace_counts = telemetry.trace_buffer.counts_by_kind()
+    report.trace_dropped = telemetry.trace_buffer.dropped
+    report.timings = telemetry.registry.timings()
+    return report

@@ -1,0 +1,109 @@
+"""The telemetry facade instrumented code talks to.
+
+One :class:`Telemetry` instance is shared by everything belonging to one
+simulation (a :class:`~repro.core.simulator.Simulator` or a
+:class:`~repro.distributed.executor.CoSimulation`): its scheduler(s),
+checkpoint stores, channels, snapshot managers and transport all feed the
+same registry and trace buffer, so a single
+:class:`~repro.observability.report.RunReport` can describe the whole run.
+
+Instrumentation sites follow one discipline::
+
+    t = self.telemetry
+    if t.enabled:
+        t.count("scheduler.dispatched")
+        t.trace(TraceKind.DISPATCH, time=..., subject=...)
+
+The ``enabled`` check is the no-op fast path: objects never attached to a
+real telemetry hold the shared :data:`NULL_TELEMETRY`, whose ``enabled``
+is permanently ``False`` — one attribute read per hot-path visit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import nullcontext
+from typing import Optional
+
+from .metrics import MetricsRegistry, Timer
+from .trace import TraceBuffer, TraceRecord
+
+_NULL_TIMER = nullcontext()
+
+
+class Telemetry:
+    """A metrics registry plus a bounded trace buffer, with an on/off gate."""
+
+    def __init__(self, *, enabled: bool = True,
+                 trace_capacity: int = 4096) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.trace_buffer = TraceBuffer(trace_capacity)
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.registry.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.registry.gauge(name).set(value)
+
+    def timer(self, name: str):
+        """Context manager accumulating wall time under ``name``."""
+        if not self.enabled:
+            return _NULL_TIMER
+        return self.registry.timer(name)
+
+    def trace(self, kind: str, *, time: float = 0.0, subject: str = "",
+              **details) -> None:
+        """Append one structured record (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.trace_buffer.append(
+            TraceRecord(next(self._seq), kind, time, subject, details))
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget everything recorded so far (the gate is untouched)."""
+        self.registry.reset()
+        self.trace_buffer.clear()
+        self._seq = itertools.count(1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<Telemetry {state} counters={len(self.registry.counters)} "
+                f"trace={len(self.trace_buffer)}>")
+
+
+class _NullTelemetry(Telemetry):
+    """The shared default sink: permanently disabled.
+
+    Every instrumented object starts pointing here, so instrumentation
+    costs one attribute read until a real :class:`Telemetry` is attached.
+    Being shared, it must never be switched on.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, trace_capacity=1)
+
+    def enable(self) -> None:
+        raise RuntimeError(
+            "NULL_TELEMETRY is the shared disabled sink; attach a real "
+            "Telemetry() instance instead of enabling it")
+
+
+#: Default sink for objects not attached to any simulation's telemetry.
+NULL_TELEMETRY = _NullTelemetry()

@@ -1,0 +1,91 @@
+"""The bounded structured trace: typed records of what the kernel did.
+
+Where metrics answer "how many", the trace answers "what happened, in
+order": every record carries the virtual time it describes, the subject
+(usually a subsystem or a directed link) and kind-specific detail fields.
+The buffer is a ring — old records are dropped, never the run — so
+tracing is safe to leave on for arbitrarily long simulations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class TraceKind:
+    """The record vocabulary.  Plain strings so records JSON-serialise."""
+
+    #: A scheduler dispatched one event.
+    DISPATCH = "dispatch"
+    #: A scheduler stopped at a channel horizon with work remaining.
+    STALL = "stall"
+    #: A safe-time grant was accepted from a peer.
+    GRANT = "grant"
+    #: An optimistic straggler forced a coordinated rollback.
+    ROLLBACK = "rollback"
+    #: A local checkpoint image was saved.
+    CHECKPOINT_SAVE = "checkpoint-save"
+    #: A subsystem was restored from a checkpoint image.
+    CHECKPOINT_RESTORE = "checkpoint-restore"
+    #: A subsystem performed its Chandy-Lamport cut.
+    SNAPSHOT_CUT = "snapshot-cut"
+    #: A message entered the transport.
+    MSG_SEND = "msg-send"
+    #: A message was drained from a node's inbox.
+    MSG_RECV = "msg-recv"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured observation."""
+
+    seq: int              # per-telemetry monotone ordinal
+    kind: str             # a :class:`TraceKind` value
+    time: float           # virtual time the record describes
+    subject: str          # subsystem, component or "src->dst" link
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "kind": self.kind, "time": self.time,
+                "subject": self.subject, **self.details}
+
+
+class TraceBuffer:
+    """A ring buffer of :class:`TraceRecord`; bounded, never blocking."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._records: "deque[TraceRecord]" = deque(maxlen=capacity)
+        #: Records ever appended (dropped ones included).
+        self.appended = 0
+
+    def append(self, record: TraceRecord) -> None:
+        self._records.append(record)
+        self.appended += 1
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring bound."""
+        return self.appended - len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, kind: str = None) -> List[TraceRecord]:
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.appended = 0

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from ..observability import NULL_TELEMETRY
 from .latency import SAME_HOST, LatencyModel
 
 
@@ -43,6 +44,9 @@ class NetworkAccounting:
         self.default_model = default_model
         self._models: Dict[Tuple[str, str], LatencyModel] = {}
         self.links: Dict[Tuple[str, str], LinkStats] = {}
+        #: Telemetry sink; every recorded message also feeds the global
+        #: and per-link counters of the observability registry.
+        self.telemetry = NULL_TELEMETRY
 
     def set_model(self, src: str, dst: str, model: LatencyModel,
                   *, both_ways: bool = True) -> None:
@@ -59,6 +63,12 @@ class NetworkAccounting:
         stats = self.links.get(key)
         if stats is None:
             stats = self.links[key] = LinkStats(self.model_for(src, dst))
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("transport.messages")
+            telemetry.count("transport.bytes", size)
+            telemetry.count(f"link.{src}->{dst}.messages")
+            telemetry.count(f"link.{src}->{dst}.bytes", size)
         return stats.record(size)
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import TransportError
+from ..observability import NULL_TELEMETRY, TraceKind
 from .accounting import NetworkAccounting
 from .latency import SAME_HOST, LatencyModel
 from .message import Message, MessageKind, decode, encode
@@ -38,6 +39,13 @@ class InMemoryTransport:
         self.simulate_wire = simulate_wire
         self._inboxes: Dict[str, deque] = {}
         self._call_handlers: Dict[str, CallHandler] = {}
+        #: Telemetry sink (attach via :meth:`attach_telemetry`).
+        self.telemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Feed message traces and per-link counters to ``telemetry``."""
+        self.telemetry = telemetry
+        self.accounting.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # registration
@@ -76,6 +84,11 @@ class InMemoryTransport:
             raise TransportError(f"unknown destination node {message.dst!r}")
         delivered, size = self._through_wire(message)
         delay = self.accounting.record(message.src, message.dst, size)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.trace(TraceKind.MSG_SEND, time=message.time,
+                            subject=f"{message.src}->{message.dst}",
+                            message_kind=message.kind.value, bytes=size)
         self._inboxes[message.dst].append(delivered)
         return delay
 
@@ -92,6 +105,12 @@ class InMemoryTransport:
                 f"(registered: {sorted(self._call_handlers)})")
         request, req_size = self._through_wire(message)
         self.accounting.record(message.src, message.dst, req_size)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.trace(TraceKind.MSG_SEND, time=message.time,
+                            subject=f"{message.src}->{message.dst}",
+                            message_kind=message.kind.value, bytes=req_size,
+                            call=True)
         reply = handler(request)
         if not isinstance(reply, Message):
             raise TransportError(
@@ -99,6 +118,11 @@ class InMemoryTransport:
                 f"{type(reply).__name__}, not Message")
         response, resp_size = self._through_wire(reply)
         self.accounting.record(message.dst, message.src, resp_size)
+        if telemetry.enabled:
+            telemetry.trace(TraceKind.MSG_RECV, time=reply.time,
+                            subject=f"{message.dst}->{message.src}",
+                            message_kind=reply.kind.value, bytes=resp_size,
+                            call=True)
         return response
 
     def poll(self, name: str, *, limit: Optional[int] = None) -> List[Message]:
@@ -110,6 +134,12 @@ class InMemoryTransport:
         drained: List[Message] = []
         while inbox and (limit is None or len(drained) < limit):
             drained.append(inbox.popleft())
+        telemetry = self.telemetry
+        if telemetry.enabled and drained:
+            for message in drained:
+                telemetry.trace(TraceKind.MSG_RECV, time=message.time,
+                                subject=f"{message.src}->{message.dst}",
+                                message_kind=message.kind.value)
         return drained
 
     def pending(self, name: Optional[str] = None) -> int:

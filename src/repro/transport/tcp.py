@@ -23,6 +23,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from ..core.errors import TransportError
+from ..observability import NULL_TELEMETRY, TraceKind
 from .accounting import NetworkAccounting
 from .latency import SAME_HOST, LatencyModel
 from .message import Message, MessageKind, decode, encode
@@ -113,6 +114,15 @@ class TcpTransport:
         self._call_handlers: Dict[str, Callable[[Message], Message]] = {}
         self._conns: Dict[tuple, socket.socket] = {}
         self._conn_lock = threading.Lock()
+        #: Telemetry sink (attach via :meth:`attach_telemetry`).  Counter
+        #: updates from receiver threads are advisory — a lost tick under
+        #: contention skews a statistic, never the simulation.
+        self.telemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Feed message traces and per-link counters to ``telemetry``."""
+        self.telemetry = telemetry
+        self.accounting.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def register(self, name: str,
@@ -171,6 +181,11 @@ class TcpTransport:
     def send(self, message: Message) -> float:
         blob = encode(message)
         self._charge(message.src, message.dst, len(blob))
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.trace(TraceKind.MSG_SEND, time=message.time,
+                            subject=f"{message.src}->{message.dst}",
+                            message_kind=message.kind.value, bytes=len(blob))
         conn = self._connection(message.src, message.dst)
         with self._conn_lock:
             _send_frame(conn, blob)
@@ -188,6 +203,11 @@ class TcpTransport:
             _send_frame(conn, blob)
             reply = decode(_recv_frame(conn))
         self._charge(message.dst, message.src, len(encode(reply)))
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.trace(TraceKind.MSG_RECV, time=reply.time,
+                            subject=f"{message.dst}->{message.src}",
+                            message_kind=reply.kind.value, call=True)
         return reply
 
     def poll(self, name: str, *, limit: Optional[int] = None) -> List[Message]:
@@ -198,6 +218,12 @@ class TcpTransport:
         with endpoint.lock:
             while endpoint.inbox and (limit is None or len(drained) < limit):
                 drained.append(endpoint.inbox.popleft())
+        telemetry = self.telemetry
+        if telemetry.enabled and drained:
+            for message in drained:
+                telemetry.trace(TraceKind.MSG_RECV, time=message.time,
+                                subject=f"{message.src}->{message.dst}",
+                                message_kind=message.kind.value)
         return drained
 
     def pending(self, name: Optional[str] = None) -> int:

@@ -12,6 +12,20 @@ import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
                             "examples")
+SRC_DIR = os.path.abspath(os.path.join(EXAMPLES_DIR, "..", "src"))
+
+
+def _example_env():
+    """The caller's environment with ``src`` prepended to ``PYTHONPATH``.
+
+    The examples import ``repro`` from the source tree; the test process
+    may have it importable via conftest path tricks or an editable
+    install, but the example *subprocesses* inherit only the environment.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+    return env
 
 FAST_EXAMPLES = [
     "quickstart.py",
@@ -30,7 +44,7 @@ def run_example(name, *args, timeout=120, cwd=None):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
     return subprocess.run(
         [sys.executable, path, *args], capture_output=True, text=True,
-        timeout=timeout, cwd=cwd or EXAMPLES_DIR)
+        timeout=timeout, cwd=cwd or EXAMPLES_DIR, env=_example_env())
 
 
 @pytest.mark.parametrize("name", FAST_EXAMPLES)

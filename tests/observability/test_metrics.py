@@ -1,0 +1,96 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.observability import (
+    Counter,
+    Gauge,
+    MetricError,
+    MetricsRegistry,
+    Timer,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_inc_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_monotonic_negative_increment_rejected(self):
+        c = Counter("c")
+        c.inc(3)
+        with pytest.raises(MetricError):
+            c.inc(-1)
+        assert c.value == 3
+
+    def test_monotonic_under_many_increments(self):
+        c = Counter("c")
+        previous = c.value
+        for n in (0, 1, 2, 0, 7, 1):
+            c.inc(n)
+            assert c.value >= previous
+            previous = c.value
+        assert c.value == 11
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.add(-3.5)
+        assert g.value == 6.5
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer("t")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.total >= 0.0
+
+    def test_add_external_measurement(self):
+        t = Timer("t")
+        t.add(1.5, blocks=3)
+        assert t.count == 3
+        assert t.total == 1.5
+
+
+class TestRegistry:
+    def test_counter_identity_by_name(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+
+    def test_snapshot_is_sorted_and_plain_data(self):
+        reg = MetricsRegistry()
+        reg.counter("zz").inc(2)
+        reg.counter("aa").inc(1)
+        reg.gauge("mid").set(3.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["aa", "zz"]
+        assert snap["counters"]["zz"] == 2
+        assert snap["gauges"]["mid"] == 3.0
+
+    def test_reset_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(5)
+        reg.gauge("g").set(2.0)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}}
+        assert reg.counter("x").value == 0
+
+    def test_timings_reported_separately_from_snapshot(self):
+        reg = MetricsRegistry()
+        reg.timer("run").add(0.25, blocks=2)
+        assert "run" not in reg.snapshot().get("counters", {})
+        assert reg.timings() == {
+            "run": {"total_seconds": 0.25, "count": 2}}

@@ -1,0 +1,214 @@
+"""RunReport assembly: determinism, the disabled fast path, and the
+end-to-end wiring through kernel, distributed layer and transport."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Advance,
+    FunctionComponent,
+    PortDirection,
+    ProcessComponent,
+    Receive,
+    Send,
+    Simulator,
+    WaitUntil,
+)
+from repro.distributed import ChannelMode, CoSimulation
+from repro.observability import (
+    NULL_TELEMETRY,
+    RunReport,
+    Telemetry,
+    TraceKind,
+    run_report,
+)
+
+
+class Ticker(ProcessComponent):
+    def __init__(self, name, count=5):
+        super().__init__(name)
+        self.count = count
+        self.add_port("out", PortDirection.OUT)
+
+    def run(self):
+        for i in range(self.count):
+            yield Advance(1.0)
+            yield Send("out", i)
+
+
+class Sink(ProcessComponent):
+    def __init__(self, name):
+        super().__init__(name)
+        self.seen = []
+        self.add_port("in", PortDirection.IN)
+
+    def run(self):
+        while True:
+            t, v = yield Receive("in")
+            self.seen.append((t, v))
+
+
+def _single_host(telemetry=None):
+    sim = Simulator("obs", telemetry=telemetry)
+    ticker = sim.add(Ticker("ticker"))
+    sink = sim.add(Sink("sink"))
+    sim.wire("n", ticker.port("out"), sink.port("in"))
+    return sim, ticker, sink
+
+
+def _cosim(telemetry=None):
+    """A fixed conservative two-subsystem scenario.
+
+    The channel id is pinned so two builds in one process are identical
+    (the auto-generated ids come from a process-global counter).
+    """
+    cosim = CoSimulation(telemetry=telemetry)
+    ss1 = cosim.add_subsystem(cosim.add_node("n1"), "ss1")
+    ss2 = cosim.add_subsystem(cosim.add_node("n2"), "ss2")
+
+    def sender(comp):
+        yield Advance(2.0)
+        yield Send("out", "ping")
+
+    def waiter(comp):
+        comp.order = []
+        t = yield WaitUntil(5.0)
+        comp.order.append(t)
+
+    def listener(comp):
+        t, v = yield Receive("in")
+        comp.got = (t, v)
+
+    ss2.add(FunctionComponent("sender", sender, ports={"out": "out"}))
+    ss1.add(FunctionComponent("waiter", waiter))
+    listen = FunctionComponent("listener", listener, ports={"in": "in"})
+    ss1.add(listen)
+    channel = cosim.connect(ss1, ss2, mode=ChannelMode.CONSERVATIVE,
+                            channel_id="obs-ch")
+    channel.split_net(ss1.wire("net", listen.port("in")),
+                      ss2.wire("net", cosim.subsystems["ss2"]
+                               .components["sender"].port("out")))
+    cosim.run()
+    return cosim
+
+
+class TestSingleHostWiring:
+    def test_scheduler_counters_flow_into_report(self):
+        sim, __, sink = _single_host()
+        sim.run()
+        report = sim.report()
+        assert report.counter("scheduler.dispatched") > 0
+        assert report.counter("scheduler.dispatched") == \
+            sim.subsystem.scheduler.dispatched
+        assert len(sink.seen) == 5
+        assert report.subsystems[0]["name"] == "obs"
+        assert report.subsystems[0]["time"] == sim.now
+
+    def test_checkpoint_counters_and_traces(self):
+        sim, __, ___ = _single_host()
+        sim.run(until=2.5)
+        cid = sim.checkpoint("mid")
+        sim.run()
+        sim.restore(cid)
+        report = sim.report()
+        assert report.counter("checkpoint.saves") >= 1
+        assert report.counter("checkpoint.restores") == 1
+        kinds = report.trace_counts
+        assert kinds.get(TraceKind.CHECKPOINT_SAVE, 0) >= 1
+        assert kinds.get(TraceKind.CHECKPOINT_RESTORE, 0) == 1
+
+    def test_dispatch_traces_recorded(self):
+        sim, __, ___ = _single_host()
+        sim.run()
+        records = sim.telemetry.trace_buffer.records(kind=TraceKind.DISPATCH)
+        assert records
+        # virtual times on dispatch records are monotonically nondecreasing
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+
+class TestCoSimulationWiring:
+    def test_full_stack_counters(self):
+        cosim = _cosim()
+        report = cosim.report()
+        assert report.counter("scheduler.dispatched") > 0
+        assert report.counter("safetime.requests") > 0
+        assert report.counter("transport.messages") > 0
+        assert report.counter("transport.bytes") > 0
+        link_counters = [name for name in report.counters
+                         if name.startswith("link.")]
+        assert link_counters
+        assert report.link_totals()["bytes"] == \
+            report.counter("transport.bytes")
+
+    def test_message_traces_have_byte_counts(self):
+        cosim = _cosim()
+        sends = cosim.telemetry.trace_buffer.records(kind=TraceKind.MSG_SEND)
+        assert sends
+        assert all(record.details["bytes"] > 0 for record in sends)
+        assert all("->" in record.subject for record in sends)
+
+
+class TestDeterminism:
+    def test_identical_reports_across_two_runs(self):
+        first = _cosim().report(title="det")
+        second = _cosim().report(title="det")
+        assert first.to_dict() == second.to_dict()
+        assert first.to_json() == second.to_json()
+
+    def test_json_round_trips(self):
+        report = _cosim().report(title="json")
+        data = json.loads(report.to_json())
+        assert data["title"] == "json"
+        assert data["counters"] == report.counters
+        assert "timings" not in data  # wall-clock excluded by default
+
+    def test_timings_opt_in(self):
+        report = _cosim().report()
+        assert "timings" in report.to_dict(include_timings=True)
+
+
+class TestDisabledFastPath:
+    def test_disabled_telemetry_records_nothing(self):
+        cosim = _cosim(telemetry=Telemetry(enabled=False))
+        report = cosim.report()
+        assert report.counters == {}
+        assert report.gauges == {}
+        assert report.trace_counts == {}
+        # the simulation itself is unaffected
+        assert cosim.subsystems["ss1"].components["listener"].got[1] == "ping"
+
+    def test_behaviour_identical_with_and_without_telemetry(self):
+        enabled = _cosim()
+        disabled = _cosim(telemetry=Telemetry(enabled=False))
+        for cosim in (enabled, disabled):
+            assert cosim.subsystems["ss1"].components["listener"].got == \
+                enabled.subsystems["ss1"].components["listener"].got
+            assert cosim.subsystems["ss1"].now == \
+                enabled.subsystems["ss1"].now
+
+    def test_null_telemetry_cannot_be_enabled(self):
+        with pytest.raises(RuntimeError):
+            NULL_TELEMETRY.enable()
+        assert not NULL_TELEMETRY.enabled
+
+    def test_report_on_bare_object_rejected(self):
+        with pytest.raises(TypeError):
+            run_report(object())
+
+
+class TestRender:
+    def test_render_mentions_every_section(self):
+        report = _cosim().report(title="render-me")
+        text = report.render()
+        assert "RunReport: render-me" in text
+        assert "ss1" in text and "ss2" in text
+        assert "scheduler.dispatched" in text
+        assert "trace records" in text
+
+    def test_save_json(self, tmp_path):
+        report = _cosim().report()
+        path = tmp_path / "report.json"
+        report.save_json(str(path))
+        assert json.loads(path.read_text())["counters"]

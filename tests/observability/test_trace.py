@@ -1,0 +1,85 @@
+"""Unit tests for the bounded structured trace buffer."""
+
+import pytest
+
+from repro.observability import Telemetry, TraceBuffer, TraceKind, TraceRecord
+
+
+def _fill(buf, count, kind=TraceKind.DISPATCH):
+    for i in range(count):
+        buf.append(TraceRecord(i + 1, kind, float(i), "ss"))
+
+
+class TestBoundedness:
+    def test_capacity_is_a_hard_bound(self):
+        buf = TraceBuffer(capacity=8)
+        _fill(buf, 100)
+        assert len(buf) == 8
+        assert buf.appended == 100
+        assert buf.dropped == 92
+
+    def test_keeps_the_most_recent_records(self):
+        buf = TraceBuffer(capacity=4)
+        _fill(buf, 10)
+        assert [r.time for r in buf.records()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+    def test_clear_resets_the_append_tally(self):
+        buf = TraceBuffer(capacity=2)
+        _fill(buf, 5)
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.appended == 0
+        assert buf.dropped == 0
+
+
+class TestFiltering:
+    def test_records_filtered_by_kind(self):
+        buf = TraceBuffer(capacity=16)
+        buf.append(TraceRecord(1, TraceKind.DISPATCH, 0.0, "ss"))
+        buf.append(TraceRecord(2, TraceKind.STALL, 1.0, "ss"))
+        buf.append(TraceRecord(3, TraceKind.DISPATCH, 2.0, "ss"))
+        assert len(buf.records(kind=TraceKind.DISPATCH)) == 2
+        assert len(buf.records(kind=TraceKind.STALL)) == 1
+
+    def test_counts_by_kind_covers_retained_records(self):
+        buf = TraceBuffer(capacity=16)
+        _fill(buf, 3, kind=TraceKind.MSG_SEND)
+        buf.append(TraceRecord(4, TraceKind.ROLLBACK, 0.0, "ss"))
+        assert buf.counts_by_kind() == {TraceKind.MSG_SEND: 3,
+                                        TraceKind.ROLLBACK: 1}
+
+
+class TestRecord:
+    def test_to_dict_flattens_details(self):
+        record = TraceRecord(7, TraceKind.GRANT, 2.5, "ss1",
+                             {"peer": "ss2", "desired": 3.0})
+        assert record.to_dict() == {"seq": 7, "kind": "grant", "time": 2.5,
+                                    "subject": "ss1", "peer": "ss2",
+                                    "desired": 3.0}
+
+
+class TestTelemetryTraceIntegration:
+    def test_telemetry_assigns_monotone_sequence_numbers(self):
+        telemetry = Telemetry(trace_capacity=8)
+        telemetry.trace(TraceKind.CHECKPOINT_SAVE, time=1.0, subject="ss")
+        telemetry.trace(TraceKind.CHECKPOINT_RESTORE, time=2.0, subject="ss")
+        seqs = [r.seq for r in telemetry.trace_buffer.records()]
+        assert seqs == [1, 2]
+
+    def test_capacity_respected_through_telemetry(self):
+        telemetry = Telemetry(trace_capacity=3)
+        for i in range(10):
+            telemetry.trace(TraceKind.DISPATCH, time=float(i))
+        assert len(telemetry.trace_buffer) == 3
+        assert telemetry.trace_buffer.dropped == 7
+
+    def test_details_kwargs_become_record_details(self):
+        telemetry = Telemetry()
+        telemetry.trace(TraceKind.MSG_SEND, time=4.0, subject="a->b",
+                        message_kind="event", bytes=42)
+        record = telemetry.trace_buffer.records()[0]
+        assert record.details == {"message_kind": "event", "bytes": 42}
