@@ -27,7 +27,9 @@ from .errors import (
     ConsistencyViolation,
     DeadlockError,
     HardwareStubError,
+    LinkDown,
     LoaderError,
+    NodeFailure,
     NoSuchCheckpointError,
     PiaError,
     ProtocolError,
@@ -85,7 +87,8 @@ __all__ = [
     "ConfigurationError", "ConsistencyViolation", "DEFAULT_LEVEL",
     "DeadlockError", "DetailSlider", "Event", "EventKind", "EventQueue",
     "FOREVER", "FunctionComponent", "HardwareStubError",
-    "IncrementalCheckpointStore", "Interface", "LoaderError", "Net",
+    "IncrementalCheckpointStore", "Interface", "LinkDown", "LoaderError",
+    "Net", "NodeFailure",
     "NoSuchCheckpointError", "PiaError", "Port", "PortDirection",
     "PRIORITY_CONTROL", "PRIORITY_INTERRUPT", "PRIORITY_SIGNAL",
     "PRIORITY_WAKE", "ProcessComponent", "ProtocolError",

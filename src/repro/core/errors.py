@@ -76,6 +76,35 @@ class TransportError(PiaError):
     """A message could not be carried between Pia nodes."""
 
 
+class LinkDown(TransportError):
+    """A link stayed unreachable through every retry attempt.
+
+    Raised by the transports once a :class:`~repro.faults.RetryPolicy`
+    exhausts its attempt budget (or its overall deadline) on one
+    directed link — whether the failures were injected by a
+    :class:`~repro.faults.FaultPlan` or were real socket errors.
+    """
+
+    def __init__(self, message: str, *, src: str | None = None,
+                 dst: str | None = None, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+
+
+class NodeFailure(PiaError):
+    """A Pia node crashed or became unreachable during a run.
+
+    Raised by the executors when the failure detector confirms a lost
+    node and the configured policy forbids (or cannot perform) recovery.
+    """
+
+    def __init__(self, message: str, *, node: str | None = None) -> None:
+        super().__init__(message)
+        self.node = node
+
+
 class HardwareStubError(PiaError):
     """The hardware-in-the-loop stub contract was violated."""
 

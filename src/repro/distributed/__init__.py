@@ -14,7 +14,7 @@ from .conservative import (
     compute_grant,
     local_floor,
 )
-from .executor import CoSimulation
+from .executor import FAILURE_POLICIES, CoSimulation
 from .node import PiaNode, Socket
 from .optimistic import RecoveryManager
 from .partition import Deployment, Design, NetSpec, deploy, suggest_partition
@@ -30,7 +30,8 @@ from .topology import communication_digraph, offending_cycles, validate
 
 __all__ = [
     "Channel", "ChannelComponent", "ChannelEndpoint", "ChannelMode",
-    "CoSimulation", "Deployment", "Design", "GlobalSnapshot", "NetSpec",
+    "CoSimulation", "Deployment", "Design", "FAILURE_POLICIES",
+    "GlobalSnapshot", "NetSpec",
     "PiaNode", "RecoveryManager", "SafeTimeClient", "SafeTimeService",
     "SnapshotManager", "SnapshotRegistry", "Socket", "StragglerError",
     "SubsystemCut", "ThreadedCoSimulation", "UNBOUNDED",

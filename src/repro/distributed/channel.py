@@ -108,6 +108,8 @@ class ChannelEndpoint:
         self.injected = 0
         self.stragglers = 0
         self.safe_time_requests = 0
+        #: True once the peer is gone for good (``drop-node`` policy).
+        self.severed = False
 
     # ------------------------------------------------------------------
     @property
@@ -149,6 +151,8 @@ class ChannelEndpoint:
     # ------------------------------------------------------------------
     def forward(self, net_name: str, time: float, value: Any) -> None:
         """Ship a local net change to the peer subsystem."""
+        if self.severed:
+            return
         stamp = time + self.delay_out
         self.forwarded += 1
         self.node.send_channel_message(Message(
@@ -185,11 +189,18 @@ class ChannelEndpoint:
     def reset_sync_state(self, *, forwarded: int = 0,
                          injected: int = 0) -> None:
         """Void all safe-time state (global rollback support)."""
-        self.peer_grant = 0.0
+        self.peer_grant = float("inf") if self.severed else 0.0
         self.granted = 0.0
         self.pending_echoes.clear()
         self.forwarded = forwarded
         self.injected = injected
+
+    def sever(self) -> None:
+        """Permanently disconnect: the peer is gone and must never block
+        (or receive traffic from) this side again."""
+        self.severed = True
+        self.peer_grant = float("inf")
+        self.pending_echoes.clear()
 
     # ------------------------------------------------------------------
     # incoming

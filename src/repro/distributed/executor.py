@@ -16,7 +16,12 @@ import itertools
 import time as _time
 from typing import Any, Dict, Iterable, List, Optional, Union
 
-from ..core.errors import ConfigurationError, DeadlockError
+from ..core.errors import (
+    ConfigurationError,
+    DeadlockError,
+    LinkDown,
+    NodeFailure,
+)
 from ..core.runlevel import (
     DetailSlider,
     Switchpoint,
@@ -24,7 +29,8 @@ from ..core.runlevel import (
     SwitchpointManager,
 )
 from ..core.subsystem import Subsystem
-from ..observability import RunReport, Telemetry, run_report
+from ..faults import FailureDetector, FaultInjector, FaultPlan, RetryPolicy
+from ..observability import RunReport, Telemetry, TraceKind, run_report
 from ..transport.inmemory import InMemoryTransport
 from ..transport.latency import SAME_HOST, LatencyModel
 from .channel import Channel, ChannelMode, StragglerError
@@ -36,6 +42,9 @@ from . import topology
 
 _channel_ids = itertools.count(1)
 
+#: What the executor does once the failure detector confirms a node loss.
+FAILURE_POLICIES = ("recover", "raise", "drop-node")
+
 
 class CoSimulation:
     """A complete distributed Pia system under deterministic execution."""
@@ -43,7 +52,11 @@ class CoSimulation:
     def __init__(self, *, transport: Optional[InMemoryTransport] = None,
                  default_model: LatencyModel = SAME_HOST,
                  snapshot_interval: Optional[float] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 failure_policy: str = "recover",
+                 heartbeat_misses: int = 3) -> None:
         self.transport = transport if transport is not None \
             else InMemoryTransport(default_model=default_model)
         #: Run telemetry shared by every layer; on by default (the
@@ -71,6 +84,37 @@ class CoSimulation:
         env = SwitchpointEnvironment(local_time=self._local_time,
                                      signal=self._signal)
         self.switchpoints = SwitchpointManager(env, self.set_runlevel)
+        # --- fault plane -------------------------------------------------
+        if failure_policy not in FAILURE_POLICIES:
+            raise ConfigurationError(
+                f"failure_policy must be one of {FAILURE_POLICIES}: "
+                f"{failure_policy!r}")
+        self.failure_policy = failure_policy
+        self.fault_plan = fault_plan
+        self.fault_injector: Optional[FaultInjector] = None
+        self.detector: Optional[FailureDetector] = None
+        self._pending_crashes: List = []
+        self._down_nodes: set = set()
+        self._dead_nodes: set = set()
+        self._dead_subsystems: set = set()
+        if fault_plan is not None:
+            self.fault_injector = FaultInjector(
+                fault_plan, retry_policy=retry_policy,
+                telemetry=self.telemetry)
+            attach_faults = getattr(self.transport, "attach_faults", None)
+            if attach_faults is None:
+                raise ConfigurationError(
+                    f"transport {type(self.transport).__name__} does not "
+                    "support fault injection (no attach_faults)")
+            attach_faults(self.fault_injector)
+            #: Heartbeat staleness, measured in run-loop rounds here.
+            self.detector = FailureDetector(timeout=float(heartbeat_misses))
+            self._pending_crashes = sorted(
+                fault_plan.crashes, key=lambda c: (c.at_time, c.node))
+        #: Extra settle budget: a held (delayed) message is in flight even
+        #: when a pump round moves nothing.
+        self._settle_slack = 1 + (fault_plan.max_delay_ticks()
+                                  if fault_plan is not None else 0)
         self._started = False
         #: Total rounds the run loop executed.
         self.rounds = 0
@@ -158,12 +202,18 @@ class CoSimulation:
                 return subsystem.components[name]
         raise ConfigurationError(f"no component named {name!r}")
 
+    def _live_subsystems(self) -> List[Subsystem]:
+        """Subsystems still part of the computation (``drop-node`` policy
+        permanently removes a failed node's subsystems)."""
+        return [ss for name, ss in sorted(self.subsystems.items())
+                if name not in self._dead_subsystems]
+
     def global_time(self) -> float:
         """The paper's global notion: the slowest subsystem's time."""
-        return min((ss.now for ss in self.subsystems.values()), default=0.0)
+        return min((ss.now for ss in self._live_subsystems()), default=0.0)
 
     def finished(self) -> bool:
-        return (all(ss.idle() for ss in self.subsystems.values())
+        return (all(ss.idle() for ss in self._live_subsystems())
                 and self.transport.pending() == 0)
 
     def stalls(self) -> int:
@@ -214,7 +264,7 @@ class CoSimulation:
         """Take one global Chandy-Lamport snapshot; returns its id."""
         self.start()
         if initiator is None:
-            initiator = sorted(self.subsystems)[0]
+            initiator = self._live_subsystems()[0].name
         subsystem = self.subsystem(initiator)
         assert subsystem.node is not None
         # Settle all signal traffic first (recovering from any straggler),
@@ -222,11 +272,16 @@ class CoSimulation:
         self._pump_all()
         snapshot_id = self._managers[subsystem.node.name].initiate(subsystem)
         # Marks need only message pumping (no subsystem progress) to settle.
-        for __ in range(2 * len(self.subsystems) + 2):
+        # With a fault plan attached a mark can be parked for a few poll
+        # ticks, so the settle budget widens and an idle pump round is not
+        # final while the injector still holds traffic.
+        injector = self.fault_injector
+        for __ in range((2 * len(self.subsystems) + 2) * self._settle_slack):
             pumped = sum(node.pump() for node in self._ordered_nodes())
             if self.registry.snapshots[snapshot_id].complete:
                 break
-            if pumped == 0:
+            if pumped == 0 and \
+                    (injector is None or injector.held_pending() == 0):
                 break
         snap = self.registry.snapshots[snapshot_id]
         if not snap.complete:
@@ -251,6 +306,8 @@ class CoSimulation:
     def _maybe_periodic_snapshot(self) -> None:
         if self.snapshot_interval is None:
             return
+        if self._down_nodes:
+            return    # marks to a down node are lost; wait for recovery
         if self.global_time() - self._last_snapshot_time >= self.snapshot_interval:
             self.snapshot()
 
@@ -271,16 +328,30 @@ class CoSimulation:
         self.validate_topology()
         for node in self._ordered_nodes():
             node.start()
-        if self._has_optimism():
-            # Optimism requires a restorable baseline before anything moves.
+        if self._has_optimism() or self._wants_crash_recovery():
+            # Optimism — and crash recovery — require a restorable
+            # baseline before anything moves.
             self.snapshot()
         self._poll_switchpoints()
 
+    def _wants_crash_recovery(self) -> bool:
+        return (self.fault_plan is not None
+                and bool(self.fault_plan.crashes)
+                and self.failure_policy == "recover")
+
     def _ordered_nodes(self) -> List[PiaNode]:
-        return [self.nodes[name] for name in sorted(self.nodes)]
+        return [self.nodes[name] for name in sorted(self.nodes)
+                if name not in self._down_nodes
+                and name not in self._dead_nodes]
 
     def _ordered_subsystems(self) -> List[Subsystem]:
-        return [self.subsystems[name] for name in sorted(self.subsystems)]
+        out = []
+        for subsystem in self._live_subsystems():
+            node = subsystem.node
+            if node is not None and node.name in self._down_nodes:
+                continue
+            out.append(subsystem)
+        return out
 
     def _pump_all(self) -> int:
         """Route all in-flight messages; recover from stragglers."""
@@ -290,6 +361,9 @@ class CoSimulation:
             for node in self._ordered_nodes():
                 try:
                     pumped += node.pump()
+                except LinkDown as down:
+                    self._absorb_link_down(down)
+                    pumped += 1
                 except StragglerError as straggler:
                     receiver = self._straggler_receiver(straggler)
                     self.recovery.recover(straggler, receiver)
@@ -332,7 +406,10 @@ class CoSimulation:
             self.rounds += 1
             if max_rounds is not None and self.rounds > max_rounds:
                 break
-            progress = self._pump_all() > 0
+            acted = False
+            if self.fault_injector is not None:
+                acted = self._fault_tick()
+            progress = self._pump_all() > 0 or acted
             for subsystem in self._ordered_subsystems():
                 self._pump_all()
                 client = self._sync[subsystem.name]
@@ -340,21 +417,29 @@ class CoSimulation:
                 if next_time == float("inf") or next_time > until:
                     continue
                 horizon = client.horizon()
-                if horizon < next_time:
-                    horizon = client.refresh(min(next_time, until))
-                if next_time <= horizon:
-                    # The horizon is re-read before every dispatch: sending
-                    # on a channel shrinks it via the echo bound.
-                    count = subsystem.run(until, horizon=client.horizon)
-                    dispatched += count
-                    progress = progress or count > 0
-                    self._poll_switchpoints()
+                try:
+                    if horizon < next_time:
+                        horizon = client.refresh(min(next_time, until))
+                    if next_time <= horizon:
+                        # The horizon is re-read before every dispatch:
+                        # sending on a channel shrinks it via the echo bound.
+                        count = subsystem.run(until, horizon=client.horizon)
+                        dispatched += count
+                        progress = progress or count > 0
+                        self._poll_switchpoints()
+                except LinkDown as down:
+                    self._absorb_link_down(down)
+                    progress = True
             self._maybe_periodic_snapshot()
             if not progress:
                 idle_rounds += 1
+                if self._down_nodes:
+                    # Quiescence is an illusion while a node is down; keep
+                    # ticking so the failure detector can confirm the loss.
+                    continue
                 if self.finished() or self._all_past(until):
                     break
-                if idle_rounds > len(self.subsystems) + 2:
+                if idle_rounds > (len(self.subsystems) + 2) * self._settle_slack:
                     self._report_deadlock(until)
             else:
                 idle_rounds = 0
@@ -371,7 +456,118 @@ class CoSimulation:
         if self.transport.pending():
             return False
         return all(ss.next_event_time() > until
-                   for ss in self.subsystems.values())
+                   for ss in self._live_subsystems())
+
+    # ------------------------------------------------------------------
+    # fault plane (crash, detect, recover/raise/drop)
+    # ------------------------------------------------------------------
+    def _fault_tick(self) -> bool:
+        """One round of the fault machinery: heartbeats, scheduled
+        crashes, suspicion, and the configured failure response.
+        Returns True if anything happened (counts as round progress)."""
+        detector = self.detector
+        now_round = float(self.rounds)
+        for name in self.nodes:
+            if name not in self._down_nodes and name not in self._dead_nodes:
+                detector.beat(name, now_round)
+        acted = False
+        now = self.global_time()
+        for crash in [c for c in self._pending_crashes if c.at_time <= now]:
+            self._pending_crashes.remove(crash)
+            self._crash_node(crash.node)
+            acted = True
+        for node in detector.suspects(now_round):
+            if node in self._down_nodes:
+                self._handle_node_failure(node)
+                acted = True
+        return acted
+
+    def _crash_node(self, name: str) -> None:
+        """Take ``name`` down: its traffic is lost until the failure
+        detector notices and the failure policy responds."""
+        if name not in self.nodes:
+            raise ConfigurationError(
+                f"scheduled crash for unknown node {name!r}")
+        if name in self._dead_nodes or name in self._down_nodes:
+            return
+        self._down_nodes.add(name)
+        self.fault_injector.mark_down(name)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("fault.node_crashes")
+            telemetry.trace(TraceKind.NODE_CRASH, time=self.global_time(),
+                            subject=name)
+
+    def _absorb_link_down(self, down: LinkDown) -> None:
+        """A send or call exhausted its retry budget.  If the destination
+        is a known, still-live node, presume it dead and let the failure
+        policy respond at the next fault tick; otherwise propagate."""
+        if self.fault_injector is None:
+            raise down
+        dst = down.dst
+        if dst in self._down_nodes or dst in self._dead_nodes:
+            return    # already waiting on the failure detector
+        if dst in self.nodes:
+            self._crash_node(dst)
+            return
+        raise down
+
+    def _handle_node_failure(self, node: str) -> None:
+        if self.failure_policy == "raise":
+            raise NodeFailure(
+                f"node {node!r} failed at global time "
+                f"{self.global_time():g} and recovery is disabled",
+                node=node)
+        if self.failure_policy == "drop-node":
+            self._drop_node(node)
+        else:
+            self._recover_node(node)
+
+    def _recover_node(self, node: str) -> None:
+        """Restart ``node`` from the last consistent global snapshot."""
+        completed = self.registry.completed()
+        if not completed:
+            raise NodeFailure(
+                f"node {node!r} failed with no completed snapshot to "
+                "recover from — set snapshot_interval", node=node)
+        snap = completed[-1]
+        # The node is back before the rollback runs, so the re-injected
+        # channel state is not swallowed as lost traffic.
+        self._down_nodes.discard(node)
+        self.fault_injector.mark_up(node)
+        self.recovery.rollback_to(snap)
+        self._last_snapshot_time = self.global_time()
+        self.detector.beat(node, float(self.rounds))
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("fault.node_recoveries")
+            telemetry.trace(TraceKind.NODE_RECOVER, time=self.global_time(),
+                            subject=node, snapshot_id=snap.snapshot_id,
+                            restored_time=snap.max_time())
+
+    def _drop_node(self, name: str) -> None:
+        """Graceful degradation: cut the failed node out of the system
+        and let the survivors finish without it."""
+        self._down_nodes.discard(name)
+        self._dead_nodes.add(name)
+        self.detector.forget(name)
+        node = self.nodes[name]
+        for ss_name, subsystem in sorted(node.subsystems.items()):
+            self._dead_subsystems.add(ss_name)
+            for endpoint in subsystem.channels.values():
+                endpoint.sever()
+                endpoint.channel.other(ss_name).sever()
+        unregister = getattr(self.transport, "unregister", None)
+        if unregister is not None:
+            unregister(name)
+        # Stray sends towards the dead node stay "lost", never errors, so
+        # the node remains marked down; its parked deliveries are purged.
+        self.fault_injector.purge_node(name)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("fault.nodes_dropped")
+            telemetry.trace(TraceKind.NODE_DROP, time=self.global_time(),
+                            subject=name)
 
     def _report_deadlock(self, until: float) -> None:
         detail = []

@@ -146,6 +146,8 @@ class SnapshotManager:
                             snapshot_id=snapshot_id,
                             checkpoint_id=checkpoint_id)
         for channel_id, endpoint in subsystem.channels.items():
+            if endpoint.severed:
+                continue    # the peer is gone; no marks can cross
             cut.recorded[channel_id] = []
             cut.pending.add(channel_id)
             self.marks_sent += 1

@@ -19,8 +19,15 @@ import threading
 import time as _time
 from typing import Dict, Optional, Union
 
-from ..core.errors import ConfigurationError, SimulationError
+from ..core.errors import (
+    ConfigurationError,
+    LinkDown,
+    NodeFailure,
+    SimulationError,
+)
 from ..core.subsystem import Subsystem
+from ..faults import FailureDetector, FaultInjector, FaultPlan, RetryPolicy
+from ..observability import RunReport, Telemetry, TraceKind, run_report
 from ..transport.inmemory import InMemoryTransport
 from ..transport.latency import SAME_HOST, LatencyModel
 from ..transport.message import Message, MessageKind
@@ -79,10 +86,16 @@ class _NodeWorker(threading.Thread):
         self.dispatched = 0
         self.error: Optional[BaseException] = None
         self.idle = threading.Event()
+        #: Set by the coordinator when this node's scheduled crash fires.
+        self.down = threading.Event()
 
     def run(self) -> None:
+        detector = self.runner.detector
         try:
-            while not self.runner.stop_flag.is_set():
+            while not self.runner.stop_flag.is_set() \
+                    and not self.down.is_set():
+                if detector is not None:
+                    detector.beat(self.node.name, _time.monotonic())
                 progress = self._one_round()
                 if progress:
                     self.idle.clear()
@@ -91,8 +104,9 @@ class _NodeWorker(threading.Thread):
                     _time.sleep(0.001)
         except BaseException as exc:   # surface into the coordinator
             self.error = exc
-            self.idle.set()
             self.runner.stop_flag.set()
+        finally:
+            self.idle.set()
 
     def _one_round(self) -> bool:
         progress = False
@@ -120,18 +134,48 @@ class _NodeWorker(threading.Thread):
 
 
 class ThreadedCoSimulation:
-    """Run each Pia node on its own thread (conservative channels only)."""
+    """Run each Pia node on its own thread (conservative channels only).
+
+    With a ``fault_plan`` attached, message chaos is injected at the
+    transport boundary exactly as in :class:`CoSimulation`, and scheduled
+    node crashes stop that node's worker mid-run.  A heartbeat failure
+    detector (wall-clock seconds here) confirms the loss; the threaded
+    executor cannot roll back, so a confirmed loss always surfaces as a
+    typed :class:`~repro.core.errors.NodeFailure`.
+    """
 
     def __init__(self, *, transport=None,
-                 default_model: LatencyModel = SAME_HOST) -> None:
+                 default_model: LatencyModel = SAME_HOST,
+                 telemetry: Optional[Telemetry] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 heartbeat_timeout: float = 1.0) -> None:
         self.transport = transport if transport is not None \
             else InMemoryTransport(default_model=default_model)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        attach = getattr(self.transport, "attach_telemetry", None)
+        if attach is not None:
+            attach(self.telemetry)
         self.nodes: Dict[str, PiaNode] = {}
         self.subsystems: Dict[str, Subsystem] = {}
         self.channels: Dict[str, Channel] = {}
         self.locks: Dict[str, threading.RLock] = {}
         self.clients: Dict[str, SafeTimeClient] = {}
         self.stop_flag = threading.Event()
+        self.fault_plan = fault_plan
+        self.fault_injector: Optional[FaultInjector] = None
+        self.detector: Optional[FailureDetector] = None
+        if fault_plan is not None:
+            self.fault_injector = FaultInjector(
+                fault_plan, retry_policy=retry_policy,
+                telemetry=self.telemetry)
+            attach_faults = getattr(self.transport, "attach_faults", None)
+            if attach_faults is None:
+                raise ConfigurationError(
+                    f"transport {type(self.transport).__name__} does not "
+                    "support fault injection (no attach_faults)")
+            attach_faults(self.fault_injector)
+            self.detector = FailureDetector(timeout=heartbeat_timeout)
 
     # ------------------------------------------------------------------
     def add_node(self, name: str) -> PiaNode:
@@ -182,13 +226,36 @@ class ThreadedCoSimulation:
         self.stop_flag.clear()
         workers = [_NodeWorker(self, self.nodes[name], until)
                    for name in sorted(self.nodes)]
+        by_name = {worker.node.name: worker for worker in workers}
+        pending_crashes = sorted(
+            self.fault_plan.crashes, key=lambda c: (c.at_time, c.node)) \
+            if self.fault_plan is not None else []
+        for crash in pending_crashes:
+            if crash.node not in by_name:
+                raise ConfigurationError(
+                    f"scheduled crash for unknown node {crash.node!r}")
+        if self.detector is not None:
+            now = _time.monotonic()
+            for name in by_name:
+                self.detector.beat(name, now)
         for worker in workers:
             worker.start()
         deadline = _time.monotonic() + timeout
+        failed: Optional[str] = None
         try:
             while _time.monotonic() < deadline:
                 if self.stop_flag.is_set():
                     break
+                now = self.global_time()
+                while pending_crashes and pending_crashes[0].at_time <= now:
+                    crash = pending_crashes.pop(0)
+                    self._crash_node(by_name[crash.node])
+                if self.detector is not None:
+                    suspects = self.detector.suspects(_time.monotonic())
+                    if suspects:
+                        failed = suspects[0]
+                        self.stop_flag.set()
+                        break
                 if self._quiescent(workers, until):
                     break
                 _time.sleep(0.002)
@@ -200,10 +267,31 @@ class ThreadedCoSimulation:
             self.stop_flag.set()
             for worker in workers:
                 worker.join(timeout=5.0)
+        if failed is not None:
+            raise NodeFailure(
+                f"node {failed!r} stopped heartbeating — the threaded "
+                "executor cannot roll back; rerun under CoSimulation with "
+                "failure_policy='recover' for crash recovery", node=failed)
         for worker in workers:
             if worker.error is not None:
+                if isinstance(worker.error, LinkDown):
+                    raise NodeFailure(
+                        f"node {worker.node.name!r} lost its link towards "
+                        f"{worker.error.dst!r}: {worker.error}",
+                        node=worker.error.dst) from worker.error
                 raise worker.error
         return sum(worker.dispatched for worker in workers)
+
+    def _crash_node(self, worker: _NodeWorker) -> None:
+        """Fire a scheduled crash: stop the worker, lose its traffic."""
+        worker.down.set()
+        if self.fault_injector is not None:
+            self.fault_injector.mark_down(worker.node.name)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("fault.node_crashes")
+            telemetry.trace(TraceKind.NODE_CRASH, time=self.global_time(),
+                            subject=worker.node.name)
 
     def _quiescent(self, workers, until: float) -> bool:
         """All workers idle with nothing in flight, twice in a row."""
@@ -224,3 +312,7 @@ class ThreadedCoSimulation:
 
     def global_time(self) -> float:
         return min((ss.now for ss in self.subsystems.values()), default=0.0)
+
+    def report(self, *, title: Optional[str] = None) -> RunReport:
+        """Assemble the :class:`~repro.observability.RunReport` so far."""
+        return run_report(self, title=title)

@@ -1,0 +1,42 @@
+"""Deterministic fault injection and fault tolerance for the backplane.
+
+Three layers (see each module's docstring):
+
+* :mod:`repro.faults.plan` — the **injection plane**: a seeded
+  :class:`FaultPlan` of message drop/duplicate/delay/reorder rates, link
+  partition windows and scheduled node crashes, decided as a pure
+  function of the seed so chaos experiments replay bit for bit;
+* :mod:`repro.faults.retry` / :mod:`repro.faults.injector` — the
+  **resilience layer**: a :class:`RetryPolicy` (exponential backoff,
+  plan-seeded jitter) driven by the :class:`FaultInjector` that both
+  transports consult at their send/poll boundary;
+* :mod:`repro.faults.detector` — heartbeat **failure detection**, which
+  the executors combine with the Chandy-Lamport snapshot registry to
+  recover a crashed node from the last consistent global snapshot.
+"""
+
+from .detector import FailureDetector
+from .injector import FaultInjector
+from .plan import (
+    DEFAULT_KINDS,
+    DELAY,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    FaultPlan,
+    LinkFaults,
+    LOST,
+    NO_FAULTS,
+    NodeCrash,
+    PARTITION,
+    Partition,
+    REORDER,
+)
+from .retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "DEFAULT_KINDS", "DELAY", "DELIVER", "DROP", "DUPLICATE",
+    "FailureDetector", "FaultInjector", "FaultPlan", "LOST", "LinkFaults",
+    "NO_FAULTS", "NO_RETRY", "NodeCrash", "PARTITION", "Partition",
+    "REORDER", "RetryPolicy",
+]

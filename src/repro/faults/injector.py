@@ -1,0 +1,271 @@
+"""The fault injection plane shared by both transports.
+
+A :class:`FaultInjector` sits at the send/poll boundary of
+:class:`~repro.transport.inmemory.InMemoryTransport` and
+:class:`~repro.transport.tcp.TcpTransport`:
+
+* at **send**, it rolls the plan's decision for the message's per-link
+  ordinal; injected drops are retried against the
+  :class:`~repro.faults.RetryPolicy` attempt budget (the resilience layer
+  the chaos is there to exercise) until delivery or a typed
+  :class:`~repro.core.errors.LinkDown`;
+* **delayed** and **reordered** messages are held here and released at
+  the destination's poll boundary;
+* **duplicated** messages are delivered twice and deduplicated at poll by
+  message id — exactly-once delivery on top of at-least-once chaos;
+* sends touching a **crashed** node are swallowed and counted (the
+  executors' failure detector and recovery deal with the node itself).
+
+The injector keeps its own exact counters under a lock — unlike the
+advisory telemetry counters, these must be bit-identical across two runs
+of the same seed — and mirrors every event into telemetry for the
+:class:`~repro.observability.RunReport`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import LinkDown
+from ..observability import NULL_TELEMETRY, TraceKind
+from .plan import (
+    DELAY,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    FaultPlan,
+    LOST,
+    PARTITION,
+    REORDER,
+)
+from .retry import RetryPolicy
+
+
+class FaultInjector:
+    """Deterministic fault decisions plus the queues they require."""
+
+    def __init__(self, plan: FaultPlan, *,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 telemetry=NULL_TELEMETRY) -> None:
+        self.plan = plan
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Telemetry mirror (attached by the owning executor/transport).
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        #: Exact event counters (deterministic; see module docstring).
+        self.counts: Dict[str, int] = {}
+        self._seq: Dict[Tuple[str, str], int] = {}
+        #: dst -> [(release_tick, item)] delayed deliveries.
+        self._held: Dict[str, List[Tuple[int, Any]]] = {}
+        #: dst -> poll tick counter.
+        self._ticks: Dict[str, int] = {}
+        #: (src, dst) -> item awaiting a swap with the link's next send.
+        self._swaps: Dict[Tuple[str, str], Any] = {}
+        #: dst -> msg ids with one extra copy in flight (dedup at poll).
+        self._dup_ids: Dict[str, set] = {}
+        self._down: set = set()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        # Callers hold self._lock.
+        self.counts[name] = self.counts.get(name, 0) + n
+        self.telemetry.count(name, n)
+
+    def summary(self) -> Dict[str, int]:
+        """The exact fault/retry counters, sorted by name."""
+        with self._lock:
+            return dict(sorted(self.counts.items()))
+
+    def backoff_uniform(self, src: str, dst: str, retry_index: int) -> float:
+        """Plan-seeded jitter draw for a real-error retry sleep."""
+        return self.plan.uniform("backoff", src, dst, retry_index)
+
+    # ------------------------------------------------------------------
+    # crashed nodes
+    # ------------------------------------------------------------------
+    def mark_down(self, node: str) -> None:
+        with self._lock:
+            self._down.add(node)
+
+    def mark_up(self, node: str) -> None:
+        with self._lock:
+            self._down.discard(node)
+
+    def node_down(self, node: str) -> bool:
+        return node in self._down
+
+    # ------------------------------------------------------------------
+    # send boundary
+    # ------------------------------------------------------------------
+    def on_send(self, message) -> Tuple[str, int]:
+        """Decide the fate of ``message``; returns ``(action, ticks)``.
+
+        Injected drops consume retry attempts internally, so the caller
+        only ever sees a terminal action — or :class:`LinkDown` once the
+        attempt budget is spent.
+        """
+        src, dst = message.src, message.dst
+        with self._lock:
+            if src in self._down or dst in self._down:
+                self._count("fault.messages_lost")
+                if self.telemetry.enabled:
+                    self.telemetry.trace(
+                        TraceKind.FAULT_INJECT, time=message.time,
+                        subject=f"{src}->{dst}", action=LOST,
+                        message_kind=message.kind.value)
+                return LOST, 0
+            if not self.plan.applies(message):
+                return DELIVER, 0
+            key = (src, dst)
+            seq = self._seq.get(key, 0) + 1
+            self._seq[key] = seq
+            attempt = 0
+            while True:
+                action, ticks = self.plan.decide(src, dst, seq, attempt,
+                                                 message.time)
+                if action not in (DROP, PARTITION):
+                    break
+                self._count("fault.partition_drops" if action is PARTITION
+                            else "fault.drops")
+                attempt += 1
+                if attempt >= self.retry_policy.max_attempts:
+                    self._count("retry.giveups")
+                    raise LinkDown(
+                        f"link {src}->{dst}: message #{seq} dropped on all "
+                        f"{attempt} attempts", src=src, dst=dst,
+                        attempts=attempt)
+                self._count("retry.attempts")
+                if self.telemetry.enabled:
+                    self.telemetry.trace(
+                        TraceKind.RETRY, time=message.time,
+                        subject=f"{src}->{dst}", attempt=attempt, seq=seq)
+            if action is not DELIVER:
+                self._count(f"fault.{action}s")
+                if self.telemetry.enabled:
+                    self.telemetry.trace(
+                        TraceKind.FAULT_INJECT, time=message.time,
+                        subject=f"{src}->{dst}", action=action, seq=seq)
+            return action, ticks
+
+    def check_call(self, message) -> None:
+        """Gate a synchronous call: calls cannot reach a crashed node."""
+        with self._lock:
+            if message.src in self._down or message.dst in self._down:
+                self._count("fault.calls_failed")
+                raise LinkDown(
+                    f"call {message.src}->{message.dst}: node down",
+                    src=message.src, dst=message.dst)
+
+    # ------------------------------------------------------------------
+    # held traffic (delay / reorder), released at the poll boundary
+    # ------------------------------------------------------------------
+    def hold(self, dst: str, item: Any, ticks: int) -> None:
+        """Park a delayed delivery for ``ticks`` polls of ``dst``."""
+        with self._lock:
+            due = self._ticks.get(dst, 0) + ticks
+            self._held.setdefault(dst, []).append((due, item))
+
+    def hold_swap(self, src: str, dst: str, item: Any) -> None:
+        """Park a delivery until the link's next send (a true reorder).
+
+        At most one item is parked per link; a second reorder decision
+        before the first is released just queues behind it as a delay.
+        """
+        with self._lock:
+            if (src, dst) in self._swaps:
+                due = self._ticks.get(dst, 0) + 1
+                self._held.setdefault(dst, []).append((due, item))
+            else:
+                self._swaps[(src, dst)] = item
+
+    def take_swaps(self, src: str, dst: str) -> List[Any]:
+        """Items parked on this link, now due behind the current send."""
+        with self._lock:
+            item = self._swaps.pop((src, dst), None)
+            return [] if item is None else [item]
+
+    def release_due(self, dst: str) -> List[Any]:
+        """Advance ``dst``'s poll tick; return deliveries now due.
+
+        Swap-parked items whose follow-up send never came are flushed
+        here too, so no message is held beyond its destination's next
+        poll plus its delay budget.
+        """
+        with self._lock:
+            tick = self._ticks.get(dst, 0) + 1
+            self._ticks[dst] = tick
+            held = self._held.get(dst)
+            due: List[Any] = []
+            if held:
+                keep = []
+                for release_tick, item in held:
+                    if release_tick <= tick:
+                        due.append(item)
+                    else:
+                        keep.append((release_tick, item))
+                if keep:
+                    self._held[dst] = keep
+                else:
+                    del self._held[dst]
+            for key in [k for k in self._swaps if k[1] == dst]:
+                due.append(self._swaps.pop(key))
+            return due
+
+    # ------------------------------------------------------------------
+    # duplicate suppression (exactly-once on top of at-least-once)
+    # ------------------------------------------------------------------
+    def expect_duplicate(self, dst: str, msg_id: int) -> None:
+        with self._lock:
+            self._dup_ids.setdefault(dst, set()).add(msg_id)
+
+    def suppress_duplicate(self, dst: str, message) -> bool:
+        """True if this drained copy is the redundant one: drop it."""
+        ids = self._dup_ids.get(dst)
+        if not ids or message.msg_id not in ids:
+            return False
+        with self._lock:
+            ids.discard(message.msg_id)
+            if not ids:
+                self._dup_ids.pop(dst, None)
+            self._count("fault.duplicates_suppressed")
+        return True
+
+    # ------------------------------------------------------------------
+    # transport integration
+    # ------------------------------------------------------------------
+    def held_pending(self, name: Optional[str] = None) -> int:
+        """Deliveries parked here (counted into ``transport.pending``)."""
+        with self._lock:
+            if name is not None:
+                return (len(self._held.get(name, ()))
+                        + sum(1 for k in self._swaps if k[1] == name))
+            return (sum(len(v) for v in self._held.values())
+                    + len(self._swaps))
+
+    def purge_node(self, node: str) -> int:
+        """Discard everything parked for (or swapped towards) ``node`` —
+        it left the system for good."""
+        with self._lock:
+            purged = len(self._held.pop(node, ()))
+            for key in [k for k in self._swaps if node in k]:
+                del self._swaps[key]
+                purged += 1
+            self._dup_ids.pop(node, None)
+            return purged
+
+    def flush(self) -> int:
+        """Drop everything parked (global rollback support)."""
+        with self._lock:
+            dropped = (sum(len(v) for v in self._held.values())
+                       + len(self._swaps))
+            self._held.clear()
+            self._swaps.clear()
+            self._dup_ids.clear()
+            return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<FaultInjector plan={self.plan!r} "
+                f"held={self.held_pending()}>")

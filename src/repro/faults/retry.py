@@ -1,0 +1,63 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+One policy object governs both flavours of send failure — faults injected
+by a :class:`~repro.faults.FaultPlan` and real socket errors on the TCP
+transport.  Jitter is *supplied by the caller* as a uniform draw (derived
+from the plan's seed when one is attached), so backoff sequences replay
+exactly; without a plan, the midpoint draw 0.5 yields plain exponential
+backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard a transport tries before declaring a link down."""
+
+    #: Total attempts per message (first try included).
+    max_attempts: int = 8
+    #: Wall-clock sleep before the first retry (seconds).
+    base_delay: float = 0.02
+    #: Backoff multiplier per further retry.
+    multiplier: float = 2.0
+    #: Ceiling for a single backoff sleep.
+    max_delay: float = 1.0
+    #: Jitter as a fraction of the computed delay (0 = none).
+    jitter: float = 0.1
+    #: Overall wall-clock budget across all attempts of one send.
+    deadline: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.deadline <= 0:
+            raise ConfigurationError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1: {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be within [0, 1]: {self.jitter}")
+
+    def backoff(self, retry_index: int, u: float = 0.5) -> float:
+        """Sleep before the ``retry_index``-th retry (0-based).
+
+        ``u`` is a uniform draw in [0, 1) spreading the sleep across
+        ``delay * (1 ± jitter)``; pass a plan-derived draw for
+        reproducible jitter.
+        """
+        delay = min(self.base_delay * self.multiplier ** retry_index,
+                    self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return max(0.0, delay)
+
+
+#: Retry effectively disabled: one attempt, fail fast.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)

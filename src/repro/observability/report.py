@@ -30,6 +30,10 @@ class RunReport:
     gauges: dict = field(default_factory=dict)
     #: (straggler_time, snapshot_id, restored_time) per recovery.
     rollbacks: List[dict] = field(default_factory=list)
+    #: Exact fault/retry counters from the fault injector, when one is
+    #: attached — deterministic for a given plan seed, unlike
+    #: :attr:`counters` which may lose ticks under thread contention.
+    faults: dict = field(default_factory=dict)
     trace_counts: dict = field(default_factory=dict)
     trace_dropped: int = 0
     #: Wall-clock timers — nondeterministic, excluded from to_dict()
@@ -45,6 +49,7 @@ class RunReport:
             "counters": self.counters,
             "gauges": self.gauges,
             "rollbacks": self.rollbacks,
+            "faults": self.faults,
             "trace": {"counts": self.trace_counts,
                       "dropped": self.trace_dropped},
         }
@@ -99,6 +104,12 @@ class RunReport:
                 [[str(i + 1), f"{row['straggler_time']:g}",
                   row["snapshot_id"], f"{row['restored_time']:g}"]
                  for i, row in enumerate(self.rollbacks)]))
+        if self.faults:
+            out.append("")
+            out.append(_table(
+                ["fault/retry", "count"],
+                [[name, str(value)]
+                 for name, value in sorted(self.faults.items())]))
         if self.counters:
             out.append("")
             out.append(_table(
@@ -186,6 +197,11 @@ def run_report(target, *, title: Optional[str] = None) -> RunReport:
                  "restored_time": restored_time}
                 for straggler_time, snapshot_id, restored_time
                 in recovery.rollbacks]
+        injector = getattr(target, "fault_injector", None)
+        if injector is None and transport is not None:
+            injector = getattr(transport, "fault_injector", None)
+        if injector is not None:
+            report.faults = injector.summary()
     else:
         subsystem = getattr(target, "subsystem", None)
         if subsystem is None:

@@ -35,6 +35,16 @@ class TraceKind:
     MSG_SEND = "msg-send"
     #: A message was drained from a node's inbox.
     MSG_RECV = "msg-recv"
+    #: A fault plan perturbed a message (drop/duplicate/delay/reorder).
+    FAULT_INJECT = "fault-inject"
+    #: A send attempt was retried (injected drop or real transport error).
+    RETRY = "retry"
+    #: A scheduled node crash took effect.
+    NODE_CRASH = "node-crash"
+    #: A failed node was restored from the last consistent snapshot.
+    NODE_RECOVER = "node-recover"
+    #: A failed node was dropped from the run (graceful degradation).
+    NODE_DROP = "node-drop"
 
 
 @dataclass(frozen=True)

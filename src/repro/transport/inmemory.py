@@ -41,11 +41,20 @@ class InMemoryTransport:
         self._call_handlers: Dict[str, CallHandler] = {}
         #: Telemetry sink (attach via :meth:`attach_telemetry`).
         self.telemetry = NULL_TELEMETRY
+        #: Fault plane (attach via :meth:`attach_faults`).
+        self.fault_injector = None
 
     def attach_telemetry(self, telemetry) -> None:
         """Feed message traces and per-link counters to ``telemetry``."""
         self.telemetry = telemetry
         self.accounting.telemetry = telemetry
+        if self.fault_injector is not None:
+            self.fault_injector.telemetry = telemetry
+
+    def attach_faults(self, injector) -> None:
+        """Route every send/poll through ``injector``'s fault plane."""
+        self.fault_injector = injector
+        injector.telemetry = self.telemetry
 
     # ------------------------------------------------------------------
     # registration
@@ -79,7 +88,22 @@ class InMemoryTransport:
         return message, len(blob)
 
     def send(self, message: Message) -> float:
-        """Queue ``message`` for its destination; returns the wire delay."""
+        """Queue ``message`` for its destination; returns the wire delay.
+
+        With a fault plane attached, the injector decides the message's
+        fate first: injected drops are retried internally (raising
+        :class:`~repro.core.errors.LinkDown` once the budget is spent),
+        delayed/reordered messages are parked with the injector and
+        released at :meth:`poll`, duplicates are queued twice and
+        deduplicated at the poll boundary, and traffic touching a
+        crashed node is swallowed (``lost``).
+        """
+        injector = self.fault_injector
+        action, ticks = "deliver", 0
+        if injector is not None:
+            action, ticks = injector.on_send(message)
+            if action == "lost":
+                return 0.0
         if message.dst not in self._inboxes:
             raise TransportError(f"unknown destination node {message.dst!r}")
         delivered, size = self._through_wire(message)
@@ -89,15 +113,32 @@ class InMemoryTransport:
             telemetry.trace(TraceKind.MSG_SEND, time=message.time,
                             subject=f"{message.src}->{message.dst}",
                             message_kind=message.kind.value, bytes=size)
-        self._inboxes[message.dst].append(delivered)
+        if action == "delay":
+            injector.hold(message.dst, delivered, ticks)
+            return delay
+        if action == "reorder":
+            injector.hold_swap(message.src, message.dst, delivered)
+            return delay
+        inbox = self._inboxes[message.dst]
+        inbox.append(delivered)
+        if action == "duplicate":
+            extra, extra_size = self._through_wire(message)
+            self.accounting.record(message.src, message.dst, extra_size)
+            inbox.append(extra)
+            injector.expect_duplicate(message.dst, delivered.msg_id)
+        if injector is not None:
+            for late in injector.take_swaps(message.src, message.dst):
+                inbox.append(late)
         return delay
 
     def call(self, message: Message) -> Message:
         """Synchronous request/response (the RMI analogue).
 
         The destination's call handler runs inline; both directions are
-        charged to accounting.
+        charged to accounting.  Calls cannot reach a crashed node.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.check_call(message)
         handler = self._call_handlers.get(message.dst)
         if handler is None:
             raise TransportError(
@@ -131,9 +172,16 @@ class InMemoryTransport:
             inbox = self._inboxes[name]
         except KeyError:
             raise TransportError(f"unknown node {name!r}") from None
+        injector = self.fault_injector
+        if injector is not None:
+            inbox.extend(injector.release_due(name))
         drained: List[Message] = []
         while inbox and (limit is None or len(drained) < limit):
-            drained.append(inbox.popleft())
+            message = inbox.popleft()
+            if injector is not None and \
+                    injector.suppress_duplicate(name, message):
+                continue
+            drained.append(message)
         telemetry = self.telemetry
         if telemetry.enabled and drained:
             for message in drained:
@@ -143,16 +191,22 @@ class InMemoryTransport:
         return drained
 
     def pending(self, name: Optional[str] = None) -> int:
-        """Messages queued for ``name`` (or for every node)."""
+        """Messages queued for ``name`` (or for every node), the fault
+        plane's parked deliveries included."""
+        held = 0
+        if self.fault_injector is not None:
+            held = self.fault_injector.held_pending(name)
         if name is not None:
-            return len(self._inboxes.get(name, ()))
-        return sum(len(q) for q in self._inboxes.values())
+            return len(self._inboxes.get(name, ())) + held
+        return sum(len(q) for q in self._inboxes.values()) + held
 
     def flush(self) -> int:
         """Drop every undelivered message (optimistic rollback support)."""
         dropped = sum(len(q) for q in self._inboxes.values())
         for inbox in self._inboxes.values():
             inbox.clear()
+        if self.fault_injector is not None:
+            dropped += self.fault_injector.flush()
         return dropped
 
     def drop_if(self, predicate: Callable[[Message], bool]) -> int:

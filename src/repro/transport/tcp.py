@@ -8,21 +8,30 @@ table.  An optional ``delay_scale`` injects a real ``sleep`` proportional
 to the link's modelled latency so wall-clock behaviour can be observed,
 scaled down to keep experiments tractable.
 
+Failure handling: outbound connections are cached per directed link and
+guarded by a per-connection lock, so concurrent senders to different
+destinations never serialise on one global lock.  A send or call that
+hits a dead socket evicts the cached connection and retries against the
+transport's :class:`~repro.faults.RetryPolicy` (exponential backoff,
+plan-seeded jitter when a fault injector is attached); once the attempt
+budget or deadline is spent the caller sees a typed
+:class:`~repro.core.errors.LinkDown` rather than a raw socket error.
+
 The deterministic experiments use :class:`InMemoryTransport`; this class
 exists to exercise the genuinely concurrent, multi-threaded deployment.
 """
 
 from __future__ import annotations
 
-import itertools
 import socket
 import struct
 import threading
 import time as _time
 from collections import deque
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.errors import TransportError
+from ..core.errors import LinkDown, TransportError
+from ..faults.retry import RetryPolicy
 from ..observability import NULL_TELEMETRY, TraceKind
 from .accounting import NetworkAccounting
 from .latency import SAME_HOST, LatencyModel
@@ -102,27 +111,53 @@ class _NodeEndpoint:
             pass
 
 
+class _Connection:
+    """A cached outbound socket plus its own send lock."""
+
+    __slots__ = ("sock", "lock")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.lock = threading.Lock()
+
+
 class TcpTransport:
     """Message passing between in-process nodes over real TCP sockets."""
 
     def __init__(self, *, default_model: LatencyModel = SAME_HOST,
-                 delay_scale: float = 0.0) -> None:
+                 delay_scale: float = 0.0,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.accounting = NetworkAccounting(default_model)
         #: Multiply modelled link delay by this and really sleep (0 = off).
         self.delay_scale = delay_scale
+        #: Governs reconnect attempts for dead sockets *and* retries of
+        #: injected drops when a fault plane is attached.
+        self.retry_policy = retry_policy or RetryPolicy()
         self._endpoints: Dict[str, _NodeEndpoint] = {}
         self._call_handlers: Dict[str, Callable[[Message], Message]] = {}
-        self._conns: Dict[tuple, socket.socket] = {}
+        self._conns: Dict[Tuple[str, str], _Connection] = {}
+        #: Guards the connection *cache* only; frame writes serialise on
+        #: each connection's own lock so independent links never contend.
         self._conn_lock = threading.Lock()
         #: Telemetry sink (attach via :meth:`attach_telemetry`).  Counter
         #: updates from receiver threads are advisory — a lost tick under
         #: contention skews a statistic, never the simulation.
         self.telemetry = NULL_TELEMETRY
+        #: Fault plane (attach via :meth:`attach_faults`).
+        self.fault_injector = None
 
     def attach_telemetry(self, telemetry) -> None:
         """Feed message traces and per-link counters to ``telemetry``."""
         self.telemetry = telemetry
         self.accounting.telemetry = telemetry
+        if self.fault_injector is not None:
+            self.fault_injector.telemetry = telemetry
+
+    def attach_faults(self, injector) -> None:
+        """Route every send/poll through ``injector``'s fault plane."""
+        self.fault_injector = injector
+        injector.telemetry = self.telemetry
+        self.retry_policy = injector.retry_policy
 
     # ------------------------------------------------------------------
     def register(self, name: str,
@@ -137,6 +172,23 @@ class TcpTransport:
             self._call_handlers[name] = call_handler
         return endpoint.port
 
+    def unregister(self, name: str) -> None:
+        """Tear down the node's endpoint and any cached links to it."""
+        endpoint = self._endpoints.pop(name, None)
+        if endpoint is not None:
+            endpoint.close()
+        self._call_handlers.pop(name, None)
+        with self._conn_lock:
+            for key in [k for k in self._conns if name in k]:
+                entry = self._conns.pop(key)
+                try:
+                    entry.sock.close()
+                except OSError:
+                    pass
+
+    def nodes(self) -> list:
+        return sorted(self._endpoints)
+
     def set_link(self, a: str, b: str, model: LatencyModel) -> None:
         self.accounting.set_model(a, b, model)
 
@@ -144,27 +196,40 @@ class TcpTransport:
         for endpoint in self._endpoints.values():
             endpoint.close()
         with self._conn_lock:
-            for conn in self._conns.values():
+            for entry in self._conns.values():
                 try:
-                    conn.close()
+                    entry.sock.close()
                 except OSError:
                     pass
             self._conns.clear()
         self._endpoints.clear()
 
     # ------------------------------------------------------------------
-    def _connection(self, src: str, dst: str) -> socket.socket:
+    def _connection(self, src: str, dst: str) -> _Connection:
         key = (src, dst)
         with self._conn_lock:
-            conn = self._conns.get(key)
-            if conn is None:
+            entry = self._conns.get(key)
+            if entry is None:
                 endpoint = self._endpoints.get(dst)
                 if endpoint is None:
                     raise TransportError(f"unknown destination node {dst!r}")
-                conn = socket.create_connection(("127.0.0.1", endpoint.port),
+                sock = socket.create_connection(("127.0.0.1", endpoint.port),
                                                 timeout=10.0)
-                self._conns[key] = conn
-            return conn
+                entry = _Connection(sock)
+                self._conns[key] = entry
+            return entry
+
+    def _evict(self, src: str, dst: str, entry: _Connection) -> None:
+        """Drop a dead cached connection so the next attempt reconnects."""
+        with self._conn_lock:
+            if self._conns.get((src, dst)) is entry:
+                del self._conns[(src, dst)]
+        try:
+            entry.sock.close()
+        except OSError:
+            pass
+        if self.telemetry.enabled:
+            self.telemetry.count("transport.evictions")
 
     def _charge(self, src: str, dst: str, size: int) -> None:
         delay = self.accounting.record(src, dst, size)
@@ -177,8 +242,54 @@ class TcpTransport:
             raise TransportError(f"node {name!r} accepts no calls")
         return handler(message)
 
+    def _retry_sleep(self, src: str, dst: str, retry_index: int,
+                     time: float, seq: object) -> None:
+        injector = self.fault_injector
+        u = 0.5
+        if injector is not None:
+            u = injector.backoff_uniform(src, dst, retry_index)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("transport.retries")
+            telemetry.trace(TraceKind.RETRY, time=time,
+                            subject=f"{src}->{dst}",
+                            attempt=retry_index + 1, seq=seq)
+        _time.sleep(self.retry_policy.backoff(retry_index, u))
+
+    def _send_reliable(self, src: str, dst: str, blob: bytes,
+                       time: float) -> None:
+        """Write one frame, reconnecting through dead cached sockets."""
+        policy = self.retry_policy
+        attempt = 0
+        start = _time.monotonic()
+        while True:
+            entry = None
+            try:
+                entry = self._connection(src, dst)
+                with entry.lock:
+                    _send_frame(entry.sock, blob)
+                return
+            except (ConnectionError, OSError) as exc:
+                if entry is not None:
+                    self._evict(src, dst, entry)
+                attempt += 1
+                exhausted = (attempt >= policy.max_attempts
+                             or _time.monotonic() - start >= policy.deadline)
+                if exhausted:
+                    raise LinkDown(
+                        f"link {src}->{dst}: send failed after {attempt} "
+                        f"attempt(s): {exc}", src=src, dst=dst,
+                        attempts=attempt) from exc
+                self._retry_sleep(src, dst, attempt - 1, time, None)
+
     # ------------------------------------------------------------------
     def send(self, message: Message) -> float:
+        injector = self.fault_injector
+        action, ticks = "deliver", 0
+        if injector is not None:
+            action, ticks = injector.on_send(message)
+            if action == "lost":
+                return 0.0
         blob = encode(message)
         self._charge(message.src, message.dst, len(blob))
         telemetry = self.telemetry
@@ -186,22 +297,58 @@ class TcpTransport:
             telemetry.trace(TraceKind.MSG_SEND, time=message.time,
                             subject=f"{message.src}->{message.dst}",
                             message_kind=message.kind.value, bytes=len(blob))
-        conn = self._connection(message.src, message.dst)
-        with self._conn_lock:
-            _send_frame(conn, blob)
+        if action == "delay":
+            injector.hold(message.dst, decode(blob), ticks)
+            return 0.0
+        if action == "reorder":
+            injector.hold_swap(message.src, message.dst, decode(blob))
+            return 0.0
+        self._send_reliable(message.src, message.dst, blob, message.time)
+        if action == "duplicate":
+            self._charge(message.src, message.dst, len(blob))
+            self._send_reliable(message.src, message.dst, blob, message.time)
+            injector.expect_duplicate(message.dst, message.msg_id)
+        if injector is not None:
+            for late in injector.take_swaps(message.src, message.dst):
+                self._send_reliable(message.src, message.dst, encode(late),
+                                    message.time)
         return 0.0
 
     def call(self, message: Message) -> Message:
-        """Blocking request/response over a dedicated connection."""
-        blob = encode(message)
-        self._charge(message.src, message.dst, len(blob))
+        """Blocking request/response over a dedicated connection.
+
+        Connection failures (refused, reset, peer gone) are retried per
+        the retry policy; exhaustion raises :class:`LinkDown` so callers
+        never see a raw socket error for a dead peer.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.check_call(message)
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None:
             raise TransportError(f"unknown destination node {message.dst!r}")
-        with socket.create_connection(("127.0.0.1", endpoint.port),
-                                      timeout=10.0) as conn:
-            _send_frame(conn, blob)
-            reply = decode(_recv_frame(conn))
+        blob = encode(message)
+        self._charge(message.src, message.dst, len(blob))
+        policy = self.retry_policy
+        attempt = 0
+        start = _time.monotonic()
+        while True:
+            try:
+                with socket.create_connection(
+                        ("127.0.0.1", endpoint.port), timeout=10.0) as conn:
+                    _send_frame(conn, blob)
+                    reply = decode(_recv_frame(conn))
+                break
+            except (ConnectionError, OSError) as exc:
+                attempt += 1
+                exhausted = (attempt >= policy.max_attempts
+                             or _time.monotonic() - start >= policy.deadline)
+                if exhausted:
+                    raise LinkDown(
+                        f"call {message.src}->{message.dst} failed after "
+                        f"{attempt} attempt(s): {exc}", src=message.src,
+                        dst=message.dst, attempts=attempt) from exc
+                self._retry_sleep(message.src, message.dst, attempt - 1,
+                                  message.time, "call")
         self._charge(message.dst, message.src, len(encode(reply)))
         telemetry = self.telemetry
         if telemetry.enabled:
@@ -214,10 +361,17 @@ class TcpTransport:
         endpoint = self._endpoints.get(name)
         if endpoint is None:
             raise TransportError(f"unknown node {name!r}")
+        injector = self.fault_injector
         drained: List[Message] = []
         with endpoint.lock:
+            if injector is not None:
+                endpoint.inbox.extend(injector.release_due(name))
             while endpoint.inbox and (limit is None or len(drained) < limit):
-                drained.append(endpoint.inbox.popleft())
+                message = endpoint.inbox.popleft()
+                if injector is not None and \
+                        injector.suppress_duplicate(name, message):
+                    continue
+                drained.append(message)
         telemetry = self.telemetry
         if telemetry.enabled and drained:
             for message in drained:
@@ -227,10 +381,24 @@ class TcpTransport:
         return drained
 
     def pending(self, name: Optional[str] = None) -> int:
+        held = 0
+        if self.fault_injector is not None:
+            held = self.fault_injector.held_pending(name)
         if name is not None:
             endpoint = self._endpoints.get(name)
-            return len(endpoint.inbox) if endpoint else 0
-        return sum(len(e.inbox) for e in self._endpoints.values())
+            return (len(endpoint.inbox) if endpoint else 0) + held
+        return sum(len(e.inbox) for e in self._endpoints.values()) + held
+
+    def flush(self) -> int:
+        """Drop every undelivered message (rollback support)."""
+        dropped = 0
+        for endpoint in self._endpoints.values():
+            with endpoint.lock:
+                dropped += len(endpoint.inbox)
+                endpoint.inbox.clear()
+        if self.fault_injector is not None:
+            dropped += self.fault_injector.flush()
+        return dropped
 
     def __enter__(self) -> "TcpTransport":
         return self

@@ -29,6 +29,7 @@ def _example_env():
 
 FAST_EXAMPLES = [
     "quickstart.py",
+    "chaos.py",
     "iss_firmware.py",
     "optimistic_recovery.py",
     "hardware_in_the_loop.py",

@@ -1,0 +1,193 @@
+"""The injection plane: seeded plans, partitions, retry policy, detector."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.faults import (
+    DELAY,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    FailureDetector,
+    FaultPlan,
+    LinkFaults,
+    NO_FAULTS,
+    NO_RETRY,
+    NodeCrash,
+    PARTITION,
+    Partition,
+    REORDER,
+    RetryPolicy,
+)
+
+
+class TestLinkFaults:
+    def test_defaults_are_fault_free(self):
+        assert NO_FAULTS.drop == 0.0
+        assert NO_FAULTS.duplicate == 0.0
+        assert NO_FAULTS.delay == 0.0
+        assert NO_FAULTS.reorder == 0.0
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            LinkFaults(drop=-0.1)
+        with pytest.raises(ConfigurationError):
+            LinkFaults(drop=1.5)
+        with pytest.raises(ConfigurationError):
+            LinkFaults(drop=0.6, duplicate=0.6)     # sum > 1
+        with pytest.raises(ConfigurationError):
+            LinkFaults(delay=0.1, delay_ticks=0)
+
+
+class TestPartition:
+    def test_symmetric_and_windowed(self):
+        part = Partition("a", "b", start=2.0, stop=5.0)
+        assert part.covers("a", "b", 3.0)
+        assert part.covers("b", "a", 3.0)
+        assert not part.covers("a", "b", 1.0)
+        assert not part.covers("a", "b", 5.0)       # stop is exclusive
+        assert not part.covers("a", "c", 3.0)
+
+    def test_default_window_is_forever(self):
+        part = Partition("a", "b")
+        assert part.covers("b", "a", 0.0)
+        assert part.covers("a", "b", 1e9)
+
+
+class TestFaultPlanDecisions:
+    def test_no_faults_always_deliver(self):
+        plan = FaultPlan(seed=7)
+        for seq in range(50):
+            assert plan.decide("a", "b", seq, 0, 0.0) == (DELIVER, 0)
+
+    def test_decisions_replay_bit_for_bit(self):
+        def roll(seed):
+            plan = FaultPlan(seed=seed, default=LinkFaults(
+                drop=0.2, duplicate=0.1, delay=0.1, reorder=0.05))
+            return [plan.decide("a", "b", seq, 0, 0.0)
+                    for seq in range(200)]
+
+        assert roll(3) == roll(3)
+        assert roll(3) != roll(4)
+
+    def test_drop_rate_is_roughly_honoured(self):
+        plan = FaultPlan(seed=1, default=LinkFaults(drop=0.3))
+        n = 2000
+        drops = sum(plan.decide("a", "b", seq, 0, 0.0)[0] == DROP
+                    for seq in range(n))
+        assert 0.25 < drops / n < 0.35
+
+    def test_attempts_reroll_independently(self):
+        plan = FaultPlan(seed=5, default=LinkFaults(drop=0.5))
+        outcomes = {plan.decide("a", "b", 1, attempt, 0.0)[0]
+                    for attempt in range(64)}
+        assert outcomes == {DROP, DELIVER}
+
+    def test_per_link_overrides_and_direction(self):
+        plan = FaultPlan(seed=2, links={("a", "b"): LinkFaults(drop=1.0)})
+        assert plan.decide("a", "b", 1, 0, 0.0)[0] == DROP
+        # the reversed direction inherits the pair's faults too
+        assert plan.decide("b", "a", 1, 0, 0.0)[0] == DROP
+        assert plan.decide("a", "c", 1, 0, 0.0)[0] == DELIVER
+
+    def test_partition_window_wins(self):
+        plan = FaultPlan(seed=0, partitions=(
+            Partition("a", "b", start=1.0, stop=2.0),))
+        assert plan.decide("a", "b", 1, 0, 1.5)[0] == PARTITION
+        assert plan.decide("a", "b", 2, 0, 2.5)[0] == DELIVER
+
+    def test_delay_carries_ticks(self):
+        plan = FaultPlan(seed=9, default=LinkFaults(delay=1.0, delay_ticks=4))
+        action, ticks = plan.decide("a", "b", 1, 0, 0.0)
+        assert action == DELAY
+        assert ticks == 4
+
+    def test_duplicate_and_reorder_reachable(self):
+        plan = FaultPlan(seed=11, default=LinkFaults(
+            duplicate=0.5, reorder=0.5))
+        seen = {plan.decide("a", "b", seq, 0, 0.0)[0] for seq in range(100)}
+        assert seen == {DUPLICATE, REORDER}
+
+    def test_kinds_filter(self):
+        class FakeMessage:
+            def __init__(self, kind):
+                self.kind = kind
+
+        plan = FaultPlan(seed=0)
+        assert plan.applies(FakeMessage("signal"))
+        assert plan.applies(FakeMessage("mark"))
+        assert not plan.applies(FakeMessage("safe-time-request"))
+
+    def test_seed_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=-1)
+
+    def test_uniform_in_unit_interval(self):
+        plan = FaultPlan(seed=13)
+        draws = [plan.uniform("x", i) for i in range(500)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+        assert len(set(draws)) > 490                # no obvious collisions
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                             jitter=0.0)
+        delays = [policy.backoff(i) for i in range(5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_spreads_around_midpoint(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                             jitter=0.5)
+        assert policy.backoff(0, u=0.5) == pytest.approx(1.0)
+        assert policy.backoff(0, u=0.0) == pytest.approx(0.5)
+        assert policy.backoff(0, u=1.0) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=2.0)
+
+    def test_no_retry_fails_fast(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.backoff(0) == 0.0
+
+
+class TestNodeCrash:
+    def test_fields(self):
+        crash = NodeCrash("beta", at_time=4.0)
+        assert crash.node == "beta"
+        assert crash.at_time == 4.0
+
+
+class TestFailureDetector:
+    def test_suspects_after_timeout(self):
+        det = FailureDetector(timeout=2.0)
+        det.beat("a", 0.0)
+        det.beat("b", 0.0)
+        assert det.suspects(1.0) == []
+        det.beat("a", 2.0)
+        assert det.suspects(3.5) == ["b"]
+        assert det.suspicions == 1
+
+    def test_recovered_node_can_be_suspected_again(self):
+        det = FailureDetector(timeout=1.0)
+        det.beat("a", 0.0)
+        assert det.suspects(2.0) == ["a"]
+        det.beat("a", 2.0)          # it came back
+        assert det.suspects(2.5) == []
+        assert det.suspects(4.0) == ["a"]
+        assert det.suspicions == 2
+
+    def test_forget(self):
+        det = FailureDetector(timeout=1.0)
+        det.beat("a", 0.0)
+        det.forget("a")
+        assert det.suspects(10.0) == []
+
+    def test_timeout_validated(self):
+        with pytest.raises(ConfigurationError):
+            FailureDetector(timeout=0.0)
