@@ -95,7 +95,7 @@ def test_fig1_report(fig1):
     cosim, check, server = fig1
     table = Table("Fig. 1 — three Pia nodes through the Internet",
                   ["link", "model", "messages", "bytes"])
-    for src, dst, model, messages, size, __ in \
+    for src, dst, model, messages, size, *__ in \
             cosim.transport.accounting.report():
         table.add(f"{src} -> {dst}", model, format_count(messages),
                   format_bytes(size))

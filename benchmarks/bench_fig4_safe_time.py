@@ -11,16 +11,18 @@ subsystem-time advance, verify the grants observe self-restriction removal
 advances past an ungranted horizon.
 """
 
+import time
+
 import pytest
 
-from repro.bench import Table, format_count
+from repro.bench import Table, format_count, record_bench
 from repro.core import Advance, FunctionComponent, Receive, Send, WaitUntil
 from repro.distributed import CoSimulation, compute_grant
 from repro.distributed.conservative import UNBOUNDED
 
 
-def _build(events_in_ss1=10):
-    cosim = CoSimulation()
+def _build(events_in_ss1=10, batching=False):
+    cosim = CoSimulation(batching=batching)
     ss1 = cosim.add_subsystem(cosim.add_node("n1"), "ss1")
     ss2 = cosim.add_subsystem(cosim.add_node("n2"), "ss2")
     ss3 = cosim.add_subsystem(cosim.add_node("n3"), "ss3")
@@ -130,6 +132,63 @@ def test_echoes_happened(fig4):
     cosim, __, ss2, ss3 = fig4
     assert ss2.components["e2"].seen == 10
     assert ss3.components["e3"].seen == 10
+
+
+def _timed_run(batching):
+    start = time.perf_counter()
+    cosim, *_ = _build(batching=batching)
+    cosim.run()
+    wall = time.perf_counter() - start
+    return cosim.report(title=f"fig4 batching={batching}"), wall
+
+
+def test_batching_comparison(fig4_batching):
+    """ISSUE 3's acceptance bar on this figure: batching on must send at
+    least 2x fewer transport frames and no more safe-time requests, while
+    leaving the simulation itself bit-identical."""
+    base, batched = fig4_batching
+
+    def progress(report):
+        return sorted((row["name"], row["time"], row["dispatched"])
+                      for row in report.subsystems)
+
+    assert progress(batched.report) == progress(base.report)
+    assert batched.frames * 2 <= base.frames
+    assert batched.requests <= base.requests
+
+
+@pytest.fixture(scope="module")
+def fig4_batching():
+    class Run:
+        def __init__(self, batching):
+            self.report, self.wall = _timed_run(batching)
+            totals = self.report.link_totals()
+            self.frames = totals["frames"]
+            self.bytes = totals["bytes"]
+            self.requests = self.report.counter("safetime.requests")
+
+    base, batched = Run(False), Run(True)
+    record_bench("fig4_safe_time", "batching_off", report=base.report,
+                 wall_seconds=base.wall)
+    record_bench("fig4_safe_time", "batching_on", report=batched.report,
+                 wall_seconds=batched.wall,
+                 extra={"frame_ratio": base.frames / batched.frames})
+    return base, batched
+
+
+def test_batching_comparison_report(fig4_batching):
+    base, batched = fig4_batching
+    table = Table("Fig. 4 — batched fast path vs. per-message frames",
+                  ["config", "frames", "bytes", "safe-time reqs",
+                   "grants pushed"])
+    for label, run in (("batching off", base), ("batching on", batched)):
+        table.add(label, format_count(run.frames), format_count(run.bytes),
+                  format_count(run.requests),
+                  format_count(run.report.counter("safetime.pushed")))
+    table.note(f"frame ratio: {base.frames / batched.frames:.2f}x "
+               "(acceptance bar: >= 2x, identical simulation state)")
+    table.show()
+    table.save("fig4_batching")
 
 
 def test_benchmark_safe_time_round(benchmark):

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI perf smoke: the batched fast path must actually save frames.
+
+Runs the Fig. 4 safe-time scenario (three subsystems, conservative
+channels) twice — batching off, then on — and asserts the ISSUE 3
+invariants:
+
+* the batched run puts strictly fewer frames on the wire;
+* it sends no more safe-time request messages than the unbatched run;
+* the simulation itself is unchanged: identical per-subsystem virtual
+  times and dispatched-event counts.
+
+Both configurations are recorded into the machine-readable results file
+(``BENCH_pr3.json`` / ``$PIA_BENCH_JSON``).  Exits non-zero on any
+regression, so CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, os.pardir, "src"))
+sys.path.insert(0, _HERE)
+
+from repro.bench import record_bench                      # noqa: E402
+from bench_fig4_safe_time import _build                   # noqa: E402
+
+
+def run(batching):
+    start = time.perf_counter()
+    cosim, *_ = _build(batching=batching)
+    cosim.run()
+    wall = time.perf_counter() - start
+    report = cosim.report(title=f"perf-smoke batching={batching}")
+    totals = report.link_totals()
+    return {
+        "report": report,
+        "wall": wall,
+        "frames": totals["frames"],
+        "bytes": totals["bytes"],
+        "requests": report.counter("safetime.requests"),
+        "progress": sorted((row["name"], row["time"], row["dispatched"])
+                           for row in report.subsystems),
+    }
+
+
+def main():
+    base = run(batching=False)
+    batched = run(batching=True)
+    for case, r in (("batching_off", base), ("batching_on", batched)):
+        record_bench("perf_smoke", case, report=r["report"],
+                     wall_seconds=r["wall"])
+
+    print(f"frames        : {base['frames']} -> {batched['frames']} "
+          f"({base['frames'] / batched['frames']:.2f}x)")
+    print(f"wire bytes    : {base['bytes']} -> {batched['bytes']}")
+    print(f"safe-time reqs: {base['requests']} -> {batched['requests']}")
+
+    failures = []
+    if not batched["frames"] < base["frames"]:
+        failures.append(
+            f"batched run did not send strictly fewer frames: "
+            f"{batched['frames']} vs {base['frames']}")
+    if not batched["requests"] <= base["requests"]:
+        failures.append(
+            f"batched run sent more safe-time requests: "
+            f"{batched['requests']} vs {base['requests']}")
+    if batched["progress"] != base["progress"]:
+        failures.append(
+            "simulation state diverged between batching modes:\n"
+            f"  off: {base['progress']}\n  on : {batched['progress']}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

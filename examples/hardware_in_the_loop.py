@@ -81,7 +81,7 @@ def main():
     print(f"replayed to t=5 ms: wraps at {mon.wraps} us")
 
     report = cosim.transport.accounting.report()
-    for src, dst, model, messages, size, delay in report:
+    for src, dst, model, messages, size, delay, __ in report:
         print(f"  link {src}->{dst} [{model}]: {messages} msgs, "
               f"{size} bytes, {delay:.2f} s modelled")
 

@@ -161,12 +161,13 @@ def build_design(config: WubbleUConfig) -> Tuple[Design, PageContent]:
     return design, page
 
 
-def build_local(config: Optional[WubbleUConfig] = None
+def build_local(config: Optional[WubbleUConfig] = None, *,
+                batching: bool = False
                 ) -> Tuple[CoSimulation, Deployment, PageContent]:
     """Everything in a single subsystem on a single node."""
     config = config or WubbleUConfig()
     design, page = build_design(config)
-    cosim = CoSimulation()
+    cosim = CoSimulation(batching=batching)
     deployment = deploy(design, ASSIGN_LOCAL, cosim,
                         placement={HANDHELD: "host-a"})
     return cosim, deployment, page
@@ -174,13 +175,15 @@ def build_local(config: Optional[WubbleUConfig] = None
 
 def build_split(config: Optional[WubbleUConfig] = None, *,
                 network: LatencyModel = INTERNET,
-                mode: ChannelMode = ChannelMode.CONSERVATIVE
+                mode: ChannelMode = ChannelMode.CONSERVATIVE,
+                batching: bool = False
                 ) -> Tuple[CoSimulation, Deployment, PageContent]:
     """Fig. 6's topology: the cellular chip remote, over ``network``."""
     config = config or WubbleUConfig()
     design, page = build_design(config)
     cosim = CoSimulation(snapshot_interval=(
-        0.2 if mode is ChannelMode.OPTIMISTIC else None))
+        0.2 if mode is ChannelMode.OPTIMISTIC else None),
+        batching=batching)
     deployment = deploy(design, ASSIGN_SPLIT, cosim,
                         placement={HANDHELD: "host-a", CELLSITE: "host-b"},
                         mode=mode)
@@ -205,6 +208,7 @@ class PageLoadResult:
     wire_bytes: int                # inter-node bytes
     events: int                    # events dispatched
     bytes_loaded: int              # payload the browser received
+    frames: int = 0                # wire frames (== messages unless batched)
 
     @property
     def simulation_time(self) -> float:
@@ -238,19 +242,22 @@ def run_page_load(cosim: CoSimulation, *, location: str,
         wire_bytes=accounting.total_bytes,
         events=events,
         bytes_loaded=browser.bytes_received,
+        frames=accounting.total_frames,
     )
 
 
 def page_load(level: str, *, remote: bool,
               network: LatencyModel = INTERNET,
               mode: ChannelMode = ChannelMode.CONSERVATIVE,
-              config: Optional[WubbleUConfig] = None) -> PageLoadResult:
+              config: Optional[WubbleUConfig] = None,
+              batching: bool = False) -> PageLoadResult:
     """One-call API: build, run and measure one Table 1 configuration."""
     config = config or WubbleUConfig()
     config.level = level
     if remote:
-        cosim, __, ___ = build_split(config, network=network, mode=mode)
+        cosim, __, ___ = build_split(config, network=network, mode=mode,
+                                     batching=batching)
     else:
-        cosim, __, ___ = build_local(config)
+        cosim, __, ___ = build_local(config, batching=batching)
     return run_page_load(cosim, location="remote" if remote else "local",
                          level=level)

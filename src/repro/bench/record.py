@@ -1,0 +1,81 @@
+"""Machine-readable benchmark results.
+
+Every benchmark module records its headline numbers — wall time plus the
+message/frame/byte counters of the run's
+:class:`~repro.observability.RunReport` — into one JSON file at the repo
+root (``BENCH_pr3.json``, overridable via ``PIA_BENCH_JSON``).  The file
+is a two-level map ``bench -> case -> entry`` and is merged on every
+write, so a partial re-run updates only its own entries and the artefact
+can be diffed across commits like the rendered tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Optional
+
+#: Environment override for the output path (absolute, or relative to
+#: the repository root).
+ENV_PATH = "PIA_BENCH_JSON"
+DEFAULT_FILENAME = "BENCH_pr3.json"
+
+_lock = threading.Lock()
+
+
+def bench_json_path() -> str:
+    """Resolve the results file: ``$PIA_BENCH_JSON`` or repo root."""
+    path = os.environ.get(ENV_PATH, DEFAULT_FILENAME)
+    if os.path.isabs(path):
+        return path
+    root = os.path.abspath(__file__)
+    for __ in range(4):      # src/repro/bench/record.py -> repo root
+        root = os.path.dirname(root)
+    return os.path.join(root, path)
+
+
+def record_bench(bench: str, case: str, *, report=None,
+                 wall_seconds: Optional[float] = None,
+                 extra: Optional[dict] = None) -> dict:
+    """Merge one ``bench``/``case`` entry into the results file.
+
+    With a ``report`` (a :class:`~repro.observability.RunReport`), the
+    standard counters are extracted automatically and ``wall_seconds``
+    defaults to the run's ``executor.run`` timer.  ``extra`` adds or
+    overrides fields.  Returns the entry written.
+    """
+    entry: dict = {}
+    if report is not None:
+        totals = report.link_totals()
+        entry.update({
+            "messages": totals["messages"],
+            "frames": totals["frames"],
+            "bytes": totals["bytes"],
+            "link_delay_seconds": totals["delay"],
+            "events": sum(row["dispatched"] for row in report.subsystems),
+            "safe_time_requests": report.counter("safetime.requests"),
+            "safe_time_piggybacked": report.counter("safetime.piggybacked"),
+        })
+        if wall_seconds is None:
+            wall_seconds = report.timings.get(
+                "executor.run", {}).get("total_seconds")
+    if wall_seconds is not None:
+        entry["wall_seconds"] = round(float(wall_seconds), 6)
+    if extra:
+        entry.update(extra)
+    path = bench_json_path()
+    with _lock:
+        data: dict = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+        data.setdefault(bench, {})[case] = entry
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return entry

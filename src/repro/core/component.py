@@ -24,13 +24,13 @@ Two behavioural styles are provided, both of which appear in the paper:
 
 from __future__ import annotations
 
-import copy
 import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 from .errors import CheckpointError, ConfigurationError, SimulationError
 from .events import Event, EventKind
+from .fastcopy import smart_copy_dict, smart_copy_list
 from .port import Port, PortDirection
 from .process import (
     Advance,
@@ -185,7 +185,7 @@ class Component:
             local_time=self.local_time,
             runlevel=self.runlevel,
             finished=self.finished,
-            attrs=copy.deepcopy(self._user_attrs()),
+            attrs=smart_copy_dict(self._user_attrs()),
             port_buffers={name: list(port.buffer)
                           for name, port in self.ports.items()},
             interface_states={name: iface.snapshot_state()
@@ -205,11 +205,11 @@ class Component:
         self.finished = snap.finished
         for key in list(self._user_attrs()):
             del self.__dict__[key]
-        self.__dict__.update(copy.deepcopy(snap.attrs))
+        self.__dict__.update(smart_copy_dict(snap.attrs))
         for name, contents in snap.port_buffers.items():
             port = self.ports[name]
             port.buffer.clear()
-            port.buffer.extend(copy.deepcopy(contents))
+            port.buffer.extend(smart_copy_list(contents))
         for name, state in snap.interface_states.items():
             self.interfaces[name].restore_state(state)
         self._wake_seq = snap.extra["wake_seq"]
@@ -601,7 +601,7 @@ class ProcessComponent(Component):
 
     def snapshot(self) -> ComponentSnapshot:
         snap = super().snapshot()
-        snap.extra["log"] = copy.deepcopy(self._log)
+        snap.extra["log"] = smart_copy_list(self._log)
         snap.extra["started"] = self._gen is not None
         snap.extra["block"] = self._block_descriptor()
         return snap
@@ -613,7 +613,7 @@ class ProcessComponent(Component):
                 self._block.interface, self._block.token)
 
     def restore(self, snap: ComponentSnapshot) -> None:
-        log = copy.deepcopy(snap.extra["log"])
+        log = smart_copy_list(snap.extra["log"])
         # Rebuild the generator frame by deterministic replay of the log.
         self.local_time = 0.0
         self.finished = False

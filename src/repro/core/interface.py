@@ -15,10 +15,10 @@ started with.
 
 from __future__ import annotations
 
-import copy
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from .errors import ConfigurationError, RunLevelError
+from .fastcopy import smart_copy
 from .port import Port, PortDirection
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -133,7 +133,7 @@ class Interface:
         return {
             "level": self.level,
             "xfer_seq": self._xfer_seq,
-            "partial": copy.deepcopy(self._partial),
+            "partial": smart_copy(self._partial),
             "sent_transfers": self.sent_transfers,
             "sent_chunks": self.sent_chunks,
             "sent_payload_bytes": self.sent_payload_bytes,
@@ -143,7 +143,7 @@ class Interface:
     def restore_state(self, state: dict) -> None:
         self.level = state["level"]
         self._xfer_seq = state["xfer_seq"]
-        self._partial = copy.deepcopy(state["partial"])
+        self._partial = smart_copy(state["partial"])
         self.sent_transfers = state["sent_transfers"]
         self.sent_chunks = state["sent_chunks"]
         self.sent_payload_bytes = state["sent_payload_bytes"]

@@ -106,8 +106,22 @@ class ChannelEndpoint:
         #: confirmation rides on these counts in grant replies).
         self.forwarded = 0
         self.injected = 0
+        #: Injected count last reported to the peer (batched fast path):
+        #: consumption beyond this is pushed at the next round boundary
+        #: so the peer can release its echo ledger without a call.
+        self.injected_reported = 0
+        #: Watermark of the last grant value communicated to the peer
+        #: (served, piggybacked or pushed).  A floor that rises above it
+        #: is news the peer cannot learn any other way while idle.
+        self.granted_reported = 0.0
+        #: Consecutive passively-skipped refreshes (liveness backstop).
+        self.passive_skips = 0
         self.stragglers = 0
         self.safe_time_requests = 0
+        #: The peer requested a safe time we could not yet grant (batched
+        #: fast path): once our floor passes this, a grant is pushed to it
+        #: instead of waiting for its next request round trip.
+        self.peer_want = 0.0
         #: True once the peer is gone for good (``drop-node`` policy).
         self.severed = False
 
@@ -182,24 +196,58 @@ class ChannelEndpoint:
 
     def confirm_consumed(self, peer_injected: int) -> None:
         """Release echo entries the peer has confirmed consuming."""
+        released = False
         while self.pending_echoes and \
                 self.pending_echoes[0][0] <= peer_injected:
             self.pending_echoes.popleft()
+            released = True
+        if released:
+            # Passive confirmation is flowing; re-arm the skip budget.
+            self.passive_skips = 0
+
+    def apply_grant(self, grant: float, peer_injected: int,
+                    peer_forwarded: int) -> None:
+        """Apply a *piggybacked* safe-time grant (batched fast path).
+
+        Same acceptance rule as a served grant reply
+        (:meth:`~repro.distributed.conservative.SafeTimeClient.refresh`):
+        release confirmed echo entries, then accept the grant only if
+        nothing of the peer's is still in flight towards us.  Grants ride
+        behind the data messages of their batch frame, so the injected
+        count already reflects everything the grant's floor assumed.  A
+        stale (lower) grant is always safe; a grant the in-flight check
+        rejects is simply dropped — the explicit request path remains the
+        fallback, so this is a liveness optimisation, never a safety one.
+        """
+        if self.severed:
+            return
+        self.confirm_consumed(peer_injected)
+        if self.injected >= peer_forwarded:
+            self.peer_grant = grant
+            telemetry = self.subsystem.scheduler.telemetry
+            if telemetry.enabled:
+                telemetry.count("safetime.piggybacked")
 
     def reset_sync_state(self, *, forwarded: int = 0,
                          injected: int = 0) -> None:
         """Void all safe-time state (global rollback support)."""
         self.peer_grant = float("inf") if self.severed else 0.0
         self.granted = 0.0
+        self.peer_want = 0.0
         self.pending_echoes.clear()
         self.forwarded = forwarded
         self.injected = injected
+        self.injected_reported = injected
+        self.granted_reported = float("inf") if self.severed else 0.0
+        self.passive_skips = 0
 
     def sever(self) -> None:
         """Permanently disconnect: the peer is gone and must never block
         (or receive traffic from) this side again."""
         self.severed = True
         self.peer_grant = float("inf")
+        self.peer_want = 0.0
+        self.granted_reported = float("inf")
         self.pending_echoes.clear()
 
     # ------------------------------------------------------------------

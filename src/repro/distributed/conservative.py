@@ -42,6 +42,13 @@ _request_ids = itertools.count(1)
 #: Grants at or beyond this are treated as "unrestricted".
 UNBOUNDED = float("inf")
 
+#: Batched fast path: consecutive refreshes a client may skip for an
+#: endpoint whose grant already covers the desired time (only its own
+#: unconfirmed echo ledger restricts it) before falling back to an
+#: explicit request as a liveness backstop.  Kept small so the backstop
+#: fires well inside the executor's widened deadlock budget.
+PASSIVE_SKIP_LIMIT = 2
+
 
 def local_floor(subsystem: "Subsystem", *, excluding: Optional[str] = None,
                 conservative_override: bool = False) -> float:
@@ -126,6 +133,12 @@ class SafeTimeService:
         grant = compute_grant(subsystem, requester,
                               conservative_override=self.conservative_override())
         endpoint = _endpoint_towards(subsystem, requester)
+        # An unsatisfied request leaves the peer stalled; remember what it
+        # wanted so a batching executor can push a grant the moment the
+        # floor passes it, sparing the peer its next request round trip.
+        endpoint.peer_want = desired if grant < desired else 0.0
+        endpoint.injected_reported = endpoint.injected
+        endpoint.granted_reported = grant
         # The reply carries consumption/production counts so the requester
         # can (a) release confirmed echo-ledger entries and (b) refuse the
         # grant while our messages to it are still in flight.
@@ -169,6 +182,7 @@ class SafeTimeClient:
                 f"{self.subsystem.name} is not attached to a node")
         if not path:
             path = (self.subsystem.name,)
+        passive = bool(getattr(node.transport, "batching", False))
         for endpoint in self._restricting_endpoints():
             if endpoint.peer_subsystem == exclude:
                 continue
@@ -176,6 +190,18 @@ class SafeTimeClient:
                 continue
             if endpoint.effective_horizon() >= desired:
                 continue
+            if passive and endpoint.peer_grant >= desired \
+                    and endpoint.passive_skips < PASSIVE_SKIP_LIMIT:
+                # The peer's grant already covers ``desired``; the only
+                # live restriction is our own unconfirmed echo ledger.  A
+                # request could only confirm consumption — and under
+                # batching the peer reports that passively (counts on
+                # piggybacked and pushed grants), so the round trip is
+                # skipped.  The skip budget keeps an explicit request as
+                # the liveness backstop.
+                endpoint.passive_skips += 1
+                continue
+            endpoint.passive_skips = 0
             endpoint.safe_time_requests += 1
             self.requests_sent += 1
             telemetry = self.subsystem.scheduler.telemetry

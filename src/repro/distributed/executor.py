@@ -33,8 +33,14 @@ from ..faults import FailureDetector, FaultInjector, FaultPlan, RetryPolicy
 from ..observability import RunReport, Telemetry, TraceKind, run_report
 from ..transport.inmemory import InMemoryTransport
 from ..transport.latency import SAME_HOST, LatencyModel
+from ..transport.message import Message, MessageKind
 from .channel import Channel, ChannelMode, StragglerError
-from .conservative import SafeTimeClient, SafeTimeService, UNBOUNDED
+from .conservative import (
+    SafeTimeClient,
+    SafeTimeService,
+    UNBOUNDED,
+    compute_grant,
+)
 from .node import PiaNode
 from .optimistic import RecoveryManager
 from .snapshot import SnapshotManager, SnapshotRegistry, new_snapshot_id
@@ -56,9 +62,18 @@ class CoSimulation:
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  failure_policy: str = "recover",
-                 heartbeat_misses: int = 3) -> None:
+                 heartbeat_misses: int = 3,
+                 batching: bool = False) -> None:
         self.transport = transport if transport is not None \
-            else InMemoryTransport(default_model=default_model)
+            else InMemoryTransport(default_model=default_model,
+                                   batching=batching)
+        if batching:
+            self.transport.batching = True
+        # Batched transports flush per-destination frames at safe points;
+        # the executor supplies the safe-time grants piggybacked on them.
+        set_provider = getattr(self.transport, "set_piggyback_provider", None)
+        if set_provider is not None:
+            set_provider(self._piggyback_grants)
         #: Run telemetry shared by every layer; on by default (the
         #: disabled path is a single attribute read per hot-path visit).
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -115,6 +130,13 @@ class CoSimulation:
         #: when a pump round moves nothing.
         self._settle_slack = 1 + (fault_plan.max_delay_ticks()
                                   if fault_plan is not None else 0)
+        #: Batched fast path: a stalled subsystem re-requests the same
+        #: safe time at most every this many rounds — in between it waits
+        #: for the granting side to *push* once its floor passes the want
+        #: (1 frame instead of the 2-frame request round trip).
+        self._refresh_every = 4
+        #: subsystem name -> (desired, round of last request).
+        self._refresh_throttle: Dict[str, tuple] = {}
         self._started = False
         #: Total rounds the run loop executed.
         self.rounds = 0
@@ -315,6 +337,150 @@ class CoSimulation:
         return any(ch.mode is ChannelMode.OPTIMISTIC
                    for ch in self.channels.values())
 
+    def _piggyback_grants(self, src: str, dst: str) -> List[Message]:
+        """Safe-time grants riding on a ``src``→``dst`` batch frame.
+
+        Called by a batching transport at flush time.  For every live
+        conservative endpoint on ``src`` whose peer lives on ``dst``, the
+        current grant (plus consumption/production counts, exactly as in
+        a served reply) is appended behind the frame's data messages —
+        so by the time the receiver applies it, everything the grant's
+        floor assumed has already been injected.  Peers then advance
+        without a synchronous safe-time round trip: O(peers) frames per
+        round instead of O(messages + requests).
+        """
+        if src in self._down_nodes or src in self._dead_nodes:
+            return []
+        node = self.nodes.get(src)
+        if node is None:
+            return []
+        conservative = self._conservative_now()
+        grants: List[Message] = []
+        for ss_name in sorted(node.subsystems):
+            if ss_name in self._dead_subsystems:
+                continue
+            subsystem = node.subsystems[ss_name]
+            for channel_id in sorted(subsystem.channels):
+                endpoint = subsystem.channels[channel_id]
+                if endpoint.severed or endpoint.peer_node != dst:
+                    continue
+                if endpoint.mode is not ChannelMode.CONSERVATIVE \
+                        and not conservative:
+                    continue
+                grant = compute_grant(subsystem, endpoint.peer_subsystem,
+                                      conservative_override=conservative)
+                if endpoint.peer_want and grant >= endpoint.peer_want:
+                    # This grant satisfies the peer's recorded stall; no
+                    # standalone push needed on top of this frame.
+                    endpoint.peer_want = 0.0
+                endpoint.injected_reported = endpoint.injected
+                endpoint.granted_reported = grant
+                grants.append(Message(
+                    kind=MessageKind.SAFE_TIME_GRANT,
+                    src=src, dst=dst, channel=channel_id,
+                    time=grant,
+                    payload=(endpoint.injected, endpoint.forwarded),
+                ))
+        return grants
+
+    def _batching(self) -> bool:
+        return bool(getattr(self.transport, "batching", False))
+
+    def _should_refresh(self, name: str, desired: float) -> bool:
+        """Throttle synchronous safe-time requests under batching.
+
+        A freshly stalled subsystem does *not* call immediately: grants
+        piggybacked on in-flight frames and the round-boundary pushes
+        (consumption reports and satisfied wants) usually unblock it
+        within a round or two for free.  Only a stall that survives
+        ``_refresh_every`` rounds falls back to the explicit request —
+        the liveness backstop.  Round counts are deterministic, so the
+        throttle is too."""
+        if not self._batching():
+            return True
+        last = self._refresh_throttle.get(name)
+        if last is None or last[0] != desired:
+            self._refresh_throttle[name] = (desired, self.rounds)
+            return False
+        if self.rounds - last[1] < self._refresh_every:
+            return False
+        self._refresh_throttle[name] = (desired, self.rounds)
+        return True
+
+    def _round_flush(self) -> bool:
+        """Round boundary under batching: ship every queued frame, then
+        push standalone grants to peers recorded as stalled whose want
+        the local floor has now passed.  Each push is one frame replacing
+        the two-frame request round trip the peer would otherwise issue.
+        Returns True if anything moved (counts as round progress)."""
+        push = getattr(self.transport, "push_grants", None)
+        acted = self.transport.flush_batches() > 0
+        if push is None:
+            return acted
+        conservative = self._conservative_now()
+        for node in self._ordered_nodes():
+            by_dst: Dict[str, List[Message]] = {}
+            for ss_name in sorted(node.subsystems):
+                if ss_name in self._dead_subsystems:
+                    continue
+                subsystem = node.subsystems[ss_name]
+                # A subsystem that can still run will talk to its peers
+                # through ordinary data frames (whose piggybacked grants
+                # carry everything below for free); only one that cannot —
+                # stalled below its next event, or idle — has news its
+                # peers may never otherwise learn.
+                client = self._sync.get(ss_name)
+                next_time = subsystem.next_event_time()
+                runnable = (next_time != float("inf")
+                            and (client is None
+                                 or client.horizon() >= next_time))
+                for channel_id in sorted(subsystem.channels):
+                    endpoint = subsystem.channels[channel_id]
+                    if endpoint.severed:
+                        continue
+                    if endpoint.peer_node in self._down_nodes \
+                            or endpoint.peer_node in self._dead_nodes:
+                        continue
+                    if endpoint.mode is not ChannelMode.CONSERVATIVE \
+                            and not conservative:
+                        continue
+                    want = endpoint.peer_want
+                    # Unreported consumption must reach the peer so it can
+                    # release its echo ledger (it skips requests under
+                    # batching, counting on exactly this push).
+                    stale = endpoint.injected > endpoint.injected_reported
+                    if runnable and not want:
+                        # Still making local progress: the next data frame
+                        # (or a later round's push, once stalled or idle)
+                        # reports counts and grants for free.
+                        continue
+                    grant = compute_grant(
+                        subsystem, endpoint.peer_subsystem,
+                        conservative_override=conservative)
+                    if want:
+                        # The peer told us what it needs: push only once
+                        # the floor passes it (or counts must flow).
+                        if grant < want and not stale:
+                            continue
+                    elif not stale and grant <= endpoint.granted_reported:
+                        continue    # nothing the peer doesn't already know
+                    if want and grant >= want:
+                        endpoint.peer_want = 0.0
+                    endpoint.injected_reported = endpoint.injected
+                    endpoint.granted_reported = grant
+                    by_dst.setdefault(endpoint.peer_node, []).append(Message(
+                        kind=MessageKind.SAFE_TIME_GRANT,
+                        src=node.name, dst=endpoint.peer_node,
+                        channel=channel_id, time=grant,
+                        payload=(endpoint.injected, endpoint.forwarded),
+                    ))
+            for dst, grants in sorted(by_dst.items()):
+                if push(node.name, dst, grants):
+                    acted = True
+                    if self.telemetry.enabled:
+                        self.telemetry.count("safetime.pushed", len(grants))
+        return acted
+
     def _conservative_now(self) -> bool:
         return self.recovery.in_conservative_window(self.global_time())
 
@@ -419,7 +585,9 @@ class CoSimulation:
                 horizon = client.horizon()
                 try:
                     if horizon < next_time:
-                        horizon = client.refresh(min(next_time, until))
+                        desired = min(next_time, until)
+                        if self._should_refresh(subsystem.name, desired):
+                            horizon = client.refresh(desired)
                     if next_time <= horizon:
                         # The horizon is re-read before every dispatch:
                         # sending on a channel shrinks it via the echo bound.
@@ -430,6 +598,8 @@ class CoSimulation:
                 except LinkDown as down:
                     self._absorb_link_down(down)
                     progress = True
+            if self._batching():
+                progress = self._round_flush() or progress
             self._maybe_periodic_snapshot()
             if not progress:
                 idle_rounds += 1
@@ -439,7 +609,12 @@ class CoSimulation:
                     continue
                 if self.finished() or self._all_past(until):
                     break
-                if idle_rounds > (len(self.subsystems) + 2) * self._settle_slack:
+                idle_budget = (len(self.subsystems) + 2) * self._settle_slack
+                if self._batching():
+                    # Throttled refreshes make a waiting round look idle;
+                    # widen the deadlock budget by the throttle period.
+                    idle_budget *= self._refresh_every
+                if idle_rounds > idle_budget:
                     self._report_deadlock(until)
             else:
                 idle_rounds = 0

@@ -128,6 +128,11 @@ class PiaNode:
         if hook is not None:
             hook(message)
             return
+        if message.kind is MessageKind.SAFE_TIME_GRANT:
+            peer_injected, peer_forwarded = message.payload
+            self._endpoint_for(message.channel).apply_grant(
+                message.time, peer_injected, peer_forwarded)
+            return
         if message.kind is MessageKind.SIGNAL:
             for observer in self.signal_observers:
                 observer(message)

@@ -130,6 +130,12 @@ class _NodeWorker(threading.Thread):
                     count = subsystem.run(self.until, horizon=client.horizon)
                     self.dispatched += count
                     progress = progress or count > 0
+        # Round boundary: ship everything this node queued (no-op unless
+        # the transport batches).  Outside the lock — the piggyback
+        # provider try-acquires it.
+        flush = getattr(self.runner.transport, "flush_batches", None)
+        if flush is not None:
+            flush(src=self.node.name)
         return progress
 
 
@@ -149,9 +155,16 @@ class ThreadedCoSimulation:
                  telemetry: Optional[Telemetry] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 heartbeat_timeout: float = 1.0) -> None:
+                 heartbeat_timeout: float = 1.0,
+                 batching: bool = False) -> None:
         self.transport = transport if transport is not None \
-            else InMemoryTransport(default_model=default_model)
+            else InMemoryTransport(default_model=default_model,
+                                   batching=batching)
+        if batching:
+            self.transport.batching = True
+        set_provider = getattr(self.transport, "set_piggyback_provider", None)
+        if set_provider is not None:
+            set_provider(self._piggyback_grants)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         attach = getattr(self.transport, "attach_telemetry", None)
         if attach is not None:
@@ -309,6 +322,38 @@ class ThreadedCoSimulation:
                         return False
             _time.sleep(0.002)
         return True
+
+    def _piggyback_grants(self, src: str, dst: str) -> list:
+        """Safe-time grants for a ``src``→``dst`` batch frame.
+
+        Flush points may sit inside or outside the source node's lock
+        depending on who triggers them, so the lock is *try*-acquired:
+        failing just means this frame carries no grants (the explicit
+        safe-time call path still guarantees progress), whereas blocking
+        here could deadlock two nodes flushing towards each other.
+        """
+        lock = self.locks.get(src)
+        if lock is None or not lock.acquire(blocking=False):
+            return []
+        try:
+            node = self.nodes[src]
+            grants = []
+            for ss_name in sorted(node.subsystems):
+                subsystem = node.subsystems[ss_name]
+                for channel_id in sorted(subsystem.channels):
+                    endpoint = subsystem.channels[channel_id]
+                    if endpoint.severed or endpoint.peer_node != dst:
+                        continue
+                    grants.append(Message(
+                        kind=MessageKind.SAFE_TIME_GRANT,
+                        src=src, dst=dst, channel=channel_id,
+                        time=compute_grant(subsystem,
+                                           endpoint.peer_subsystem),
+                        payload=(endpoint.injected, endpoint.forwarded),
+                    ))
+            return grants
+        finally:
+            lock.release()
 
     def global_time(self) -> float:
         return min((ss.now for ss in self.subsystems.values()), default=0.0)

@@ -12,13 +12,21 @@ Zero dependencies, deterministic under the in-memory transport, and a
 one-attribute-read no-op path when disabled — cheap enough to leave on.
 """
 
-from .metrics import Counter, Gauge, MetricError, MetricsRegistry, Timer
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Timer,
+)
 from .report import RunReport, run_report
 from .telemetry import NULL_TELEMETRY, Telemetry
 from .trace import TraceBuffer, TraceKind, TraceRecord
 
 __all__ = [
-    "Counter", "Gauge", "MetricError", "MetricsRegistry", "Timer",
+    "Counter", "Gauge", "Histogram", "MetricError", "MetricsRegistry",
+    "Timer",
     "NULL_TELEMETRY", "Telemetry",
     "TraceBuffer", "TraceKind", "TraceRecord",
     "RunReport", "run_report",

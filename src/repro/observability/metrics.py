@@ -14,6 +14,7 @@ update costs one tick of a statistic, never a wrong simulation result.
 from __future__ import annotations
 
 import time as _time
+from bisect import bisect_right
 from typing import Dict, Optional
 
 
@@ -60,6 +61,53 @@ class Gauge:
         return f"<Gauge {self.name}={self.value}>"
 
 
+class Histogram:
+    """A distribution of integer-ish samples (batch sizes, frame bytes).
+
+    Buckets are fixed powers of two, so two runs of the same scenario
+    produce identical snapshots — histograms belong to the deterministic
+    portion of a report, like counters and gauges.
+    """
+
+    #: Upper bounds (inclusive) of the power-of-two buckets.
+    BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.buckets[bisect_right(self.BOUNDS, value)] += 1
+
+    def snapshot(self) -> dict:
+        buckets = {f"<={bound}": self.buckets[i]
+                   for i, bound in enumerate(self.BOUNDS)}
+        buckets[f">{self.BOUNDS[-1]}"] = self.buckets[-1]
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+            "buckets": buckets,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Histogram {self.name} n={self.count} total={self.total:g}>"
+
+
 class Timer:
     """Accumulated wall-clock time over any number of timed blocks."""
 
@@ -96,6 +144,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
         self.timers: Dict[str, Timer] = {}
 
     # ------------------------------------------------------------------
@@ -111,6 +160,12 @@ class MetricsRegistry:
             metric = self.gauges[name] = Gauge(name)
         return metric
 
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
     def timer(self, name: str) -> Timer:
         metric = self.timers.get(name)
         if metric is None:
@@ -119,12 +174,14 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Deterministic state: counters and gauges, sorted by name."""
+        """Deterministic state: counters, gauges and histograms, sorted."""
         return {
             "counters": {name: self.counters[name].value
                          for name in sorted(self.counters)},
             "gauges": {name: self.gauges[name].value
                        for name in sorted(self.gauges)},
+            "histograms": {name: self.histograms[name].snapshot()
+                           for name in sorted(self.histograms)},
         }
 
     def timings(self) -> dict:
@@ -136,4 +193,5 @@ class MetricsRegistry:
     def reset(self) -> None:
         self.counters.clear()
         self.gauges.clear()
+        self.histograms.clear()
         self.timers.clear()

@@ -24,10 +24,13 @@ class RunReport:
     title: str
     #: name, node, time, dispatched, stalls, checkpoints, safe_time_requests
     subsystems: List[dict] = field(default_factory=list)
-    #: src, dst, model, messages, bytes, delay
+    #: src, dst, model, messages, bytes, delay, frames
     links: List[dict] = field(default_factory=list)
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
+    #: name -> {count, total, min, max, mean, buckets} distributions
+    #: (batch sizes, frame bytes); deterministic like counters.
+    histograms: dict = field(default_factory=dict)
     #: (straggler_time, snapshot_id, restored_time) per recovery.
     rollbacks: List[dict] = field(default_factory=list)
     #: Exact fault/retry counters from the fault injector, when one is
@@ -48,6 +51,7 @@ class RunReport:
             "links": self.links,
             "counters": self.counters,
             "gauges": self.gauges,
+            "histograms": self.histograms,
             "rollbacks": self.rollbacks,
             "faults": self.faults,
             "trace": {"counts": self.trace_counts,
@@ -75,6 +79,8 @@ class RunReport:
             "messages": sum(row["messages"] for row in self.links),
             "bytes": sum(row["bytes"] for row in self.links),
             "delay": sum(row["delay"] for row in self.links),
+            "frames": sum(row.get("frames", row["messages"])
+                          for row in self.links),
         }
 
     # ------------------------------------------------------------------
@@ -92,10 +98,11 @@ class RunReport:
         if self.links:
             out.append("")
             out.append(_table(
-                ["link", "model", "msgs", "bytes", "delay"],
+                ["link", "model", "msgs", "frames", "bytes", "delay"],
                 [[f"{row['src']}->{row['dst']}", row["model"],
-                  str(row["messages"]), str(row["bytes"]),
-                  f"{row['delay']:.6g}s"]
+                  str(row["messages"]),
+                  str(row.get("frames", row["messages"])),
+                  str(row["bytes"]), f"{row['delay']:.6g}s"]
                  for row in self.links]))
         if self.rollbacks:
             out.append("")
@@ -116,6 +123,15 @@ class RunReport:
                 ["counter", "value"],
                 [[name, str(value)]
                  for name, value in sorted(self.counters.items())]))
+        if self.histograms:
+            out.append("")
+            out.append(_table(
+                ["histogram", "n", "mean", "min", "max"],
+                [[name, str(row["count"]),
+                  "-" if row["mean"] is None else f"{row['mean']:.4g}",
+                  "-" if row["min"] is None else f"{row['min']:g}",
+                  "-" if row["max"] is None else f"{row['max']:g}"]
+                 for name, row in sorted(self.histograms.items())]))
         if self.trace_counts:
             out.append("")
             dropped = f" (dropped {self.trace_dropped})" \
@@ -169,8 +185,8 @@ def _link_rows(transport) -> List[dict]:
     if accounting is None:
         return []
     return [{"src": src, "dst": dst, "model": model, "messages": messages,
-             "bytes": nbytes, "delay": delay}
-            for src, dst, model, messages, nbytes, delay
+             "bytes": nbytes, "delay": delay, "frames": frames}
+            for src, dst, model, messages, nbytes, delay, frames
             in accounting.report()]
 
 
@@ -213,6 +229,7 @@ def run_report(target, *, title: Optional[str] = None) -> RunReport:
     snapshot = telemetry.registry.snapshot()
     report.counters = snapshot["counters"]
     report.gauges = snapshot["gauges"]
+    report.histograms = snapshot.get("histograms", {})
     report.trace_counts = telemetry.trace_buffer.counts_by_kind()
     report.trace_dropped = telemetry.trace_buffer.dropped
     report.timings = telemetry.registry.timings()

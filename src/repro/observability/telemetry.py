@@ -61,6 +61,12 @@ class Telemetry:
             return
         self.registry.gauge(name).set(value)
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample in histogram ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.registry.histogram(name).observe(value)
+
     def timer(self, name: str):
         """Context manager accumulating wall time under ``name``."""
         if not self.enabled:

@@ -1,6 +1,7 @@
 """Inter-node transports: the reproduction's substitute for Java RMI."""
 
 from .accounting import LinkStats, NetworkAccounting
+from .batch import SendBatcher
 from .inmemory import InMemoryTransport
 from .latency import (
     BROADBAND,
@@ -11,11 +12,22 @@ from .latency import (
     LatencyModel,
     preset,
 )
-from .message import Message, MessageKind, decode, encode, wire_size
+from .message import (
+    BatchFrame,
+    Message,
+    MessageKind,
+    decode,
+    decode_any,
+    encode,
+    encode_batch,
+    wire_size,
+)
 from .tcp import TcpTransport
 
 __all__ = [
-    "BROADBAND", "INTERNET", "InMemoryTransport", "LAN", "LatencyModel",
-    "LinkStats", "Message", "MessageKind", "NetworkAccounting", "PRESETS",
-    "SAME_HOST", "TcpTransport", "decode", "encode", "preset", "wire_size",
+    "BROADBAND", "BatchFrame", "INTERNET", "InMemoryTransport", "LAN",
+    "LatencyModel", "LinkStats", "Message", "MessageKind",
+    "NetworkAccounting", "PRESETS", "SAME_HOST", "SendBatcher",
+    "TcpTransport", "decode", "decode_any", "encode", "encode_batch",
+    "preset", "wire_size",
 ]

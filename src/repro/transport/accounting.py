@@ -24,6 +24,9 @@ class LinkStats:
     model: LatencyModel
     messages: int = 0
     bytes: int = 0
+    #: Wire frames carrying those messages.  Without batching every
+    #: message is its own frame; a batch frame carries many.
+    frames: int = 0
     #: Total modelled wall-clock time spent on the wire, assuming the
     #: communication is serialised (conservative, like the paper's setup
     #: where the simulator blocks on channel traffic).
@@ -32,6 +35,19 @@ class LinkStats:
     def record(self, size: int) -> float:
         d = self.model.delay(size, seq=self.messages)
         self.messages += 1
+        self.frames += 1
+        self.bytes += size
+        self.delay += d
+        return d
+
+    def record_frame(self, size: int, messages: int) -> float:
+        """Charge one batch frame carrying ``messages`` logical messages.
+
+        The latency model is consulted once — per frame, not per message —
+        which is precisely the saving batching buys."""
+        d = self.model.delay(size, seq=self.frames)
+        self.messages += messages
+        self.frames += 1
         self.bytes += size
         self.delay += d
         return d
@@ -57,19 +73,43 @@ class NetworkAccounting:
     def model_for(self, src: str, dst: str) -> LatencyModel:
         return self._models.get((src, dst), self.default_model)
 
-    def record(self, src: str, dst: str, size: int) -> float:
-        """Charge one message; returns its modelled wall delay."""
+    def _stats(self, src: str, dst: str) -> LinkStats:
         key = (src, dst)
         stats = self.links.get(key)
         if stats is None:
             stats = self.links[key] = LinkStats(self.model_for(src, dst))
+        return stats
+
+    def record(self, src: str, dst: str, size: int) -> float:
+        """Charge one message (its own wire frame); returns its delay."""
+        stats = self._stats(src, dst)
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.count("transport.messages")
             telemetry.count("transport.bytes", size)
+            telemetry.count("transport.frames_sent")
+            telemetry.count("transport.bytes_on_wire", size)
             telemetry.count(f"link.{src}->{dst}.messages")
             telemetry.count(f"link.{src}->{dst}.bytes", size)
         return stats.record(size)
+
+    def record_frame(self, src: str, dst: str, size: int,
+                     messages: int) -> float:
+        """Charge one batch frame of ``messages`` coalesced messages."""
+        stats = self._stats(src, dst)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("transport.messages", messages)
+            telemetry.count("transport.bytes", size)
+            telemetry.count("transport.frames_sent")
+            telemetry.count("transport.bytes_on_wire", size)
+            if messages:
+                # Grant-only push frames carry no data messages and would
+                # only dilute the coalescing histogram.
+                telemetry.observe("transport.batch_size", messages)
+            telemetry.count(f"link.{src}->{dst}.messages", messages)
+            telemetry.count(f"link.{src}->{dst}.bytes", size)
+        return stats.record_frame(size, messages)
 
     # ------------------------------------------------------------------
     @property
@@ -81,6 +121,10 @@ class NetworkAccounting:
         return sum(s.bytes for s in self.links.values())
 
     @property
+    def total_frames(self) -> int:
+        return sum(s.frames for s in self.links.values())
+
+    @property
     def total_delay(self) -> float:
         return sum(s.delay for s in self.links.values())
 
@@ -88,9 +132,9 @@ class NetworkAccounting:
         self.links.clear()
 
     def report(self) -> list:
-        """Rows of (src, dst, model, messages, bytes, delay), sorted."""
+        """Rows of (src, dst, model, messages, bytes, delay, frames)."""
         return [
             (src, dst, stats.model.name, stats.messages, stats.bytes,
-             stats.delay)
+             stats.delay, stats.frames)
             for (src, dst), stats in sorted(self.links.items())
         ]

@@ -1,0 +1,89 @@
+"""Per-peer send queues for frame coalescing (the batched fast path).
+
+With batching enabled, a transport does not put every message on the wire
+as its own frame.  Messages bound for the same destination are queued per
+directed link and shipped at the next *flush point* — the destination's
+poll, a synchronous call crossing the link, or an executor round boundary
+— as one :class:`~repro.transport.message.BatchFrame`: one pickle, one
+``sendall``, one latency charge.  The paper's premise (section 2.2.2.1)
+is that a geographically distributed backplane lives or dies by how few
+synchronisation messages cross the wire; coalescing is the classic PDES
+lever for exactly that.
+
+Fault injection stays per *logical message*: the injector's decision is
+rolled at enqueue time, in original send order, so per-link ordinals —
+and therefore every seeded fault decision — are identical with batching
+on or off.
+
+The batcher itself is transport-agnostic bookkeeping: queues, counters
+and a reusable frame-assembly buffer.  Delivery is the owning transport's
+business.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .message import Message
+
+
+class SendBatcher:
+    """Per-(src, dst) FIFO queues of messages awaiting a batch flush."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[Tuple[str, str], List[Message]] = {}
+        self._lock = threading.Lock()
+        #: Reusable frame-assembly buffer (length prefix + payload), so a
+        #: steady-state flush allocates no fresh bytearray per frame.
+        self.buffer = bytearray()
+
+    def enqueue(self, src: str, dst: str, message: Message) -> None:
+        with self._lock:
+            queue = self._queues.get((src, dst))
+            if queue is None:
+                queue = self._queues[(src, dst)] = []
+            queue.append(message)
+
+    def extend(self, src: str, dst: str, messages) -> None:
+        with self._lock:
+            queue = self._queues.get((src, dst))
+            if queue is None:
+                queue = self._queues[(src, dst)] = []
+            queue.extend(messages)
+
+    # ------------------------------------------------------------------
+    def pending(self, name: Optional[str] = None) -> int:
+        """Queued messages destined for ``name`` (or for anyone)."""
+        with self._lock:
+            if name is None:
+                return sum(len(q) for q in self._queues.values())
+            return sum(len(q) for (src, dst), q in self._queues.items()
+                       if dst == name)
+
+    def take(self, *, src: Optional[str] = None, dst: Optional[str] = None
+             ) -> List[Tuple[Tuple[str, str], List[Message]]]:
+        """Remove and return matching non-empty queues, sorted by link key
+        (deterministic flush order)."""
+        with self._lock:
+            keys = [key for key, queue in self._queues.items()
+                    if queue
+                    and (src is None or key[0] == src)
+                    and (dst is None or key[1] == dst)]
+            keys.sort()
+            return [(key, self._queues.pop(key)) for key in keys]
+
+    def clear(self, name: Optional[str] = None) -> int:
+        """Drop queued messages (rollback / node-removal support).
+
+        With ``name``, drops only queues touching that node; returns the
+        number of messages dropped."""
+        with self._lock:
+            if name is None:
+                dropped = sum(len(q) for q in self._queues.values())
+                self._queues.clear()
+                return dropped
+            dropped = 0
+            for key in [k for k in self._queues if name in k]:
+                dropped += len(self._queues.pop(key))
+            return dropped

@@ -18,10 +18,19 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import TransportError
+from ..core.fastcopy import is_immutable
 from ..observability import NULL_TELEMETRY, TraceKind
 from .accounting import NetworkAccounting
+from .batch import SendBatcher
 from .latency import SAME_HOST, LatencyModel
-from .message import Message, MessageKind, decode, encode
+from .message import (
+    BatchFrame,
+    Message,
+    MessageKind,
+    decode,
+    encode,
+    encode_batch,
+)
 
 #: Handles an asynchronous message.
 InboxHandler = Callable[[Message], None]
@@ -33,16 +42,27 @@ class InMemoryTransport:
     """FIFO message passing between registered nodes, with accounting."""
 
     def __init__(self, *, default_model: LatencyModel = SAME_HOST,
-                 simulate_wire: bool = True) -> None:
+                 simulate_wire: bool = True,
+                 batching: bool = False) -> None:
         self.accounting = NetworkAccounting(default_model)
         #: Encode/decode every message to emulate crossing the wire.
         self.simulate_wire = simulate_wire
+        #: Coalesce per-destination sends into batch frames (opt-in).
+        self.batching = batching
+        self.batcher = SendBatcher()
+        #: ``(src, dst) -> [Message]`` hook filled by an executor: extra
+        #: safe-time grants to piggyback on an outgoing batch frame.
+        self.piggyback_provider = None
         self._inboxes: Dict[str, deque] = {}
         self._call_handlers: Dict[str, CallHandler] = {}
         #: Telemetry sink (attach via :meth:`attach_telemetry`).
         self.telemetry = NULL_TELEMETRY
         #: Fault plane (attach via :meth:`attach_faults`).
         self.fault_injector = None
+
+    def set_piggyback_provider(self, provider) -> None:
+        """Install the executor's grant source for batch flushes."""
+        self.piggyback_provider = provider
 
     def attach_telemetry(self, telemetry) -> None:
         """Feed message traces and per-link counters to ``telemetry``."""
@@ -70,6 +90,7 @@ class InMemoryTransport:
     def unregister(self, name: str) -> None:
         self._inboxes.pop(name, None)
         self._call_handlers.pop(name, None)
+        self.batcher.clear(name)
 
     def nodes(self) -> list:
         return sorted(self._inboxes)
@@ -106,6 +127,8 @@ class InMemoryTransport:
                 return 0.0
         if message.dst not in self._inboxes:
             raise TransportError(f"unknown destination node {message.dst!r}")
+        if self.batching and action in ("deliver", "duplicate"):
+            return self._enqueue_batched(message, action, injector)
         delivered, size = self._through_wire(message)
         delay = self.accounting.record(message.src, message.dst, size)
         telemetry = self.telemetry
@@ -131,6 +154,79 @@ class InMemoryTransport:
                 inbox.append(late)
         return delay
 
+    def _enqueue_batched(self, message: Message, action: str,
+                         injector) -> float:
+        """Queue a deliver/duplicate-fated message for the next flush.
+
+        Immutable payloads skip the simulated encode/decode round trip —
+        sharing an immutable object is indistinguishable from copying it —
+        which is the transport half of the copy-elision fast path.  The
+        whole frame is pickled once at flush time either way, so byte
+        accounting stays honest.
+        """
+        if self.simulate_wire and not is_immutable(message.payload):
+            member = decode(encode(message))
+        else:
+            member = message
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.trace(TraceKind.MSG_SEND, time=message.time,
+                            subject=f"{message.src}->{message.dst}",
+                            message_kind=message.kind.value, batched=True)
+        self.batcher.enqueue(message.src, message.dst, member)
+        if action == "duplicate":
+            self.batcher.enqueue(message.src, message.dst, member)
+            injector.expect_duplicate(message.dst, member.msg_id)
+        if injector is not None:
+            late = injector.take_swaps(message.src, message.dst)
+            if late:
+                self.batcher.extend(message.src, message.dst, late)
+        return 0.0
+
+    def flush_batches(self, *, src: Optional[str] = None,
+                      dst: Optional[str] = None) -> int:
+        """Ship matching queued batches: one frame (and one latency
+        charge) per non-empty link, members delivered in send order,
+        piggybacked grants strictly after them.  Returns the number of
+        logical messages flushed."""
+        if not self.batching:
+            return 0
+        flushed = 0
+        provider = self.piggyback_provider
+        telemetry = self.telemetry
+        for (s, d), members in self.batcher.take(src=src, dst=dst):
+            inbox = self._inboxes.get(d)
+            if inbox is None:
+                continue    # destination unregistered after enqueue
+            grants = provider(s, d) if provider is not None else []
+            blob = encode_batch(BatchFrame(s, d, members, grants))
+            self.accounting.record_frame(s, d, len(blob), len(members))
+            if telemetry.enabled and grants:
+                telemetry.count("safetime.piggyback_sent", len(grants))
+            inbox.extend(members)
+            inbox.extend(grants)
+            flushed += len(members)
+        return flushed
+
+    def push_grants(self, src: str, dst: str,
+                    grants: List[Message]) -> bool:
+        """Ship a standalone grant-only frame ``src``→``dst``.
+
+        One frame unblocks a peer known to be stalled, replacing the
+        two-frame request/reply round trip it would otherwise issue.
+        Grants bypass the fault plane (like call traffic: sync-protocol
+        messages are not subject to data-plane faults).
+        """
+        if not self.batching or not grants:
+            return False
+        inbox = self._inboxes.get(dst)
+        if inbox is None:
+            return False
+        blob = encode_batch(BatchFrame(src, dst, [], list(grants)))
+        self.accounting.record_frame(src, dst, len(blob), 0)
+        inbox.extend(grants)
+        return True
+
     def call(self, message: Message) -> Message:
         """Synchronous request/response (the RMI analogue).
 
@@ -139,6 +235,12 @@ class InMemoryTransport:
         """
         if self.fault_injector is not None:
             self.fault_injector.check_call(message)
+        if self.batching:
+            # A call is a synchronisation point on this link: anything
+            # queued either way must land first so in-flight counts match
+            # the unbatched run exactly.
+            self.flush_batches(src=message.src, dst=message.dst)
+            self.flush_batches(src=message.dst, dst=message.src)
         handler = self._call_handlers.get(message.dst)
         if handler is None:
             raise TransportError(
@@ -172,6 +274,11 @@ class InMemoryTransport:
             inbox = self._inboxes[name]
         except KeyError:
             raise TransportError(f"unknown node {name!r}") from None
+        if self.batching:
+            # Poll is the flush point: every queue bound for this node
+            # ships now, so delivery lands at the same pump points as the
+            # unbatched per-message path.
+            self.flush_batches(dst=name)
         injector = self.fault_injector
         if injector is not None:
             inbox.extend(injector.release_due(name))
@@ -193,9 +300,9 @@ class InMemoryTransport:
     def pending(self, name: Optional[str] = None) -> int:
         """Messages queued for ``name`` (or for every node), the fault
         plane's parked deliveries included."""
-        held = 0
+        held = self.batcher.pending(name)
         if self.fault_injector is not None:
-            held = self.fault_injector.held_pending(name)
+            held += self.fault_injector.held_pending(name)
         if name is not None:
             return len(self._inboxes.get(name, ())) + held
         return sum(len(q) for q in self._inboxes.values()) + held
@@ -205,6 +312,7 @@ class InMemoryTransport:
         dropped = sum(len(q) for q in self._inboxes.values())
         for inbox in self._inboxes.values():
             inbox.clear()
+        dropped += self.batcher.clear()
         if self.fault_injector is not None:
             dropped += self.fault_injector.flush()
         return dropped

@@ -27,6 +27,11 @@ class MessageKind(enum.Enum):
     SAFE_TIME_REQUEST = "safe-time-request"
     #: Safe-time response.
     SAFE_TIME_REPLY = "safe-time-reply"
+    #: An unsolicited safe-time grant piggybacked on a batch frame
+    #: (``time`` carries the grant, ``payload`` the peer's
+    #: ``(injected, forwarded)`` counts).  Always safe to apply: a stale
+    #: grant merely under-reports the peer's floor.
+    SAFE_TIME_GRANT = "safe-time-grant"
     #: A Chandy-Lamport checkpoint mark (paper section 2.2.3).
     MARK = "mark"
     #: Coordinated restore command (optimistic recovery).
@@ -85,3 +90,41 @@ def decode(blob: bytes) -> Message:
 def wire_size(message: Message) -> int:
     """Bytes this message occupies on the wire."""
     return len(encode(message))
+
+
+@dataclass
+class BatchFrame:
+    """One coalesced wire frame: every message a source queued for one
+    destination during a scheduler round, in send order, plus any
+    piggybacked safe-time grants (applied strictly after the data
+    messages, so the receiver's injected counts are current)."""
+
+    src: str
+    dst: str
+    messages: list
+    grants: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.messages) + len(self.grants)
+
+
+def encode_batch(frame: BatchFrame) -> bytes:
+    """Serialise a whole batch frame with a single pickle pass."""
+    try:
+        return pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise TransportError(
+            f"cannot serialise batch {frame.src}->{frame.dst}: {exc}"
+        ) from exc
+
+
+def decode_any(blob: bytes):
+    """Decode a wire frame: a single :class:`Message` or a
+    :class:`BatchFrame`."""
+    try:
+        decoded = pickle.loads(blob)
+    except Exception as exc:
+        raise TransportError(f"cannot deserialise frame: {exc}") from exc
+    if not isinstance(decoded, (Message, BatchFrame)):
+        raise TransportError(f"decoded object is {type(decoded).__name__}")
+    return decoded

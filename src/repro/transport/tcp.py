@@ -31,11 +31,21 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import LinkDown, TransportError
+from ..core.fastcopy import is_immutable
 from ..faults.retry import RetryPolicy
 from ..observability import NULL_TELEMETRY, TraceKind
 from .accounting import NetworkAccounting
+from .batch import SendBatcher
 from .latency import SAME_HOST, LatencyModel
-from .message import Message, MessageKind, decode, encode
+from .message import (
+    BatchFrame,
+    Message,
+    MessageKind,
+    decode,
+    decode_any,
+    encode,
+    encode_batch,
+)
 
 _LENGTH = struct.Struct("!I")
 
@@ -90,9 +100,13 @@ class _NodeEndpoint:
     def _serve(self, conn: socket.socket) -> None:
         try:
             while self.running:
-                message = decode(_recv_frame(conn))
-                if message.kind in (MessageKind.SAFE_TIME_REQUEST,
-                                    MessageKind.HW_CALL):
+                message = decode_any(_recv_frame(conn))
+                if isinstance(message, BatchFrame):
+                    with self.lock:
+                        self.inbox.extend(message.messages)
+                        self.inbox.extend(message.grants)
+                elif message.kind in (MessageKind.SAFE_TIME_REQUEST,
+                                      MessageKind.HW_CALL):
                     reply = self.transport._dispatch_call(self.name, message)
                     _send_frame(conn, encode(reply))
                 else:
@@ -126,10 +140,17 @@ class TcpTransport:
 
     def __init__(self, *, default_model: LatencyModel = SAME_HOST,
                  delay_scale: float = 0.0,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 batching: bool = False) -> None:
         self.accounting = NetworkAccounting(default_model)
         #: Multiply modelled link delay by this and really sleep (0 = off).
         self.delay_scale = delay_scale
+        #: Coalesce per-destination sends into batch frames (opt-in).
+        self.batching = batching
+        self.batcher = SendBatcher()
+        #: ``(src, dst) -> [Message]`` hook filled by an executor: extra
+        #: safe-time grants to piggyback on an outgoing batch frame.
+        self.piggyback_provider = None
         #: Governs reconnect attempts for dead sockets *and* retries of
         #: injected drops when a fault plane is attached.
         self.retry_policy = retry_policy or RetryPolicy()
@@ -145,6 +166,10 @@ class TcpTransport:
         self.telemetry = NULL_TELEMETRY
         #: Fault plane (attach via :meth:`attach_faults`).
         self.fault_injector = None
+
+    def set_piggyback_provider(self, provider) -> None:
+        """Install the executor's grant source for batch flushes."""
+        self.piggyback_provider = provider
 
     def attach_telemetry(self, telemetry) -> None:
         """Feed message traces and per-link counters to ``telemetry``."""
@@ -178,6 +203,7 @@ class TcpTransport:
         if endpoint is not None:
             endpoint.close()
         self._call_handlers.pop(name, None)
+        self.batcher.clear(name)
         with self._conn_lock:
             for key in [k for k in self._conns if name in k]:
                 entry = self._conns.pop(key)
@@ -290,6 +316,32 @@ class TcpTransport:
             action, ticks = injector.on_send(message)
             if action == "lost":
                 return 0.0
+        if self.batching and action in ("deliver", "duplicate"):
+            # Queue for the next flush.  Mutable payloads are isolated
+            # through a pickle round trip now so a sender mutating its
+            # object between enqueue and flush cannot change what ships;
+            # immutable payloads are enqueued as-is (copy elision).
+            if is_immutable(message.payload):
+                member = message
+            else:
+                member = decode(encode(message))
+            if message.dst not in self._endpoints:
+                raise TransportError(
+                    f"unknown destination node {message.dst!r}")
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.trace(TraceKind.MSG_SEND, time=message.time,
+                                subject=f"{message.src}->{message.dst}",
+                                message_kind=message.kind.value, batched=True)
+            self.batcher.enqueue(message.src, message.dst, member)
+            if action == "duplicate":
+                self.batcher.enqueue(message.src, message.dst, member)
+                injector.expect_duplicate(message.dst, member.msg_id)
+            if injector is not None:
+                late = injector.take_swaps(message.src, message.dst)
+                if late:
+                    self.batcher.extend(message.src, message.dst, late)
+            return 0.0
         blob = encode(message)
         self._charge(message.src, message.dst, len(blob))
         telemetry = self.telemetry
@@ -314,6 +366,46 @@ class TcpTransport:
                                     message.time)
         return 0.0
 
+    def flush_batches(self, *, src: Optional[str] = None,
+                      dst: Optional[str] = None) -> int:
+        """Ship matching queued batches: one frame, one ``sendall``, one
+        latency charge per non-empty link.  Returns the number of logical
+        messages flushed."""
+        if not self.batching:
+            return 0
+        flushed = 0
+        provider = self.piggyback_provider
+        telemetry = self.telemetry
+        for (s, d), members in self.batcher.take(src=src, dst=dst):
+            if d not in self._endpoints:
+                continue    # destination unregistered after enqueue
+            grants = provider(s, d) if provider is not None else []
+            blob = encode_batch(BatchFrame(s, d, members, grants))
+            delay = self.accounting.record_frame(s, d, len(blob),
+                                                 len(members))
+            if self.delay_scale > 0:
+                _time.sleep(delay * self.delay_scale)
+            if telemetry.enabled and grants:
+                telemetry.count("safetime.piggyback_sent", len(grants))
+            self._send_reliable(s, d, blob, members[-1].time)
+            flushed += len(members)
+        return flushed
+
+    def push_grants(self, src: str, dst: str,
+                    grants: List[Message]) -> bool:
+        """Ship a standalone grant-only frame ``src``→``dst`` — one frame
+        instead of the stalled peer's two-frame request round trip."""
+        if not self.batching or not grants:
+            return False
+        if dst not in self._endpoints:
+            return False
+        blob = encode_batch(BatchFrame(src, dst, [], list(grants)))
+        delay = self.accounting.record_frame(src, dst, len(blob), 0)
+        if self.delay_scale > 0:
+            _time.sleep(delay * self.delay_scale)
+        self._send_reliable(src, dst, blob, grants[-1].time)
+        return True
+
     def call(self, message: Message) -> Message:
         """Blocking request/response over a dedicated connection.
 
@@ -323,6 +415,11 @@ class TcpTransport:
         """
         if self.fault_injector is not None:
             self.fault_injector.check_call(message)
+        if self.batching:
+            # A call is a synchronisation point on this link: queued
+            # traffic either way lands first, as in the unbatched run.
+            self.flush_batches(src=message.src, dst=message.dst)
+            self.flush_batches(src=message.dst, dst=message.src)
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None:
             raise TransportError(f"unknown destination node {message.dst!r}")
@@ -361,6 +458,11 @@ class TcpTransport:
         endpoint = self._endpoints.get(name)
         if endpoint is None:
             raise TransportError(f"unknown node {name!r}")
+        if self.batching:
+            # Flush traffic bound for this node; frames arrive via the
+            # receiver thread, so they may only be drained by a later
+            # poll — the polling loops already spin until quiescent.
+            self.flush_batches(dst=name)
         injector = self.fault_injector
         drained: List[Message] = []
         with endpoint.lock:
@@ -381,9 +483,9 @@ class TcpTransport:
         return drained
 
     def pending(self, name: Optional[str] = None) -> int:
-        held = 0
+        held = self.batcher.pending(name)
         if self.fault_injector is not None:
-            held = self.fault_injector.held_pending(name)
+            held += self.fault_injector.held_pending(name)
         if name is not None:
             endpoint = self._endpoints.get(name)
             return (len(endpoint.inbox) if endpoint else 0) + held
@@ -396,6 +498,7 @@ class TcpTransport:
             with endpoint.lock:
                 dropped += len(endpoint.inbox)
                 endpoint.inbox.clear()
+        dropped += self.batcher.clear()
         if self.fault_injector is not None:
             dropped += self.fault_injector.flush()
         return dropped

@@ -85,7 +85,8 @@ class TestRegistry:
         reg.counter("x").inc(5)
         reg.gauge("g").set(2.0)
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "gauges": {}}
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
         assert reg.counter("x").value == 0
 
     def test_timings_reported_separately_from_snapshot(self):
