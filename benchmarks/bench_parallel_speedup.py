@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Parallel speedup: one GIL versus many processes.
+
+The compute-star workload (hub + W WubbleU-style word-level nodes, each
+grinding a pure-Python checksum loop per round) runs under all three
+deployment modes — cooperative :class:`CoSimulation`, thread-per-node
+:class:`ThreadedCoSimulation`, process-per-node
+:class:`MultiprocessCoSimulation` — at 1, 2 and 4 workers.
+
+Two claims are checked:
+
+* **Determinism** — every mode must report bit-identical per-subsystem
+  virtual times and dispatched-event counts (the conservative protocol
+  makes deployment a pure performance choice).  Always asserted.
+* **Speedup** — at 4 workers the multiprocess run must beat the threaded
+  run by >= 1.5x wall clock.  Threads serialise the checksum loops on the
+  GIL; processes do not.  Only asserted when the machine actually has
+  >= 4 usable cores — on smaller runners the numbers are recorded and the
+  assertion is skipped with a note.
+
+All coordinator wall-clock numbers land in ``BENCH_pr4.json``
+(``repro.bench.record``), keyed ``<mode>_w<workers>``, with the observed
+core count so readers can judge the scaling numbers in context.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_speedup.py
+"""
+
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, os.pardir, "src"))
+
+from repro.bench import record_bench                      # noqa: E402
+from repro.bench.workloads import (                       # noqa: E402
+    compute_star,
+    compute_star_multiprocess,
+)
+
+ROUNDS = int(os.environ.get("PIA_SPEEDUP_ROUNDS", "8"))
+WORDS = int(os.environ.get("PIA_SPEEDUP_WORDS", "120000"))
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_FLOOR = 1.5
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_mode(mode: str, workers: int) -> dict:
+    if mode == "multiprocess":
+        cosim = compute_star_multiprocess(workers, ROUNDS, words=WORDS)
+    else:
+        cosim = compute_star(workers, ROUNDS, words=WORDS, executor=mode)
+    start = time.perf_counter()
+    events = cosim.run(until=float("inf")) if mode != "multiprocess" \
+        else cosim.run(until=float("inf"), timeout=300.0)
+    wall = time.perf_counter() - start
+    report = cosim.report(title=f"parallel-speedup {mode} w={workers}")
+    return {
+        "report": report,
+        "wall": wall,
+        "events": events,
+        "progress": sorted((row["name"], row["time"], row["dispatched"])
+                           for row in report.subsystems),
+    }
+
+
+def main() -> int:
+    cores = usable_cores()
+    print(f"compute star: rounds={ROUNDS} words={WORDS} cores={cores}")
+    failures = []
+    walls = {}
+    for workers in WORKER_COUNTS:
+        results = {mode: run_mode(mode, workers)
+                   for mode in ("cosim", "threaded", "multiprocess")}
+        reference = results["cosim"]
+        for mode, r in results.items():
+            walls[(mode, workers)] = r["wall"]
+            record_bench("parallel_speedup", f"{mode}_w{workers}",
+                         report=r["report"], wall_seconds=r["wall"],
+                         extra={"workers": workers, "rounds": ROUNDS,
+                                "words": WORDS, "cores": cores})
+            if r["events"] != reference["events"] \
+                    or r["progress"] != reference["progress"]:
+                failures.append(
+                    f"{mode} w={workers} diverged from cosim:\n"
+                    f"  cosim: {reference['events']} events, "
+                    f"{reference['progress']}\n"
+                    f"  {mode}: {r['events']} events, {r['progress']}")
+        line = "  ".join(f"{mode}={results[mode]['wall']:.2f}s"
+                         for mode in ("cosim", "threaded", "multiprocess"))
+        print(f"w={workers}: {line}  "
+              f"({reference['events']} events, identical virtual times: "
+              f"{'yes' if not failures else 'CHECK FAILED'})")
+
+    speedup = walls[("threaded", 4)] / walls[("multiprocess", 4)]
+    print(f"multiprocess vs threaded at 4 workers: {speedup:.2f}x")
+    if cores >= 4:
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"multiprocess speedup at 4 workers is {speedup:.2f}x, "
+                f"below the {SPEEDUP_FLOOR}x floor (cores={cores})")
+    else:
+        print(f"SKIP: speedup floor not asserted — only {cores} usable "
+              f"core(s); need >= 4 for the parallelism claim")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("parallel speedup OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

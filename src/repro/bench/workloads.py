@@ -6,8 +6,11 @@ from typing import Callable, List, Optional, Tuple
 
 from ..core.component import FunctionComponent
 from ..core.process import Advance, Receive, Send, WaitUntil
+from ..core.subsystem import Subsystem
 from ..distributed.channel import ChannelMode
 from ..distributed.executor import CoSimulation
+from ..distributed.multiprocess import MultiprocessCoSimulation
+from ..distributed.threaded import ThreadedCoSimulation
 from ..transport.latency import SAME_HOST, LatencyModel
 
 
@@ -108,4 +111,132 @@ def ring_of_pairs(subsystem_count: int, messages_each: int,
         if not last:
             previous_port = comp.port("out")
         previous_ss = subsystems[index]
+    return cosim
+
+
+# ----------------------------------------------------------------------
+# The compute star: a GIL-escape workload (WubbleU word-level nodes).
+#
+# A hub fans a round index out to W workers; each worker grinds a
+# pure-Python word-level checksum over its payload (the kind of
+# instruction-set-level loop the paper's WubbleU processor model runs)
+# and sends the digest back.  Virtual time and message structure depend
+# only on (workers, rounds, period) — never on wall-clock — so every
+# deployment mode must produce bit-identical virtual times and event
+# counts, while wall-clock scales with how many checksum loops truly run
+# in parallel.  Threads cannot parallelise the loops (one GIL);
+# processes can.
+#
+# The factories take ``name`` first and are importable by dotted path,
+# which is exactly the shape `MultiprocessCoSimulation` subsystem specs
+# need to bootstrap a spawned worker process.
+# ----------------------------------------------------------------------
+
+def word_checksum(seed: int, words: int) -> int:
+    """A deterministic 16-bit rolling checksum over ``words`` words —
+    pure Python on purpose: it holds the GIL for its whole duration."""
+    acc = seed & 0xFFFF
+    for index in range(words):
+        acc = (acc * 31 + (index & 0xFF) + 1) & 0xFFFF
+    return acc
+
+
+def make_compute_hub(name: str, *, workers: int, rounds: int,
+                     period: float = 1.0) -> Subsystem:
+    """The star's centre: fan out a round index, gather the digests."""
+
+    def behave(comp):
+        comp.totals = []
+        for round_index in range(rounds):
+            yield Advance(period)
+            for k in range(workers):
+                yield Send(f"go{k}", round_index)
+            total = 0
+            for k in range(workers):
+                __, digest = yield Receive(f"done{k}")
+                total = (total + digest) & 0xFFFFFFFF
+            comp.totals.append(total)
+
+    ports = {}
+    for k in range(workers):
+        ports[f"go{k}"] = "out"
+        ports[f"done{k}"] = "in"
+    hub = FunctionComponent("hub", behave, ports=ports)
+    subsystem = Subsystem(name)
+    subsystem.add(hub)
+    for k in range(workers):
+        subsystem.wire(f"go{k}", hub.port(f"go{k}"))
+        subsystem.wire(f"done{k}", hub.port(f"done{k}"))
+    return subsystem
+
+
+def make_compute_worker(name: str, *, index: int, rounds: int, words: int,
+                        period: float = 1.0) -> Subsystem:
+    """One spoke: receive a round index, checksum ``words`` words, reply.
+
+    Net names carry the spoke ``index`` so they pair with the hub's
+    ``go{index}``/``done{index}`` halves.
+    """
+
+    def behave(comp):
+        for __ in range(rounds):
+            __, value = yield Receive("go")
+            yield Send("done", word_checksum(value * 7919 + index, words))
+
+    worker = FunctionComponent("worker", behave,
+                               ports={"go": "in", "done": "out"})
+    subsystem = Subsystem(name)
+    subsystem.add(worker)
+    subsystem.wire(f"go{index}", worker.port("go"))
+    subsystem.wire(f"done{index}", worker.port("done"))
+    return subsystem
+
+
+def compute_star(worker_count: int, rounds: int, *, words: int = 4000,
+                 period: float = 1.0, executor: str = "cosim",
+                 batching: bool = True, **kwargs):
+    """The star wired for a single-process executor: ``executor`` picks
+    ``"cosim"`` (cooperative) or ``"threaded"``; extra ``kwargs`` (e.g.
+    ``fault_plan``) pass through to the executor constructor."""
+    if executor == "cosim":
+        cosim = CoSimulation(batching=batching, **kwargs)
+    elif executor == "threaded":
+        cosim = ThreadedCoSimulation(batching=batching, **kwargs)
+    else:
+        raise ValueError(f"unknown executor {executor!r}: "
+                         "use 'cosim' or 'threaded'")
+    hub = cosim.add_subsystem(
+        cosim.add_node("n-hub"),
+        make_compute_hub("hub", workers=worker_count, rounds=rounds,
+                         period=period))
+    for k in range(worker_count):
+        spoke = cosim.add_subsystem(
+            cosim.add_node(f"n-w{k}"),
+            make_compute_worker(f"w{k}", index=k, rounds=rounds,
+                                words=words, period=period))
+        channel = cosim.connect(hub, spoke, delay=period / 4)
+        channel.split_net(hub.nets[f"go{k}"], spoke.nets[f"go{k}"])
+        channel.split_net(hub.nets[f"done{k}"], spoke.nets[f"done{k}"])
+    return cosim
+
+
+def compute_star_multiprocess(worker_count: int, rounds: int, *,
+                              words: int = 4000, period: float = 1.0,
+                              **kwargs) -> MultiprocessCoSimulation:
+    """The same star as :func:`compute_star`, declared as picklable specs
+    for the process-per-node deployment (extra ``kwargs`` pass through to
+    :class:`MultiprocessCoSimulation`)."""
+    cosim = MultiprocessCoSimulation(**kwargs)
+    cosim.add_node("n-hub")
+    cosim.add_subsystem("n-hub", "hub",
+                        "repro.bench.workloads:make_compute_hub",
+                        workers=worker_count, rounds=rounds, period=period)
+    for k in range(worker_count):
+        cosim.add_node(f"n-w{k}")
+        cosim.add_subsystem(f"n-w{k}", f"w{k}",
+                            "repro.bench.workloads:make_compute_worker",
+                            index=k, rounds=rounds, words=words,
+                            period=period)
+        cosim.connect("hub", f"w{k}", delay=period / 4,
+                      nets=(f"go{k}", f"done{k}"))
     return cosim

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator, Optional
 
 from .errors import CausalityError
@@ -31,13 +31,17 @@ class EventKind(enum.Enum):
     CONTROL = "control"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One schedulable occurrence.
 
     ``target`` is interpreted per kind: the destination :class:`Port` for
     ``SIGNAL``/``INTERRUPT``, the :class:`Component` for ``WAKE``, and a
     zero-argument callable for ``CONTROL``.
+
+    Slotted: millions of these are allocated per run, and dropping the
+    per-instance ``__dict__`` measurably shrinks both footprint and
+    construction time on the dispatch hot path.
     """
 
     ts: Timestamp

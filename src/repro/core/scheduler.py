@@ -93,11 +93,18 @@ class Scheduler:
         """
         horizon_fn = horizon if callable(horizon) else None
         count = 0
-        while self.queue:
+        # Hot loop: hoist the attribute lookups that are loop-invariant
+        # (the queue and step bindings never change mid-run; telemetry is
+        # only consulted on the cold stall path).
+        queue = self.queue
+        peek = queue.next_time
+        step = self.step
+        while queue:
             limit = horizon_fn() if horizon_fn is not None else horizon
-            bound = min(until, limit)
-            if self.queue.next_time() > bound:
-                if self.queue.next_time() <= until and limit < until:
+            bound = until if until < limit else limit
+            next_time = peek()
+            if next_time > bound:
+                if next_time <= until and limit < until:
                     self.stalls += 1
                     telemetry = self.telemetry
                     if telemetry.enabled:
@@ -106,11 +113,11 @@ class Scheduler:
                             TraceKind.STALL, time=self.now,
                             subject=self.subsystem.name,
                             horizon=limit,
-                            next_event=self.queue.next_time())
+                            next_event=next_time)
                 break
             if max_events is not None and count >= max_events:
                 break
-            self.step()
+            step()
             count += 1
         return count
 

@@ -15,6 +15,13 @@ from .conservative import (
     local_floor,
 )
 from .executor import FAILURE_POLICIES, CoSimulation
+from .multiprocess import (
+    ChannelSpec,
+    MultiprocessCoSimulation,
+    SubsystemSpec,
+    register_factory,
+    resolve_factory,
+)
 from .node import PiaNode, Socket
 from .optimistic import RecoveryManager
 from .partition import Deployment, Design, NetSpec, deploy, suggest_partition
@@ -25,16 +32,18 @@ from .snapshot import (
     SubsystemCut,
     new_snapshot_id,
 )
-from .threaded import ThreadedCoSimulation
+from .threaded import LockedSafeTimeService, ThreadedCoSimulation
 from .topology import communication_digraph, offending_cycles, validate
 
 __all__ = [
     "Channel", "ChannelComponent", "ChannelEndpoint", "ChannelMode",
-    "CoSimulation", "Deployment", "Design", "FAILURE_POLICIES",
-    "GlobalSnapshot", "NetSpec",
+    "ChannelSpec", "CoSimulation", "Deployment", "Design",
+    "FAILURE_POLICIES", "GlobalSnapshot", "LockedSafeTimeService",
+    "MultiprocessCoSimulation", "NetSpec",
     "PiaNode", "RecoveryManager", "SafeTimeClient", "SafeTimeService",
     "SnapshotManager", "SnapshotRegistry", "Socket", "StragglerError",
-    "SubsystemCut", "ThreadedCoSimulation", "UNBOUNDED",
+    "SubsystemCut", "SubsystemSpec", "ThreadedCoSimulation", "UNBOUNDED",
     "communication_digraph", "compute_grant", "deploy", "local_floor",
-    "new_snapshot_id", "offending_cycles", "suggest_partition", "validate",
+    "new_snapshot_id", "offending_cycles", "register_factory",
+    "resolve_factory", "suggest_partition", "validate",
 ]

@@ -1,0 +1,718 @@
+"""Process-per-node execution: real parallelism across OS processes.
+
+The paper's deployment is one JVM *process* per Pia node, joined by RMI —
+genuinely parallel machines.  :class:`ThreadedCoSimulation` mirrors the
+concurrency shape but executes all Python bytecode under one GIL, so
+adding nodes never adds cores.  This module completes the picture: each
+:class:`~repro.distributed.node.PiaNode` runs in its own OS process over
+the real :class:`~repro.transport.tcp.TcpTransport` (loopback), with the
+batched fast path and grant piggybacking on by default, so compute-heavy
+subsystems scale with cores.
+
+Three problems are specific to crossing a process boundary:
+
+* **Bootstrap** — live components cannot cross ``spawn``, so the system
+  is described as picklable *specs*: subsystems are named factories
+  (dotted-path or :func:`register_factory` names) the worker resolves and
+  calls in its own process.
+* **Coordination** — a pipe-based control plane starts, probes, quiesces
+  and stops the workers; a worker that dies (or a scheduled
+  :class:`~repro.faults.NodeCrash` the coordinator fires) surfaces as a
+  typed :class:`~repro.core.errors.NodeFailure`, exactly like the
+  threaded executor.  Quiescence itself is a distributed property,
+  detected by a double probe over logical wire counters
+  (``TcpTransport.wire_out``/``wire_in``): two consecutive sweeps showing
+  every worker idle, all event queues past ``until``, nothing parked, and
+  the global out/in sums balanced and unchanged.
+* **Observability** — every worker runs its own
+  :class:`~repro.observability.Telemetry`; at quiescence each serialises
+  its deterministic snapshot back to the coordinator, which merges them
+  (:mod:`repro.observability.merge`) into one
+  :class:`~repro.observability.RunReport` with the same shape as a
+  single-process report.
+
+Chaos stays reproducible: fault decisions are pure functions of the
+*plan seed* and per-link ordinals, so every worker receives
+``fault_plan.for_node(...)`` — same seed, crashes filtered — and the
+drop/duplicate/delay counters of a seeded run match the single-process
+executors bit for bit.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..core.errors import (
+    ConfigurationError,
+    NodeFailure,
+    SimulationError,
+    TopologyError,
+)
+from ..core.subsystem import Subsystem
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
+from ..observability import (
+    RunReport,
+    Telemetry,
+    TraceKind,
+    merge_counters,
+    merge_gauges,
+    merge_histograms,
+    merge_link_rows,
+    merge_timings,
+)
+from ..observability.report import _link_rows, _subsystem_row
+from ..transport.message import Message, MessageKind
+from ..transport.tcp import TcpTransport
+from .channel import Channel, ChannelMode
+from .conservative import SafeTimeClient, compute_grant
+from .node import PiaNode
+from .threaded import LockedSafeTimeService
+
+#: Factories registered by short name (an alternative to dotted paths).
+_FACTORIES: Dict[str, Callable[..., Subsystem]] = {}
+
+
+def register_factory(name: str, factory: Callable[..., Subsystem]) -> None:
+    """Register ``factory`` under ``name`` for use in subsystem specs.
+
+    Registration is per-process: a factory registered only in the
+    coordinator is invisible to spawned workers, so registry names are
+    mainly for tests and single-process tooling — specs that must cross
+    ``spawn`` should use importable dotted paths.
+    """
+    if not callable(factory):
+        raise ConfigurationError(f"factory {name!r} is not callable")
+    _FACTORIES[name] = factory
+
+
+def resolve_factory(ref: str) -> Callable[..., Subsystem]:
+    """Resolve a factory reference: a registered name, ``pkg.mod:attr``,
+    or ``pkg.mod.attr``."""
+    found = _FACTORIES.get(ref)
+    if found is not None:
+        return found
+    if ":" in ref:
+        module_name, __, attr_path = ref.partition(":")
+    else:
+        module_name, __, attr_path = ref.rpartition(".")
+    if not module_name or not attr_path:
+        raise ConfigurationError(
+            f"cannot resolve subsystem factory {ref!r}: use a registered "
+            "name or a dotted path like 'package.module:callable'")
+    try:
+        target = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"cannot import factory module {module_name!r}: {exc}") from exc
+    for part in attr_path.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError:
+            raise ConfigurationError(
+                f"module {module_name!r} has no attribute chain "
+                f"{attr_path!r}") from None
+    if not callable(target):
+        raise ConfigurationError(f"factory {ref!r} resolved to a "
+                                 f"non-callable {target!r}")
+    return target
+
+
+@dataclass(frozen=True)
+class SubsystemSpec:
+    """A picklable recipe for one subsystem: the factory is called as
+    ``factory(name, *args, **kwargs)`` in the worker process and must
+    return a fully built :class:`~repro.core.subsystem.Subsystem` of that
+    name (components added, nets wired)."""
+
+    name: str
+    factory: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def build(self) -> Subsystem:
+        subsystem = resolve_factory(self.factory)(
+            self.name, *self.args, **dict(self.kwargs))
+        if not isinstance(subsystem, Subsystem):
+            raise ConfigurationError(
+                f"factory {self.factory!r} returned "
+                f"{type(subsystem).__name__}, not a Subsystem")
+        if subsystem.name != self.name:
+            raise ConfigurationError(
+                f"factory {self.factory!r} built subsystem "
+                f"{subsystem.name!r}, expected {self.name!r}")
+        return subsystem
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A picklable conservative channel between two subsystem specs.
+
+    ``nets`` are the names of the split nets the channel carries; each
+    side's factory must have created its half (same name) via
+    ``Subsystem.wire``.
+    """
+
+    channel_id: str
+    subsystem_a: str
+    node_a: str
+    subsystem_b: str
+    node_b: str
+    delay: float = 0.0
+    nets: Tuple[str, ...] = ()
+
+    def touches(self, node: str) -> bool:
+        return node in (self.node_a, self.node_b)
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything one worker process needs to bootstrap its node."""
+
+    node: str
+    subsystems: Tuple[SubsystemSpec, ...]
+    channels: Tuple[ChannelSpec, ...]
+    batching: bool = True
+    fault_plan: Optional[FaultPlan] = None
+    retry_policy: Optional[RetryPolicy] = None
+    trace_capacity: int = 4096
+
+
+class _Worker:
+    """The child-process side: one node, its subsystems, and a control
+    loop mirroring the threaded executor's per-node worker."""
+
+    def __init__(self, spec: _WorkerSpec, conn) -> None:
+        self.spec = spec
+        self.conn = conn
+        self.telemetry = Telemetry(trace_capacity=spec.trace_capacity)
+        self.transport = TcpTransport(batching=spec.batching)
+        self.transport.attach_telemetry(self.telemetry)
+        self.injector: Optional[FaultInjector] = None
+        if spec.fault_plan is not None:
+            self.injector = FaultInjector(spec.fault_plan,
+                                          retry_policy=spec.retry_policy,
+                                          telemetry=self.telemetry)
+            self.transport.attach_faults(self.injector)
+        elif spec.retry_policy is not None:
+            self.transport.retry_policy = spec.retry_policy
+        self.lock = threading.RLock()
+        self.node = PiaNode(spec.node, self.transport)
+        self.clients: Dict[str, SafeTimeClient] = {}
+        for sspec in spec.subsystems:
+            subsystem = sspec.build()
+            self.node.add_subsystem(subsystem)
+            subsystem.attach_telemetry(self.telemetry)
+            self.clients[subsystem.name] = SafeTimeClient(subsystem)
+        LockedSafeTimeService(self.node, self.lock, self.clients.get)
+        self.transport.set_piggyback_provider(self._piggyback_grants)
+        self._attach_channels()
+        self.until = float("inf")
+        self.dispatched = 0
+        self.rounds = 0
+        #: Whether the last round moved anything (reported in status).
+        self.progress = False
+
+    # ------------------------------------------------------------------
+    def _attach_channels(self) -> None:
+        name = self.node.name
+        for cs in self.spec.channels:
+            channel = Channel(cs.channel_id, ChannelMode.CONSERVATIVE,
+                              delay=cs.delay)
+            sides = (
+                (cs.subsystem_a, cs.node_a, cs.subsystem_b, cs.node_b),
+                (cs.subsystem_b, cs.node_b, cs.subsystem_a, cs.node_a),
+            )
+            for local_ss, local_node, peer_ss, peer_node in sides:
+                if local_node != name:
+                    continue
+                subsystem = self.node.subsystem(local_ss)
+                endpoint = channel.attach(subsystem, peer_subsystem=peer_ss,
+                                          peer_node=peer_node)
+                for net_name in cs.nets:
+                    net = subsystem.nets.get(net_name)
+                    if net is None:
+                        raise ConfigurationError(
+                            f"channel {cs.channel_id}: subsystem "
+                            f"{local_ss!r} has no net {net_name!r} — its "
+                            "factory must wire it")
+                    endpoint.tap(net)
+
+    def _piggyback_grants(self, src: str, dst: str) -> List[Message]:
+        """Safe-time grants for an outgoing batch frame (see the threaded
+        executor's provider — same try-acquire discipline)."""
+        if src != self.node.name or not self.lock.acquire(blocking=False):
+            return []
+        try:
+            grants: List[Message] = []
+            for ss_name in sorted(self.node.subsystems):
+                subsystem = self.node.subsystems[ss_name]
+                for channel_id in sorted(subsystem.channels):
+                    endpoint = subsystem.channels[channel_id]
+                    if endpoint.severed or endpoint.peer_node != dst:
+                        continue
+                    grants.append(Message(
+                        kind=MessageKind.SAFE_TIME_GRANT,
+                        src=src, dst=dst, channel=channel_id,
+                        time=compute_grant(subsystem,
+                                           endpoint.peer_subsystem),
+                        payload=(endpoint.injected, endpoint.forwarded),
+                    ))
+            return grants
+        finally:
+            self.lock.release()
+
+    # ------------------------------------------------------------------
+    def _one_round(self) -> bool:
+        progress = False
+        with self.lock:
+            progress |= self.node.pump() > 0
+        for name in sorted(self.node.subsystems):
+            subsystem = self.node.subsystems[name]
+            client = self.clients[name]
+            with self.lock:
+                self.node.pump()
+                next_time = subsystem.next_event_time()
+            if next_time == float("inf") or next_time > self.until:
+                continue
+            # Blocking network call: outside the lock, or two nodes
+            # refreshing towards each other deadlock.
+            if client.horizon() < next_time:
+                client.refresh(min(next_time, self.until))
+            with self.lock:
+                if subsystem.next_event_time() <= client.horizon():
+                    count = subsystem.run(self.until, horizon=client.horizon)
+                    self.dispatched += count
+                    progress = progress or count > 0
+        self.transport.flush_batches(src=self.node.name)
+        return progress
+
+    def _status(self) -> dict:
+        with self.lock:
+            rows = [(name, subsystem.now, subsystem.next_event_time(),
+                     subsystem.scheduler.dispatched)
+                    for name, subsystem in sorted(self.node.subsystems.items())]
+            pending = self.transport.pending()
+            return {
+                "node": self.node.name,
+                "idle": not self.progress,
+                "subsystems": rows,
+                "wire_out": self.transport.wire_out,
+                "wire_in": self.transport.wire_in,
+                "pending": pending,
+                "rounds": self.rounds,
+            }
+
+    def _report_bundle(self) -> dict:
+        self.telemetry.gauge("executor.rounds", self.rounds)
+        with self.lock:
+            subsystems = [_subsystem_row(subsystem)
+                          for __, subsystem
+                          in sorted(self.node.subsystems.items())]
+            snap = self.telemetry.registry.snapshot()
+            return {
+                "node": self.node.name,
+                "dispatched": self.dispatched,
+                "rounds": self.rounds,
+                "subsystems": subsystems,
+                "links": _link_rows(self.transport),
+                "counters": snap["counters"],
+                "gauges": snap["gauges"],
+                "histograms": snap["histograms"],
+                "trace_counts": self.telemetry.trace_buffer.counts_by_kind(),
+                "trace_dropped": self.telemetry.trace_buffer.dropped,
+                "timings": self.telemetry.registry.timings(),
+                "faults": self.injector.summary()
+                          if self.injector is not None else {},
+                "wire_out": self.transport.wire_out,
+                "wire_in": self.transport.wire_in,
+            }
+
+    # ------------------------------------------------------------------
+    def serve(self) -> None:
+        conn = self.conn
+        conn.send(("port", self.transport.local_port(self.node.name)))
+        running = False
+        crashed = False
+        while True:
+            if running and not crashed:
+                has_control = conn.poll(0)
+            else:
+                # Parked (pre-start or post-crash): block on control.  A
+                # long silence means the coordinator is gone; exit rather
+                # than linger as an orphan.
+                has_control = conn.poll(60.0)
+                if not has_control:
+                    return
+            if has_control:
+                message = conn.recv()
+                tag = message[0]
+                if tag == "peers":
+                    for peer, (host, port) in sorted(message[1].items()):
+                        self.transport.set_peer(peer, port, host)
+                elif tag == "start":
+                    self.until = message[1]
+                    with self.lock:
+                        self.node.start()
+                    running = True
+                elif tag == "status?":
+                    conn.send(("status", self._status()))
+                elif tag == "crash":
+                    crashed = True
+                    if self.injector is not None:
+                        self.injector.mark_down(self.node.name)
+                elif tag == "report?":
+                    conn.send(("report", self._report_bundle()))
+                elif tag == "stop":
+                    return
+                continue    # drain queued control before the next round
+            self.progress = self._one_round()
+            self.rounds += 1
+            if not self.progress:
+                _time.sleep(0.001)
+
+
+def _worker_main(spec: _WorkerSpec, conn) -> None:
+    """Process entry point (top-level so it survives ``spawn`` pickling)."""
+    try:
+        _Worker(spec, conn).serve()
+    except BaseException as exc:     # surface into the coordinator
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class MultiprocessCoSimulation:
+    """Run each Pia node in its own OS process (conservative channels).
+
+    The construction API parallels :class:`CoSimulation` but takes *specs*
+    instead of live objects: subsystems are named factories resolved in
+    the worker process, channels are declared by subsystem and net names.
+    Batching and grant piggybacking are on by default — synchronous
+    safe-time traffic is what process-parallel deployments can least
+    afford.
+
+    With a ``fault_plan``, each worker runs the plan's per-node
+    derivation (:meth:`~repro.faults.FaultPlan.for_node` — same seed, own
+    crashes): message-fault decisions stay pure functions of the seed and
+    per-link ordinals, so seeded chaos counters match the single-process
+    executors.  A scheduled crash (fired by the coordinator once global
+    virtual time reaches it) or a worker process dying raises a typed
+    :class:`~repro.core.errors.NodeFailure` — this executor, like the
+    threaded one, cannot roll back.
+    """
+
+    def __init__(self, *, telemetry: Optional[Telemetry] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 batching: bool = True,
+                 start_method: str = "spawn",
+                 trace_capacity: int = 4096) -> None:
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"start method {start_method!r} not available on this "
+                f"platform: {multiprocessing.get_all_start_methods()}")
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.batching = batching
+        self.start_method = start_method
+        self.trace_capacity = trace_capacity
+        self._nodes: Dict[str, List[SubsystemSpec]] = {}
+        self._subsystem_node: Dict[str, str] = {}
+        self._channels: List[ChannelSpec] = []
+        self._channel_seq = 0
+        #: Per-worker report bundles from the last completed run.
+        self._bundles: Optional[Dict[str, dict]] = None
+        self.dispatched = 0
+        self.cpu_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> str:
+        if name in self._nodes:
+            raise ConfigurationError(f"duplicate node {name!r}")
+        self._nodes[name] = []
+        return name
+
+    def add_subsystem(self, node: str, name: str, factory: str,
+                      *args, **kwargs) -> SubsystemSpec:
+        """Declare subsystem ``name`` on ``node``, built in the worker by
+        ``factory(name, *args, **kwargs)`` (see :func:`resolve_factory`).
+        Positional and keyword arguments must be picklable."""
+        if node not in self._nodes:
+            raise ConfigurationError(f"no node named {node!r}")
+        if name in self._subsystem_node:
+            raise ConfigurationError(f"duplicate subsystem {name!r}")
+        spec = SubsystemSpec(name, factory, tuple(args), dict(kwargs))
+        self._nodes[node].append(spec)
+        self._subsystem_node[name] = node
+        return spec
+
+    def connect(self, a: str, b: str, *, delay: float = 0.0,
+                nets: Tuple[str, ...] = ()) -> ChannelSpec:
+        """Declare a conservative channel between subsystems ``a`` and
+        ``b`` carrying the named split nets."""
+        for name in (a, b):
+            if name not in self._subsystem_node:
+                raise ConfigurationError(f"no subsystem named {name!r}")
+        self._channel_seq += 1
+        spec = ChannelSpec(
+            channel_id=f"mch{self._channel_seq}-{a}-{b}",
+            subsystem_a=a, node_a=self._subsystem_node[a],
+            subsystem_b=b, node_b=self._subsystem_node[b],
+            delay=delay, nets=tuple(nets))
+        self._channels.append(spec)
+        return spec
+
+    def worker_spec(self, node: str) -> _WorkerSpec:
+        """The picklable bootstrap spec worker ``node`` receives."""
+        if node not in self._nodes:
+            raise ConfigurationError(f"no node named {node!r}")
+        plan = self.fault_plan.for_node(node) \
+            if self.fault_plan is not None else None
+        return _WorkerSpec(
+            node=node,
+            subsystems=tuple(self._nodes[node]),
+            channels=tuple(cs for cs in self._channels if cs.touches(node)),
+            batching=self.batching,
+            fault_plan=plan,
+            retry_policy=self.retry_policy,
+            trace_capacity=self.trace_capacity,
+        )
+
+    def _check_topology(self) -> None:
+        """Specs cannot see port directions, so the check is the safe
+        over-approximation of the paper's simple-cycle rule: treating
+        every channel as bidirectional, the subsystem graph must be a
+        forest (any undirected cycle of length >= 3 *could* be a
+        non-simple directed cycle)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._subsystem_node)
+        for cs in self._channels:
+            graph.add_edge(cs.subsystem_a, cs.subsystem_b)
+        cycles = nx.cycle_basis(graph)
+        if cycles:
+            rendered = "; ".join(" - ".join(cycle) for cycle in cycles)
+            raise TopologyError(
+                f"multiprocess channel graph contains cycles: {rendered}. "
+                "The process-per-node deployment requires an acyclic "
+                "(tree-shaped) channel graph.")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: float = float("inf"), *,
+            timeout: float = 60.0) -> int:
+        """Run all nodes in parallel processes until global quiescence
+        (or every event queue passes ``until``); returns total events."""
+        if not self._nodes:
+            return 0
+        self._check_topology()
+        started_at = _time.perf_counter()
+        ctx = multiprocessing.get_context(self.start_method)
+        procs: Dict[str, multiprocessing.Process] = {}
+        pipes: Dict[str, object] = {}
+        deadline = _time.monotonic() + timeout
+        try:
+            for name in sorted(self._nodes):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(target=_worker_main,
+                                   args=(self.worker_spec(name), child_conn),
+                                   name=f"pia-mp-{name}", daemon=True)
+                proc.start()
+                child_conn.close()
+                procs[name] = proc
+                pipes[name] = parent_conn
+            ports = {name: self._expect(pipes, procs, name, "port", deadline)
+                     for name in sorted(procs)}
+            for name in sorted(procs):
+                peers = {peer: ("127.0.0.1", port)
+                         for peer, port in ports.items() if peer != name}
+                pipes[name].send(("peers", peers))
+                pipes[name].send(("start", until))
+            self._supervise(pipes, procs, until, deadline)
+            bundles: Dict[str, dict] = {}
+            for name in sorted(procs):
+                pipes[name].send(("report?",))
+                bundles[name] = self._expect(pipes, procs, name, "report",
+                                             deadline)
+            self._bundles = bundles
+            self.dispatched = sum(b["dispatched"] for b in bundles.values())
+        finally:
+            for conn in pipes.values():
+                try:
+                    conn.send(("stop",))
+                except OSError:
+                    pass
+            for proc in procs.values():
+                proc.join(timeout=2.0)
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            for conn in pipes.values():
+                conn.close()
+        elapsed = _time.perf_counter() - started_at
+        self.cpu_seconds += elapsed
+        if self.telemetry.enabled:
+            self.telemetry.registry.timer("executor.run").add(elapsed)
+            self.telemetry.gauge("mp.workers", len(procs))
+        return self.dispatched
+
+    def _expect(self, pipes, procs, name: str, tag: str, deadline: float):
+        """Wait for one ``tag`` message from worker ``name``."""
+        conn = pipes[name]
+        remaining = max(0.0, deadline - _time.monotonic())
+        if not conn.poll(remaining):
+            if not procs[name].is_alive():
+                raise NodeFailure(
+                    f"node {name!r}: worker process died without a report",
+                    node=name)
+            raise SimulationError(
+                f"node {name!r}: worker unresponsive (no {tag!r} within "
+                "the run timeout)")
+        try:
+            message = conn.recv()
+        except EOFError:
+            raise NodeFailure(
+                f"node {name!r}: worker process died mid-run", node=name) \
+                from None
+        if message[0] == "error":
+            raise NodeFailure(
+                f"node {name!r} worker failed: {message[1]}", node=name)
+        if message[0] != tag:
+            raise SimulationError(
+                f"node {name!r}: expected {tag!r} from worker, got "
+                f"{message[0]!r}")
+        return message[1]
+
+    def _supervise(self, pipes, procs, until: float,
+                   deadline: float) -> None:
+        """Probe workers until distributed quiescence (double probe over
+        idle flags, event horizons and wire-counter sums), firing
+        scheduled crashes when global virtual time reaches them."""
+        pending_crashes = sorted(
+            self.fault_plan.crashes, key=lambda c: (c.at_time, c.node)) \
+            if self.fault_plan is not None else []
+        for crash in pending_crashes:
+            if crash.node not in procs:
+                raise ConfigurationError(
+                    f"scheduled crash for unknown node {crash.node!r}")
+        previous = None
+        while True:
+            if _time.monotonic() > deadline:
+                raise SimulationError(
+                    "multiprocess run did not quiesce within the timeout")
+            for name in sorted(procs):
+                if not procs[name].is_alive():
+                    # Give a parting "error" message precedence over the
+                    # bare death, if one is queued.
+                    self._expect(pipes, procs, name, "status",
+                                 _time.monotonic())
+                pipes[name].send(("status?",))
+            statuses = {name: self._expect(pipes, procs, name, "status",
+                                           deadline)
+                        for name in sorted(procs)}
+            times = [row[1] for st in statuses.values()
+                     for row in st["subsystems"]]
+            global_now = min(times, default=0.0)
+            while pending_crashes and pending_crashes[0].at_time <= global_now:
+                crash = pending_crashes.pop(0)
+                pipes[crash.node].send(("crash",))
+                if self.telemetry.enabled:
+                    self.telemetry.count("fault.node_crashes")
+                    self.telemetry.trace(TraceKind.NODE_CRASH,
+                                         time=global_now, subject=crash.node)
+                raise NodeFailure(
+                    f"node {crash.node!r} crashed at global time "
+                    f"{global_now:g} — the multiprocess executor cannot "
+                    "roll back; rerun under CoSimulation with "
+                    "failure_policy='recover' for crash recovery",
+                    node=crash.node)
+            quiet = True
+            signature = []
+            wire_out = wire_in = 0
+            for name in sorted(statuses):
+                st = statuses[name]
+                if not st["idle"] or st["pending"]:
+                    quiet = False
+                for ss_name, now, next_time, dispatched in st["subsystems"]:
+                    if next_time != float("inf") and next_time <= until:
+                        quiet = False
+                    signature.append((ss_name, now, dispatched))
+                wire_out += st["wire_out"]
+                wire_in += st["wire_in"]
+                signature.append((name, st["wire_out"], st["wire_in"]))
+            if wire_out != wire_in:
+                quiet = False
+            signature = tuple(signature)
+            if quiet and signature == previous:
+                return
+            previous = signature if quiet else None
+            _time.sleep(0.005)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def global_time(self) -> float:
+        """The slowest subsystem's final time (after a completed run)."""
+        if not self._bundles:
+            return 0.0
+        return min((row["time"] for bundle in self._bundles.values()
+                    for row in bundle["subsystems"]), default=0.0)
+
+    def report(self, *, title: Optional[str] = None) -> RunReport:
+        """Merge every worker's telemetry into one
+        :class:`~repro.observability.RunReport` (single-process shape)."""
+        if self._bundles is None:
+            raise SimulationError(
+                "no completed multiprocess run to report on — call run() "
+                "first")
+        report = RunReport(title or "multiprocess co-simulation")
+        snap = self.telemetry.registry.snapshot()
+        counters = dict(snap["counters"])
+        gauges = dict(snap["gauges"])
+        histograms = {name: dict(row, buckets=dict(row["buckets"]))
+                      for name, row in snap["histograms"].items()}
+        faults: Dict[str, int] = {}
+        trace_counts: Dict[str, int] = {}
+        timings = {name: dict(row)
+                   for name, row in self.telemetry.registry.timings().items()}
+        link_rows: List[dict] = []
+        subsystem_rows: List[dict] = []
+        trace_dropped = 0
+        for name in sorted(self._bundles):
+            bundle = self._bundles[name]
+            subsystem_rows.extend(bundle["subsystems"])
+            link_rows.extend(bundle["links"])
+            merge_counters(counters, bundle["counters"])
+            merge_gauges(gauges, bundle["gauges"])
+            merge_histograms(histograms, bundle["histograms"])
+            merge_counters(faults, bundle["faults"])
+            merge_counters(trace_counts, bundle["trace_counts"])
+            merge_timings(timings, bundle["timings"])
+            trace_dropped += bundle["trace_dropped"]
+        report.subsystems = sorted(subsystem_rows, key=lambda r: r["name"])
+        report.links = merge_link_rows(link_rows)
+        report.counters = dict(sorted(counters.items()))
+        report.gauges = dict(sorted(gauges.items()))
+        report.histograms = dict(sorted(histograms.items()))
+        report.faults = dict(sorted(faults.items()))
+        report.trace_counts = dict(sorted(trace_counts.items()))
+        report.trace_dropped = trace_dropped
+        report.timings = dict(sorted(timings.items()))
+        return report

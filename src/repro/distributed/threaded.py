@@ -41,13 +41,16 @@ import itertools
 _channel_ids = itertools.count(1)
 
 
-class _LockedSafeTimeService:
+class LockedSafeTimeService:
     """Safe-time server that serialises against the node's own loop.
 
     The transitive refresh (see
     :class:`~repro.distributed.conservative.SafeTimeService`) performs
     blocking network calls, so it runs *outside* the node lock; holding it
-    there would deadlock two nodes refreshing towards each other.
+    there would deadlock two nodes refreshing towards each other.  Shared
+    with the multiprocess deployment, whose workers likewise serve
+    safe-time calls from transport receiver threads concurrently with
+    their own run loop.
     """
 
     def __init__(self, node: PiaNode, lock: threading.RLock,
@@ -96,10 +99,14 @@ class _NodeWorker(threading.Thread):
                     and not self.down.is_set():
                 if detector is not None:
                     detector.beat(self.node.name, _time.monotonic())
+                # Cleared *before* the round, not after: while an event is
+                # mid-dispatch it is already popped from the queue, so a
+                # worker crunching a long event shows next_event_time inf
+                # and nothing in flight — a stale idle flag from the last
+                # empty round would let the quiescence sweep pass mid-run.
+                self.idle.clear()
                 progress = self._one_round()
-                if progress:
-                    self.idle.clear()
-                else:
+                if not progress:
                     self.idle.set()
                     _time.sleep(0.001)
         except BaseException as exc:   # surface into the coordinator
@@ -197,7 +204,7 @@ class ThreadedCoSimulation:
         node = PiaNode(name, self.transport)
         self.nodes[name] = node
         self.locks[name] = threading.RLock()
-        _LockedSafeTimeService(node, self.locks[name], self.clients.get)
+        LockedSafeTimeService(node, self.locks[name], self.clients.get)
         return node
 
     def add_subsystem(self, node: Union[str, PiaNode],
@@ -307,11 +314,22 @@ class ThreadedCoSimulation:
                             subject=worker.node.name)
 
     def _quiescent(self, workers, until: float) -> bool:
-        """All workers idle with nothing in flight, twice in a row."""
+        """All workers idle with nothing in flight, twice in a row.
+
+        Three conditions, each closing a distinct hiding place: the idle
+        flags (cleared for the whole duration of a round, so a worker
+        mid-event can never look done), ``pending()`` (inboxes, batcher,
+        injector parking), and the wire counter balance (frames that left
+        a sender's socket but have not been filed by a receiver thread
+        yet).  Two sweeps guard against a worker waking between checks.
+        """
         for __ in range(2):
             if not all(worker.idle.is_set() for worker in workers):
                 return False
             if self.transport.pending() != 0:
+                return False
+            balanced = getattr(self.transport, "wire_balanced", None)
+            if balanced is not None and not balanced():
                 return False
             for name in sorted(self.subsystems):
                 subsystem = self.subsystems[name]

@@ -62,8 +62,12 @@ class FaultInjector:
         self._ticks: Dict[str, int] = {}
         #: (src, dst) -> item awaiting a swap with the link's next send.
         self._swaps: Dict[Tuple[str, str], Any] = {}
-        #: dst -> msg ids with one extra copy in flight (dedup at poll).
-        self._dup_ids: Dict[str, set] = {}
+        #: dst -> {(src, msg_id): extra copies in flight} (dedup at poll).
+        #: Keyed by sender because each process numbers its messages
+        #: independently — two nodes can emit the same msg_id — and kept
+        #: as a multiset because distinct links may duplicate colliding
+        #: ids concurrently.
+        self._dup_ids: Dict[str, Dict[Tuple[str, int], int]] = {}
         self._down: set = set()
 
     # ------------------------------------------------------------------
@@ -217,17 +221,26 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # duplicate suppression (exactly-once on top of at-least-once)
     # ------------------------------------------------------------------
-    def expect_duplicate(self, dst: str, msg_id: int) -> None:
+    def expect_duplicate(self, dst: str, msg_id: int, *, src: str) -> None:
+        key = (src, msg_id)
         with self._lock:
-            self._dup_ids.setdefault(dst, set()).add(msg_id)
+            ids = self._dup_ids.setdefault(dst, {})
+            ids[key] = ids.get(key, 0) + 1
 
     def suppress_duplicate(self, dst: str, message) -> bool:
         """True if this drained copy is the redundant one: drop it."""
         ids = self._dup_ids.get(dst)
-        if not ids or message.msg_id not in ids:
+        key = (message.src, message.msg_id)
+        if not ids or key not in ids:
             return False
         with self._lock:
-            ids.discard(message.msg_id)
+            remaining = ids.get(key, 0)
+            if not remaining:
+                return False
+            if remaining == 1:
+                del ids[key]
+            else:
+                ids[key] = remaining - 1
             if not ids:
                 self._dup_ids.pop(dst, None)
             self._count("fault.duplicates_suppressed")

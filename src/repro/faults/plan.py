@@ -152,6 +152,24 @@ class FaultPlan:
         return ticks
 
     # ------------------------------------------------------------------
+    def for_node(self, node: str) -> "FaultPlan":
+        """The plan as seen from one node's process.
+
+        Message-fault decisions are pure functions of the *base* seed and
+        the message's coordinates, so every process must keep that seed —
+        deriving a different per-node seed would give each process a
+        different hash stream and break same-seed equivalence with the
+        single-process run.  Link rates, partitions and perturbed kinds
+        are global facts and carry over unchanged; only scheduled crashes
+        are filtered to the ones this node itself suffers (the coordinator
+        owns crash *detection* for every node).
+        """
+        return FaultPlan(self.seed, default=self.default, links=self.links,
+                         partitions=self.partitions,
+                         crashes=[c for c in self.crashes if c.node == node],
+                         kinds=self.kinds)
+
+    # ------------------------------------------------------------------
     def uniform(self, *parts) -> float:
         """A deterministic uniform draw in [0, 1) keyed by ``parts``."""
         blob = "|".join(str(p) for p in parts).encode()

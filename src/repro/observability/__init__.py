@@ -12,6 +12,13 @@ Zero dependencies, deterministic under the in-memory transport, and a
 one-attribute-read no-op path when disabled — cheap enough to leave on.
 """
 
+from .merge import (
+    merge_counters,
+    merge_gauges,
+    merge_histograms,
+    merge_link_rows,
+    merge_timings,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -30,4 +37,6 @@ __all__ = [
     "NULL_TELEMETRY", "Telemetry",
     "TraceBuffer", "TraceKind", "TraceRecord",
     "RunReport", "run_report",
+    "merge_counters", "merge_gauges", "merge_histograms",
+    "merge_link_rows", "merge_timings",
 ]

@@ -148,7 +148,8 @@ class InMemoryTransport:
             extra, extra_size = self._through_wire(message)
             self.accounting.record(message.src, message.dst, extra_size)
             inbox.append(extra)
-            injector.expect_duplicate(message.dst, delivered.msg_id)
+            injector.expect_duplicate(message.dst, delivered.msg_id,
+                                      src=delivered.src)
         if injector is not None:
             for late in injector.take_swaps(message.src, message.dst):
                 inbox.append(late)
@@ -176,7 +177,8 @@ class InMemoryTransport:
         self.batcher.enqueue(message.src, message.dst, member)
         if action == "duplicate":
             self.batcher.enqueue(message.src, message.dst, member)
-            injector.expect_duplicate(message.dst, member.msg_id)
+            injector.expect_duplicate(message.dst, member.msg_id,
+                                       src=member.src)
         if injector is not None:
             late = injector.take_swaps(message.src, message.dst)
             if late:

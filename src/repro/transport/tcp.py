@@ -23,6 +23,7 @@ exists to exercise the genuinely concurrent, multi-threaded deployment.
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 import threading
@@ -48,6 +49,35 @@ from .message import (
 )
 
 _LENGTH = struct.Struct("!I")
+
+#: Cross-process fault envelopes.  In a multiprocess deployment the fault
+#: injector's *decision* (drop/duplicate/delay/reorder, counted) happens in
+#: the sender's process, but the queues those decisions require (parked
+#: deliveries, swap slots, duplicate suppression) must live where the
+#: releasing poll happens — the destination's process.  The sender wraps
+#: the affected message in a CONTROL envelope telling the receiving
+#: transport's injector what to do with it on arrival.
+_FAULT_HOLD = "fault-hold"
+_FAULT_SWAP = "fault-swap"
+_FAULT_DUP = "fault-dup"
+_FAULT_TAGS = (_FAULT_HOLD, _FAULT_SWAP, _FAULT_DUP)
+
+
+def _fault_envelope(tag: str, message: Message, ticks: int = 0) -> Message:
+    return Message(kind=MessageKind.CONTROL, src=message.src,
+                   dst=message.dst, channel=message.channel,
+                   time=message.time, payload=(tag, ticks, message))
+
+
+def _open_fault_envelope(message: Message):
+    """Return ``(tag, ticks, inner)`` for a fault envelope, else ``None``."""
+    if message.kind is not MessageKind.CONTROL:
+        return None
+    payload = message.payload
+    if (isinstance(payload, tuple) and len(payload) == 3
+            and payload[0] in _FAULT_TAGS):
+        return payload
+    return None
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -102,20 +132,64 @@ class _NodeEndpoint:
             while self.running:
                 message = decode_any(_recv_frame(conn))
                 if isinstance(message, BatchFrame):
-                    with self.lock:
-                        self.inbox.extend(message.messages)
-                        self.inbox.extend(message.grants)
+                    for member in message.messages:
+                        self._ingest(member)
+                    if message.grants:
+                        with self.lock:
+                            self.inbox.extend(message.grants)
+                        with self.transport.wire_lock:
+                            self.transport.wire_in += len(message.grants)
                 elif message.kind in (MessageKind.SAFE_TIME_REQUEST,
                                       MessageKind.HW_CALL):
                     reply = self.transport._dispatch_call(self.name, message)
                     _send_frame(conn, encode(reply))
                 else:
-                    with self.lock:
-                        self.inbox.append(message)
+                    self._ingest(message)
         except (ConnectionError, OSError):
             pass
         finally:
             conn.close()
+
+    def _ingest(self, message: Message) -> None:
+        """File one arrived one-way message: unwrap fault envelopes into
+        the local injector's queues, everything else into the inbox."""
+        transport = self.transport
+        injector = transport.fault_injector
+        opened = _open_fault_envelope(message)
+        if opened is not None:
+            tag, ticks, inner = opened
+            if injector is None:
+                # No fault plane on this side: deliver the inner message
+                # plainly rather than losing it.
+                with self.lock:
+                    self.inbox.append(inner)
+            elif tag == _FAULT_HOLD:
+                injector.hold(self.name, inner, ticks)
+            elif tag == _FAULT_SWAP:
+                injector.hold_swap(inner.src, self.name, inner)
+            else:   # _FAULT_DUP: the redundant copy of a duplicated send
+                injector.expect_duplicate(self.name, inner.msg_id,
+                                          src=inner.src)
+                with self.lock:
+                    self.inbox.append(inner)
+            # Counted only after the message is filed somewhere visible
+            # (inbox or injector queue): the quiescence balance check must
+            # never see wire_in caught up while a delivery is in limbo.
+            with transport.wire_lock:
+                transport.wire_in += 1
+            return
+        with self.lock:
+            self.inbox.append(message)
+        with transport.wire_lock:
+            transport.wire_in += 1
+        if injector is not None:
+            # A swap-parked message is released right behind the link's
+            # next arrival — the cross-process mirror of the sender-side
+            # take_swaps() call.
+            late = injector.take_swaps(message.src, self.name)
+            if late:
+                with self.lock:
+                    self.inbox.extend(late)
 
     def close(self) -> None:
         self.running = False
@@ -157,6 +231,25 @@ class TcpTransport:
         self._endpoints: Dict[str, _NodeEndpoint] = {}
         self._call_handlers: Dict[str, Callable[[Message], Message]] = {}
         self._conns: Dict[Tuple[str, str], _Connection] = {}
+        #: Nodes living in *other* processes: name -> (host, port).  Set
+        #: by the multiprocess deployment after every worker has bound its
+        #: listener; destinations are resolved here when not local.
+        self._peers: Dict[str, Tuple[str, int]] = {}
+        #: One-way wire traffic counters (logical messages + grants, not
+        #: frames): the distributed quiescence check compares the sums of
+        #: these across processes to know nothing is in flight.
+        self.wire_out = 0
+        self.wire_in = 0
+        #: ``+=`` on an int is not atomic; in the threaded deployment
+        #: many node threads share this transport, so unguarded counter
+        #: bumps can lose updates and the quiescence balance check would
+        #: then spin until its timeout.
+        self.wire_lock = threading.Lock()
+        #: The process that owns the live sockets.  A transport that
+        #: crosses a ``fork``/``spawn`` must not reuse inherited FDs —
+        #: the first touch from another PID drops them (see
+        #: :meth:`_guard_process`).
+        self._pid = os.getpid()
         #: Guards the connection *cache* only; frame writes serialise on
         #: each connection's own lock so independent links never contend.
         self._conn_lock = threading.Lock()
@@ -185,10 +278,77 @@ class TcpTransport:
         self.retry_policy = injector.retry_policy
 
     # ------------------------------------------------------------------
+    # child-process safety
+    # ------------------------------------------------------------------
+    def _guard_process(self) -> None:
+        """Detect crossing a ``fork``/``spawn`` and drop inherited sockets.
+
+        A forked child inherits the parent's cached outbound connections
+        and listening sockets as shared FDs; writing on them would corrupt
+        the parent's frame streams, and accepting on them would steal the
+        parent's connections.  On the first touch from a new PID every
+        cached connection is closed (connections re-establish lazily on
+        the next send) and every endpoint is rebound to a fresh listener
+        on a new port, preserving its inbox.
+        """
+        if os.getpid() == self._pid:
+            return
+        self._pid = os.getpid()
+        # Only the calling thread survives a fork, so no other thread can
+        # be mid-send; closing our dups never disturbs the parent's FDs.
+        conns, self._conns = self._conns, {}
+        for entry in conns.values():
+            try:
+                entry.sock.close()
+            except OSError:
+                pass
+        stale, self._endpoints = self._endpoints, {}
+        for name, old in stale.items():
+            old.running = False
+            try:
+                old.server.close()
+            except OSError:
+                pass
+            fresh = _NodeEndpoint(self, name)
+            fresh.inbox.extend(old.inbox)
+            self._endpoints[name] = fresh
+        if self.telemetry.enabled:
+            self.telemetry.count("transport.fork_resets")
+
+    # ------------------------------------------------------------------
+    def set_peer(self, name: str, port: int,
+                 host: str = "127.0.0.1") -> None:
+        """Declare a node living in another process, reachable at
+        ``host:port`` (multiprocess deployment)."""
+        if name in self._endpoints:
+            raise TransportError(f"node {name!r} is registered locally")
+        self._peers[name] = (host, port)
+
+    def local_port(self, name: str) -> int:
+        """The TCP port node ``name``'s local endpoint listens on."""
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise TransportError(f"unknown node {name!r}")
+        return endpoint.port
+
+    def _address_of(self, dst: str) -> Tuple[str, int]:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is not None:
+            return ("127.0.0.1", endpoint.port)
+        peer = self._peers.get(dst)
+        if peer is not None:
+            return peer
+        raise TransportError(f"unknown destination node {dst!r}")
+
+    def _known(self, dst: str) -> bool:
+        return dst in self._endpoints or dst in self._peers
+
+    # ------------------------------------------------------------------
     def register(self, name: str,
                  call_handler: Optional[Callable[[Message], Message]] = None
                  ) -> int:
         """Create the node's endpoint; returns its TCP port."""
+        self._guard_process()
         if name in self._endpoints:
             raise TransportError(f"node {name!r} already registered")
         endpoint = _NodeEndpoint(self, name)
@@ -236,10 +396,7 @@ class TcpTransport:
         with self._conn_lock:
             entry = self._conns.get(key)
             if entry is None:
-                endpoint = self._endpoints.get(dst)
-                if endpoint is None:
-                    raise TransportError(f"unknown destination node {dst!r}")
-                sock = socket.create_connection(("127.0.0.1", endpoint.port),
+                sock = socket.create_connection(self._address_of(dst),
                                                 timeout=10.0)
                 entry = _Connection(sock)
                 self._conns[key] = entry
@@ -310,7 +467,9 @@ class TcpTransport:
 
     # ------------------------------------------------------------------
     def send(self, message: Message) -> float:
+        self._guard_process()
         injector = self.fault_injector
+        remote = message.dst in self._peers
         action, ticks = "deliver", 0
         if injector is not None:
             action, ticks = injector.on_send(message)
@@ -325,7 +484,7 @@ class TcpTransport:
                 member = message
             else:
                 member = decode(encode(message))
-            if message.dst not in self._endpoints:
+            if not self._known(message.dst):
                 raise TransportError(
                     f"unknown destination node {message.dst!r}")
             telemetry = self.telemetry
@@ -335,8 +494,15 @@ class TcpTransport:
                                 message_kind=message.kind.value, batched=True)
             self.batcher.enqueue(message.src, message.dst, member)
             if action == "duplicate":
-                self.batcher.enqueue(message.src, message.dst, member)
-                injector.expect_duplicate(message.dst, member.msg_id)
+                if remote:
+                    # Redundant copy rides behind the original; the
+                    # receiver marks the msg_id for exactly-once delivery.
+                    self.batcher.enqueue(message.src, message.dst,
+                                         _fault_envelope(_FAULT_DUP, member))
+                else:
+                    self.batcher.enqueue(message.src, message.dst, member)
+                    injector.expect_duplicate(message.dst, member.msg_id,
+                                               src=member.src)
             if injector is not None:
                 late = injector.take_swaps(message.src, message.dst)
                 if late:
@@ -350,20 +516,50 @@ class TcpTransport:
                             subject=f"{message.src}->{message.dst}",
                             message_kind=message.kind.value, bytes=len(blob))
         if action == "delay":
-            injector.hold(message.dst, decode(blob), ticks)
+            if remote:
+                self._send_reliable(
+                    message.src, message.dst,
+                    encode(_fault_envelope(_FAULT_HOLD, decode(blob), ticks)),
+                    message.time)
+                with self.wire_lock:
+                    self.wire_out += 1
+            else:
+                injector.hold(message.dst, decode(blob), ticks)
             return 0.0
         if action == "reorder":
-            injector.hold_swap(message.src, message.dst, decode(blob))
+            if remote:
+                self._send_reliable(
+                    message.src, message.dst,
+                    encode(_fault_envelope(_FAULT_SWAP, decode(blob))),
+                    message.time)
+                with self.wire_lock:
+                    self.wire_out += 1
+            else:
+                injector.hold_swap(message.src, message.dst, decode(blob))
             return 0.0
         self._send_reliable(message.src, message.dst, blob, message.time)
+        with self.wire_lock:
+            self.wire_out += 1
         if action == "duplicate":
             self._charge(message.src, message.dst, len(blob))
-            self._send_reliable(message.src, message.dst, blob, message.time)
-            injector.expect_duplicate(message.dst, message.msg_id)
+            if remote:
+                self._send_reliable(
+                    message.src, message.dst,
+                    encode(_fault_envelope(_FAULT_DUP, decode(blob))),
+                    message.time)
+            else:
+                self._send_reliable(message.src, message.dst, blob,
+                                    message.time)
+                injector.expect_duplicate(message.dst, message.msg_id,
+                                           src=message.src)
+            with self.wire_lock:
+                self.wire_out += 1
         if injector is not None:
             for late in injector.take_swaps(message.src, message.dst):
                 self._send_reliable(message.src, message.dst, encode(late),
                                     message.time)
+                with self.wire_lock:
+                    self.wire_out += 1
         return 0.0
 
     def flush_batches(self, *, src: Optional[str] = None,
@@ -373,11 +569,12 @@ class TcpTransport:
         messages flushed."""
         if not self.batching:
             return 0
+        self._guard_process()
         flushed = 0
         provider = self.piggyback_provider
         telemetry = self.telemetry
         for (s, d), members in self.batcher.take(src=src, dst=dst):
-            if d not in self._endpoints:
+            if not self._known(d):
                 continue    # destination unregistered after enqueue
             grants = provider(s, d) if provider is not None else []
             blob = encode_batch(BatchFrame(s, d, members, grants))
@@ -388,6 +585,8 @@ class TcpTransport:
             if telemetry.enabled and grants:
                 telemetry.count("safetime.piggyback_sent", len(grants))
             self._send_reliable(s, d, blob, members[-1].time)
+            with self.wire_lock:
+                self.wire_out += len(members) + len(grants)
             flushed += len(members)
         return flushed
 
@@ -397,13 +596,15 @@ class TcpTransport:
         instead of the stalled peer's two-frame request round trip."""
         if not self.batching or not grants:
             return False
-        if dst not in self._endpoints:
+        if not self._known(dst):
             return False
         blob = encode_batch(BatchFrame(src, dst, [], list(grants)))
         delay = self.accounting.record_frame(src, dst, len(blob), 0)
         if self.delay_scale > 0:
             _time.sleep(delay * self.delay_scale)
         self._send_reliable(src, dst, blob, grants[-1].time)
+        with self.wire_lock:
+            self.wire_out += len(grants)
         return True
 
     def call(self, message: Message) -> Message:
@@ -413,6 +614,7 @@ class TcpTransport:
         the retry policy; exhaustion raises :class:`LinkDown` so callers
         never see a raw socket error for a dead peer.
         """
+        self._guard_process()
         if self.fault_injector is not None:
             self.fault_injector.check_call(message)
         if self.batching:
@@ -420,9 +622,7 @@ class TcpTransport:
             # traffic either way lands first, as in the unbatched run.
             self.flush_batches(src=message.src, dst=message.dst)
             self.flush_batches(src=message.dst, dst=message.src)
-        endpoint = self._endpoints.get(message.dst)
-        if endpoint is None:
-            raise TransportError(f"unknown destination node {message.dst!r}")
+        address = self._address_of(message.dst)
         blob = encode(message)
         self._charge(message.src, message.dst, len(blob))
         policy = self.retry_policy
@@ -430,8 +630,8 @@ class TcpTransport:
         start = _time.monotonic()
         while True:
             try:
-                with socket.create_connection(
-                        ("127.0.0.1", endpoint.port), timeout=10.0) as conn:
+                with socket.create_connection(address,
+                                              timeout=10.0) as conn:
                     _send_frame(conn, blob)
                     reply = decode(_recv_frame(conn))
                 break
@@ -455,6 +655,7 @@ class TcpTransport:
         return reply
 
     def poll(self, name: str, *, limit: Optional[int] = None) -> List[Message]:
+        self._guard_process()
         endpoint = self._endpoints.get(name)
         if endpoint is None:
             raise TransportError(f"unknown node {name!r}")
@@ -490,6 +691,20 @@ class TcpTransport:
             endpoint = self._endpoints.get(name)
             return (len(endpoint.inbox) if endpoint else 0) + held
         return sum(len(e.inbox) for e in self._endpoints.values()) + held
+
+    def wire_balanced(self) -> bool:
+        """True when every counted send has been ingested at some endpoint.
+
+        ``pending()`` cannot see a frame that has left the sender's socket
+        but has not yet been filed by the receiver thread — on a loaded
+        host that window stretches to milliseconds, long enough to fool an
+        idle sweep.  The counter balance closes it: an in-flight frame
+        keeps ``wire_out`` ahead of ``wire_in``.  Only meaningful when all
+        the transport's peers are in this process (the threaded executor);
+        the multiprocess coordinator compares per-worker sums instead.
+        """
+        with self.wire_lock:
+            return self.wire_out == self.wire_in
 
     def flush(self) -> int:
         """Drop every undelivered message (rollback support)."""

@@ -1,0 +1,193 @@
+"""Process-per-node deployment: bootstrap specs, control plane, merged
+reports, and same-seed chaos equivalence with the cooperative executor."""
+
+import pickle
+
+import pytest
+
+from repro.bench.workloads import (
+    compute_star,
+    compute_star_multiprocess,
+    make_compute_hub,
+)
+from repro.core.errors import ConfigurationError, NodeFailure, TopologyError
+from repro.distributed import MultiprocessCoSimulation
+from repro.distributed.multiprocess import register_factory, resolve_factory
+from repro.faults import FaultPlan, LinkFaults, NodeCrash, RetryPolicy
+
+#: Rates chosen (with seed 0) to fire every fault kind at least once on
+#: the small star: drops, duplicates (and their suppression), delays,
+#: reorders and retries.
+CHAOS = dict(seed=0, default=LinkFaults(drop=0.12, duplicate=0.15,
+                                        delay=0.12, delay_ticks=2,
+                                        reorder=0.1))
+FAST_RETRY = dict(max_attempts=8, base_delay=0.0005, max_delay=0.002,
+                  jitter=0.0)
+
+
+def progress_rows(report):
+    return sorted((row["name"], row["time"], row["dispatched"])
+                  for row in report.subsystems)
+
+
+# ----------------------------------------------------------------------
+# specs and factories
+# ----------------------------------------------------------------------
+
+class TestSpecs:
+    def test_resolve_factory_dotted_and_colon_paths(self):
+        by_colon = resolve_factory("repro.bench.workloads:make_compute_hub")
+        by_dot = resolve_factory("repro.bench.workloads.make_compute_hub")
+        assert by_colon is make_compute_hub
+        assert by_dot is make_compute_hub
+
+    def test_registered_name_wins(self):
+        register_factory("test-hub", make_compute_hub)
+        assert resolve_factory("test-hub") is make_compute_hub
+
+    @pytest.mark.parametrize("ref", ["", "nodots", "repro.nosuchmodule:x",
+                                     "repro.bench.workloads:nosuchattr"])
+    def test_bad_references_raise(self, ref):
+        with pytest.raises(ConfigurationError):
+            resolve_factory(ref)
+
+    def test_worker_spec_pickles_and_filters_crashes(self):
+        plan = FaultPlan(seed=7, crashes=[NodeCrash("n-hub", 5.0),
+                                          NodeCrash("n-w0", 9.0)])
+        cosim = compute_star_multiprocess(2, 3, words=10, fault_plan=plan)
+        spec = cosim.worker_spec("n-w0")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.node == "n-w0"
+        assert [s.name for s in clone.subsystems] == ["w0"]
+        # Same seed (decisions are keyed by it), own crashes only.
+        assert clone.fault_plan.seed == 7
+        assert [c.node for c in clone.fault_plan.crashes] == ["n-w0"]
+        # The spec builds a real subsystem in-process too.
+        built = clone.subsystems[0].build()
+        assert built.name == "w0"
+        assert set(built.nets) == {"go0", "done0"}
+
+    def test_duplicate_names_rejected(self):
+        cosim = MultiprocessCoSimulation()
+        cosim.add_node("n0")
+        cosim.add_subsystem("n0", "ss", "repro.bench.workloads:make_compute_hub")
+        with pytest.raises(ConfigurationError):
+            cosim.add_node("n0")
+        with pytest.raises(ConfigurationError):
+            cosim.add_subsystem("n0", "ss",
+                                "repro.bench.workloads:make_compute_hub")
+        with pytest.raises(ConfigurationError):
+            cosim.add_subsystem("missing", "other",
+                                "repro.bench.workloads:make_compute_hub")
+
+    def test_cyclic_channel_graph_rejected_before_spawning(self):
+        cosim = MultiprocessCoSimulation()
+        for index in range(3):
+            cosim.add_node(f"n{index}")
+            cosim.add_subsystem(f"n{index}", f"ss{index}", "unused-factory")
+        cosim.connect("ss0", "ss1")
+        cosim.connect("ss1", "ss2")
+        cosim.connect("ss2", "ss0")
+        with pytest.raises(TopologyError, match="cycle"):
+            cosim.run(until=1.0)
+
+
+# ----------------------------------------------------------------------
+# execution and merged reporting
+# ----------------------------------------------------------------------
+
+class TestExecution:
+    def test_matches_cooperative_run_exactly(self):
+        reference = compute_star(2, 4, words=50, executor="cosim")
+        ref_events = reference.run(until=100.0)
+        ref_report = reference.report()
+
+        cosim = compute_star_multiprocess(2, 4, words=50)
+        events = cosim.run(until=100.0, timeout=60.0)
+        report = cosim.report()
+
+        assert events == ref_events
+        assert progress_rows(report) == progress_rows(ref_report)
+        assert cosim.global_time() == min(
+            row["time"] for row in ref_report.subsystems)
+
+    def test_report_merges_worker_telemetry(self):
+        cosim = compute_star_multiprocess(2, 3, words=50)
+        events = cosim.run(until=100.0, timeout=60.0)
+        report = cosim.report(title="merged")
+
+        assert report.title == "merged"
+        assert [row["name"] for row in report.subsystems] == \
+            ["hub", "w0", "w1"]
+        # One directed link row per (src, dst) pair, merged across the
+        # three per-process transports.
+        links = {(row["src"], row["dst"]) for row in report.links}
+        assert links == {("n-hub", "n-w0"), ("n-hub", "n-w1"),
+                         ("n-w0", "n-hub"), ("n-w1", "n-hub")}
+        # Counters sum across processes: every dispatched event was
+        # counted by exactly one worker's telemetry.
+        assert report.counters["scheduler.dispatched"] == events
+        assert report.counters["transport.frames_sent"] == \
+            sum(row["frames"] for row in report.links)
+        # The batched fast path is on by default and its histogram
+        # survives the merge.
+        assert report.histograms["transport.batch_size"]["count"] > 0
+        assert report.trace_counts.get("dispatch") == events
+
+    def test_report_before_run_raises(self):
+        cosim = compute_star_multiprocess(2, 3, words=10)
+        with pytest.raises(Exception, match="run"):
+            cosim.report()
+
+    def test_empty_simulation_is_a_noop(self):
+        assert MultiprocessCoSimulation().run(until=10.0) == 0
+
+
+# ----------------------------------------------------------------------
+# chaos and failure surfacing
+# ----------------------------------------------------------------------
+
+class TestChaos:
+    def test_same_seed_chaos_matches_cooperative(self):
+        """The satellite acceptance check: identical drop/duplicate/delay
+        counters and final virtual times for the same plan seed."""
+        reference = compute_star(2, 6, words=50, executor="cosim",
+                                 fault_plan=FaultPlan(**CHAOS),
+                                 retry_policy=RetryPolicy(**FAST_RETRY))
+        ref_events = reference.run(until=100.0)
+        ref_report = reference.report()
+        # The seed really does exercise the interesting paths.
+        for kind in ("fault.drops", "fault.duplicates",
+                     "fault.duplicates_suppressed", "fault.delays",
+                     "fault.reorders", "retry.attempts"):
+            assert ref_report.faults.get(kind, 0) > 0, kind
+
+        cosim = compute_star_multiprocess(
+            2, 6, words=50, fault_plan=FaultPlan(**CHAOS),
+            retry_policy=RetryPolicy(**FAST_RETRY))
+        events = cosim.run(until=100.0, timeout=90.0)
+        report = cosim.report()
+
+        assert events == ref_events
+        assert progress_rows(report) == progress_rows(ref_report)
+        assert report.faults == ref_report.faults
+
+    def test_scheduled_crash_surfaces_as_node_failure(self):
+        plan = FaultPlan(seed=3, crashes=[NodeCrash("n-w0", at_time=2.0)])
+        cosim = compute_star_multiprocess(2, 6, words=50, fault_plan=plan)
+        with pytest.raises(NodeFailure) as excinfo:
+            cosim.run(until=100.0, timeout=60.0)
+        assert excinfo.value.node == "n-w0"
+
+    def test_broken_factory_surfaces_as_node_failure(self):
+        cosim = MultiprocessCoSimulation()
+        cosim.add_node("n0")
+        cosim.add_subsystem("n0", "ss0", "repro.bench.workloads:make_compute_hub",
+                            workers=1, rounds=1)
+        cosim.add_node("n1")
+        cosim.add_subsystem("n1", "ss1", "repro.bench.workloads:nosuchattr")
+        cosim.connect("ss0", "ss1")
+        with pytest.raises(NodeFailure) as excinfo:
+            cosim.run(until=10.0, timeout=30.0)
+        assert excinfo.value.node == "n1"
+        assert "nosuchattr" in str(excinfo.value)

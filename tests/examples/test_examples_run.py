@@ -38,6 +38,7 @@ FAST_EXAMPLES = [
     "vendor_component_evaluation.py",
     "legacy_tool_wrapper.py",
     "real_sockets.py",
+    "multiprocess_nodes.py",
 ]
 
 

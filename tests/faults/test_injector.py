@@ -142,7 +142,7 @@ class TestDuplicateSuppression:
     def test_exactly_once_semantics(self):
         injector = FaultInjector(FaultPlan(seed=0))
         message = _msg(payload="dup")
-        injector.expect_duplicate("b", message.msg_id)
+        injector.expect_duplicate("b", message.msg_id, src=message.src)
         results = [injector.suppress_duplicate("b", message)
                    for __ in range(3)]
         assert results == [True, False, False]

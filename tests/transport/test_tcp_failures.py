@@ -266,3 +266,72 @@ class TestThreadedNodeCrash:
         _build_pipeline(runner, [1, 2])
         with pytest.raises(ConfigurationError):
             runner.run(timeout=10.0)
+
+
+class TestForkSafety:
+    """Sockets must never be shared across a fork/spawn boundary: the
+    transport detects the PID change and quietly rebuilds itself in the
+    child (fresh server sockets, no inherited cached connections)."""
+
+    def _warm(self, transport):
+        transport.register("a", lambda m: None)
+        transport.register("b", lambda m: None)
+        transport.send(_msg(payload="warm"))
+        assert [m.payload for m in _poll_until(transport, "b", 1)] == ["warm"]
+
+    def test_pid_change_drops_connections_and_rebinds(self):
+        telemetry = Telemetry()
+        with TcpTransport() as transport:
+            transport.attach_telemetry(telemetry)
+            self._warm(transport)
+            old_conns = dict(transport._conns)
+            old_endpoint = transport._endpoints["b"]
+            assert old_conns, "expected a warmed cached connection"
+            # An undelivered message parked in the inbox must survive.
+            transport.send(_msg(payload="kept"))
+            deadline = time.monotonic() + 5.0
+            while not old_endpoint.inbox and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert old_endpoint.inbox
+
+            transport._pid = -1    # simulate crossing a process boundary
+            transport.send(_msg(payload="after"))
+
+            counters = telemetry.registry.snapshot()["counters"]
+            assert counters.get("transport.fork_resets") == 1
+            assert not old_conns.keys() & transport._conns.keys() or \
+                all(transport._conns[k] is not old_conns[k]
+                    for k in old_conns.keys() & transport._conns.keys())
+            for conn in old_conns.values():
+                assert conn.sock.fileno() == -1, "inherited socket left open"
+            assert transport._endpoints["b"] is not old_endpoint
+            got = _poll_until(transport, "b", 2)
+            assert [m.payload for m in got] == ["kept", "after"]
+
+    def test_forked_child_gets_its_own_sockets(self):
+        import os
+        if not hasattr(os, "fork"):
+            pytest.skip("requires os.fork")
+        with TcpTransport() as transport:
+            self._warm(transport)
+            pid = os.fork()
+            if pid == 0:
+                # Child: the inherited transport must reset itself and be
+                # fully usable without touching the parent's sockets.
+                status = 1
+                try:
+                    transport.send(_msg(payload="child"))
+                    got = _poll_until(transport, "b", 1)
+                    if [m.payload for m in got] == ["child"] \
+                            and transport._pid == os.getpid():
+                        status = 0
+                except BaseException:
+                    pass
+                finally:
+                    os._exit(status)
+            __, code = os.waitpid(pid, 0)
+            assert os.WIFEXITED(code) and os.WEXITSTATUS(code) == 0
+            # Parent: completely unaffected by the child's reset.
+            transport.send(_msg(payload="parent"))
+            got = _poll_until(transport, "b", 1)
+            assert [m.payload for m in got] == ["parent"]
