@@ -34,12 +34,15 @@ from repro.core.timestamp import Timestamp                # noqa: E402
 from bench_fig4_safe_time import _build                   # noqa: E402
 
 
-def run(batching):
-    start = time.perf_counter()
+def run(batching, telemetry=True):
     cosim, *_ = _build(batching=batching)
+    if not telemetry:
+        cosim.telemetry.disable()
+    start = time.perf_counter()
     cosim.run()
     wall = time.perf_counter() - start
-    report = cosim.report(title=f"perf-smoke batching={batching}")
+    report = cosim.report(
+        title=f"perf-smoke batching={batching} telemetry={telemetry}")
     totals = report.link_totals()
     return {
         "report": report,
@@ -47,6 +50,7 @@ def run(batching):
         "frames": totals["frames"],
         "bytes": totals["bytes"],
         "requests": report.counter("safetime.requests"),
+        "trace_records": len(report.trace_records),
         "progress": sorted((row["name"], row["time"], row["dispatched"])
                            for row in report.subsystems),
     }
@@ -80,7 +84,9 @@ def dispatch_rate(events=200_000):
 def main():
     base = run(batching=False)
     batched = run(batching=True)
-    for case, r in (("batching_off", base), ("batching_on", batched)):
+    silent = run(batching=True, telemetry=False)
+    for case, r in (("batching_off", base), ("batching_on", batched),
+                    ("telemetry_off", silent)):
         record_bench("perf_smoke", case, report=r["report"],
                      wall_seconds=r["wall"])
 
@@ -96,8 +102,20 @@ def main():
           f"({base['frames'] / batched['frames']:.2f}x)")
     print(f"wire bytes    : {base['bytes']} -> {batched['bytes']}")
     print(f"safe-time reqs: {base['requests']} -> {batched['requests']}")
+    print(f"telemetry off : {silent['wall']:.3f}s vs {batched['wall']:.3f}s "
+          f"on ({silent['trace_records']} trace records)")
 
     failures = []
+    # The disabled path must stay a true no-op: no spans minted, no
+    # records buffered, and an identical simulation.
+    if silent["trace_records"] != 0:
+        failures.append(
+            f"telemetry-disabled run still buffered "
+            f"{silent['trace_records']} trace records")
+    if silent["progress"] != batched["progress"]:
+        failures.append(
+            "simulation state diverged with telemetry disabled:\n"
+            f"  on : {batched['progress']}\n  off: {silent['progress']}")
     if not batched["frames"] < base["frames"]:
         failures.append(
             f"batched run did not send strictly fewer frames: "

@@ -15,6 +15,15 @@ wall-clock differs (and only multiprocess can use more than one core,
 since the checksum loops hold the GIL).
 
 Run:  python examples/multiprocess_nodes.py
+      python examples/multiprocess_nodes.py --timeline star.json
+      python examples/multiprocess_nodes.py --status status.json
+          (and, in another terminal:
+           python -m repro.observability.live status.json)
+
+``--timeline`` exports the multiprocess run's merged causal trace as a
+Chrome-trace/Perfetto JSON timeline (open it at https://ui.perfetto.dev);
+``--status`` makes the coordinator publish live status snapshots the
+``repro.observability.live`` console view can tail.
 """
 
 # Self-contained fallback: allow running from a fresh checkout without
@@ -27,9 +36,11 @@ except ModuleNotFoundError:
     sys.path.insert(0, os.path.join(
         os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
 
+import argparse
 import time
 
 from repro.bench.workloads import compute_star, compute_star_multiprocess
+from repro.observability import validate_chrome_trace, write_chrome_trace
 
 WORKERS = 2
 ROUNDS = 4
@@ -41,7 +52,19 @@ def progress(report):
             for row in report.subsystems]
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeline", metavar="PATH", default=None,
+                        help="export the multiprocess run's causal trace "
+                             "as Chrome-trace/Perfetto JSON")
+    parser.add_argument("--view", choices=("virtual", "wall"),
+                        default="virtual",
+                        help="timeline timebase (default: virtual)")
+    parser.add_argument("--status", metavar="PATH", default=None,
+                        help="publish live status snapshots to PATH "
+                             "(tail with python -m repro.observability.live)")
+    args = parser.parse_args(argv)
+
     print(f"compute star: {WORKERS} worker nodes x {ROUNDS} rounds "
           f"of {WORDS}-word checksums\n")
 
@@ -53,7 +76,7 @@ def main():
 
     multiprocess = compute_star_multiprocess(WORKERS, ROUNDS, words=WORDS)
     start = time.perf_counter()
-    mp_events = multiprocess.run(timeout=120.0)
+    mp_events = multiprocess.run(timeout=120.0, status_path=args.status)
     mp_wall = time.perf_counter() - start
     mp_report = multiprocess.report()
     mp_rows = progress(mp_report)
@@ -76,6 +99,27 @@ def main():
         f"virtual times diverged:\n  coop: {coop_rows}\n  mp  : {mp_rows}"
     print("\ndeployments agree bit for bit: "
           "same virtual times, same event counts")
+
+    if mp_report.stall_attribution:
+        print("\nstall attribution (who waited on whom):")
+        for row in mp_report.stall_attribution:
+            marker = "  <- critical peer" if row["critical"] else ""
+            print(f"  {row['subsystem']:<10} waited {row['waited']:g} "
+                  f"virtual on {row['peer_node']} "
+                  f"({row['waits']} waits){marker}")
+
+    if args.timeline:
+        document = write_chrome_trace(args.timeline, mp_report,
+                                      view=args.view)
+        problems = validate_chrome_trace(document)
+        assert not problems, f"exported timeline invalid: {problems[:3]}"
+        print(f"\ntimeline ({args.view} view): "
+              f"{len(document['traceEvents'])} events -> {args.timeline}\n"
+              "open it at https://ui.perfetto.dev (cross-node sends show "
+              "as flow arrows)")
+    if args.status:
+        print(f"status snapshots published to {args.status} "
+              "(final phase: done)")
 
 
 if __name__ == "__main__":

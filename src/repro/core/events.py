@@ -50,6 +50,10 @@ class Event:
     payload: Any = None
     #: An opaque token a blocked component uses to recognise its wake-up.
     token: Optional[int] = None
+    #: Causal trace context ``(trace_id, span, parent, hop)`` of the
+    #: message whose dispatch scheduled this event (``None`` for local /
+    #: untraced work) — stamped by the scheduler when tracing is on.
+    cause: Optional[tuple] = None
 
     def at(self, ts: Timestamp) -> "Event":
         """Return a copy of this event rescheduled to ``ts``."""

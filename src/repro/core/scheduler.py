@@ -15,6 +15,7 @@ component generators inline from a single dispatch loop.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..observability import NULL_TELEMETRY, TraceKind
@@ -48,7 +49,17 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def schedule(self, event: Event) -> Event:
-        """Enqueue ``event``; scheduling into the past is a causality error."""
+        """Enqueue ``event``; scheduling into the past is a causality error.
+
+        With tracing on, an event scheduled while a caused event is being
+        dispatched inherits that dispatch's trace context, so causal
+        chains survive local event hops between message edges.
+        """
+        telemetry = self.telemetry
+        if telemetry.enabled and event.cause is None:
+            cause = telemetry.cause
+            if cause is not None:
+                event = replace(event, cause=cause)
         return self.queue.push(event, now=self.now)
 
     def next_event_time(self) -> float:
@@ -66,14 +77,29 @@ class Scheduler:
                 f"{self.subsystem.name}: event at {event.ts.time:g} popped "
                 f"after subsystem time reached {self.now:g}")
         self.now = event.ts.time
-        self._dispatch(event)
-        self.dispatched += 1
         telemetry = self.telemetry
-        if telemetry.enabled:
+        traced = telemetry.enabled
+        if traced:
+            # Sends triggered by this dispatch mint child spans of the
+            # event's cause; cleared even on a straggler abort.
+            telemetry.cause = event.cause
+        try:
+            self._dispatch(event)
+        finally:
+            if traced:
+                telemetry.cause = None
+        self.dispatched += 1
+        if traced:
             telemetry.count("scheduler.dispatched")
-            telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
-                            subject=self.subsystem.name,
-                            event=event.kind.value)
+            if event.cause is not None:
+                telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
+                                subject=self.subsystem.name,
+                                event=event.kind.value,
+                                cause=event.cause[1], hop=event.cause[3])
+            else:
+                telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
+                                subject=self.subsystem.name,
+                                event=event.kind.value)
         for hook in self.post_step_hooks:
             hook(event)
         return event
@@ -109,11 +135,22 @@ class Scheduler:
                     telemetry = self.telemetry
                     if telemetry.enabled:
                         telemetry.count("scheduler.stalls")
-                        telemetry.trace(
-                            TraceKind.STALL, time=self.now,
-                            subject=self.subsystem.name,
-                            horizon=limit,
-                            next_event=next_time)
+                        head = queue.peek()
+                        cause = head.cause if head is not None else None
+                        if cause is not None:
+                            # Link the stall to the chain of the event it
+                            # is parked behind.
+                            telemetry.trace(
+                                TraceKind.STALL, time=self.now,
+                                subject=self.subsystem.name,
+                                horizon=limit, next_event=next_time,
+                                cause=cause[1], hop=cause[3])
+                        else:
+                            telemetry.trace(
+                                TraceKind.STALL, time=self.now,
+                                subject=self.subsystem.name,
+                                horizon=limit,
+                                next_event=next_time)
                 break
             if max_events is not None and count >= max_events:
                 break

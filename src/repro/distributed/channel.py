@@ -47,10 +47,13 @@ class StragglerError(SimulationError):
     """An optimistic channel delivered a message into the local past."""
 
     def __init__(self, message: str, *, channel_id: str,
-                 straggler_time: float) -> None:
+                 straggler_time: float, cause: Optional[tuple] = None) -> None:
         super().__init__(message)
         self.channel_id = channel_id
         self.straggler_time = straggler_time
+        #: Trace context of the straggler message (rollback records link
+        #: to its causal chain), when tracing was on.
+        self.cause = cause
 
 
 class ChannelComponent(Component):
@@ -273,7 +276,7 @@ class ChannelEndpoint:
                 f"optimistic channel {self.channel.channel_id}: straggler at "
                 f"{message.time:g} < subsystem time {now:g}",
                 channel_id=self.channel.channel_id,
-                straggler_time=message.time)
+                straggler_time=message.time, cause=message.trace)
         self.inject(net, message.time, value)
 
     def inject(self, net: Net, time: float, value: Any) -> None:

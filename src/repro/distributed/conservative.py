@@ -230,5 +230,30 @@ class SafeTimeClient:
                     telemetry.trace(TraceKind.GRANT, time=reply.time,
                                     subject=self.subsystem.name,
                                     peer=endpoint.peer_subsystem,
+                                    channel=endpoint.channel.channel_id,
                                     desired=desired)
         return self.horizon()
+
+    def blocking_endpoint(self) -> Optional[ChannelEndpoint]:
+        """The endpoint currently pinning this subsystem's horizon.
+
+        Returns the restricting endpoint with the lowest effective
+        horizon (ties broken by peer subsystem name), or ``None`` when
+        nothing restricts the subsystem below infinity.  This is a live
+        diagnostic — under the threaded/multiprocess executors the answer
+        depends on when grants happen to land, so it feeds status views,
+        not deterministic reports.
+        """
+        worst: Optional[ChannelEndpoint] = None
+        worst_h = UNBOUNDED
+        for endpoint in self._restricting_endpoints():
+            if endpoint.severed:
+                continue
+            h = endpoint.effective_horizon()
+            if worst is None or h < worst_h or (
+                    h == worst_h
+                    and endpoint.peer_subsystem < worst.peer_subsystem):
+                worst, worst_h = endpoint, h
+        if worst is None or worst_h == UNBOUNDED:
+            return None
+        return worst

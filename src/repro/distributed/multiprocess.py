@@ -41,7 +41,9 @@ executors bit for bit.
 from __future__ import annotations
 
 import importlib
+import json
 import multiprocessing
+import os
 import threading
 import time as _time
 from dataclasses import dataclass, field
@@ -66,7 +68,9 @@ from ..observability import (
     merge_histograms,
     merge_link_rows,
     merge_timings,
+    merge_trace_records,
 )
+from ..observability.export import stall_attribution, subject_nodes
 from ..observability.report import _link_rows, _subsystem_row
 from ..transport.message import Message, MessageKind
 from ..transport.tcp import TcpTransport
@@ -295,9 +299,25 @@ class _Worker:
 
     def _status(self) -> dict:
         with self.lock:
-            rows = [(name, subsystem.now, subsystem.next_event_time(),
-                     subsystem.scheduler.dispatched)
-                    for name, subsystem in sorted(self.node.subsystems.items())]
+            rows = []
+            for name, subsystem in sorted(self.node.subsystems.items()):
+                client = self.clients[name]
+                horizon = client.horizon()
+                blocking = client.blocking_endpoint()
+                next_time = subsystem.next_event_time()
+                rows.append({
+                    "name": name,
+                    "time": subsystem.now,
+                    "next_event": next_time,
+                    "dispatched": subsystem.scheduler.dispatched,
+                    "stalls": subsystem.scheduler.stalls,
+                    "queue_depth": len(subsystem.scheduler.queue),
+                    "horizon": horizon,
+                    "stalled": next_time != float("inf")
+                        and next_time > horizon,
+                    "waiting_on": None if blocking is None else
+                        f"{blocking.peer_subsystem}@{blocking.peer_node}",
+                })
             pending = self.transport.pending()
             return {
                 "node": self.node.name,
@@ -307,6 +327,7 @@ class _Worker:
                 "wire_in": self.transport.wire_in,
                 "pending": pending,
                 "rounds": self.rounds,
+                "wall": _time.time(),
             }
 
     def _report_bundle(self) -> dict:
@@ -327,6 +348,11 @@ class _Worker:
                 "histograms": snap["histograms"],
                 "trace_counts": self.telemetry.trace_buffer.counts_by_kind(),
                 "trace_dropped": self.telemetry.trace_buffer.dropped,
+                # The full per-worker trace rides home with the bundle so
+                # the coordinator can merge one causally linked timeline.
+                "trace": [dict(record.to_dict(), node=self.node.name,
+                               wall=record.wall)
+                          for record in self.telemetry.trace_buffer.records()],
                 "timings": self.telemetry.registry.timings(),
                 "faults": self.injector.summary()
                           if self.injector is not None else {},
@@ -376,6 +402,55 @@ class _Worker:
             self.rounds += 1
             if not self.progress:
                 _time.sleep(0.001)
+
+
+def _json_safe(value):
+    """``inf`` has no JSON encoding; status snapshots use ``null``."""
+    return None if value == float("inf") else value
+
+
+def status_snapshot(statuses: Dict[str, dict], *,
+                    until: float = float("inf"),
+                    phase: str = "running") -> dict:
+    """Fold per-worker ``status?`` replies into one JSON-safe snapshot.
+
+    The document :mod:`repro.observability.live` renders: per node the
+    idle flag, control-loop round count, parked/pending messages, wire
+    counters and heartbeat age (seconds since the worker stamped its
+    reply), and per subsystem the local virtual time, next event, event
+    count, queue depth, safe-time horizon, stall state and the peer
+    currently pinning the horizon.
+    """
+    wall = _time.time()
+    nodes = {}
+    times = []
+    for name in sorted(statuses):
+        st = statuses[name]
+        rows = []
+        for row in st["subsystems"]:
+            times.append(row["time"])
+            rows.append({
+                "name": row["name"],
+                "time": row["time"],
+                "next_event": _json_safe(row["next_event"]),
+                "dispatched": row["dispatched"],
+                "stalls": row["stalls"],
+                "queue_depth": row["queue_depth"],
+                "horizon": _json_safe(row["horizon"]),
+                "stalled": row["stalled"],
+                "waiting_on": row["waiting_on"],
+            })
+        nodes[name] = {
+            "idle": st["idle"],
+            "rounds": st["rounds"],
+            "pending": st["pending"],
+            "wire_out": st["wire_out"],
+            "wire_in": st["wire_in"],
+            "heartbeat_age": max(0.0, wall - st.get("wall", wall)),
+            "subsystems": rows,
+        }
+    return {"phase": phase, "wall": wall, "until": _json_safe(until),
+            "global_time": min(times, default=0.0), "nodes": nodes}
 
 
 def _worker_main(spec: _WorkerSpec, conn) -> None:
@@ -438,6 +513,11 @@ class MultiprocessCoSimulation:
         self._bundles: Optional[Dict[str, dict]] = None
         self.dispatched = 0
         self.cpu_seconds = 0.0
+        self._status_path: Optional[str] = None
+        self._status_interval = 0.5
+        self._status_listener: Optional[Callable[[dict], None]] = None
+        self._status_published = 0.0
+        self._last_statuses: Dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -516,12 +596,28 @@ class MultiprocessCoSimulation:
     # execution
     # ------------------------------------------------------------------
     def run(self, until: float = float("inf"), *,
-            timeout: float = 60.0) -> int:
+            timeout: float = 60.0,
+            status_path: Optional[str] = None,
+            status_interval: float = 0.5,
+            status_listener: Optional[Callable[[dict], None]] = None) -> int:
         """Run all nodes in parallel processes until global quiescence
-        (or every event queue passes ``until``); returns total events."""
+        (or every event queue passes ``until``); returns total events.
+
+        ``status_path`` enables live introspection: the coordinator's
+        supervision loop writes a JSON :func:`status_snapshot` there
+        (atomically, every ``status_interval`` seconds, plus a final
+        ``phase: "done"`` snapshot) which ``python -m
+        repro.observability.live <path>`` tails as a console view.
+        ``status_listener`` receives the same snapshots in-process.
+        """
         if not self._nodes:
             return 0
         self._check_topology()
+        self._status_path = status_path
+        self._status_interval = status_interval
+        self._status_listener = status_listener
+        self._status_published = 0.0
+        self._last_statuses: Dict[str, dict] = {}
         started_at = _time.perf_counter()
         ctx = multiprocessing.get_context(self.start_method)
         procs: Dict[str, multiprocessing.Process] = {}
@@ -552,6 +648,9 @@ class MultiprocessCoSimulation:
                                              deadline)
             self._bundles = bundles
             self.dispatched = sum(b["dispatched"] for b in bundles.values())
+            if self._last_statuses:
+                self._publish_status(self._last_statuses, until,
+                                     phase="done", force=True)
         finally:
             for conn in pipes.values():
                 try:
@@ -600,6 +699,28 @@ class MultiprocessCoSimulation:
                 f"{message[0]!r}")
         return message[1]
 
+    def _publish_status(self, statuses: Dict[str, dict], until: float, *,
+                        phase: str = "running", force: bool = False) -> None:
+        """Surface the latest worker statuses for live introspection."""
+        self._last_statuses = statuses
+        if self._status_path is None and self._status_listener is None:
+            return
+        now = _time.monotonic()
+        if not force and now - self._status_published < self._status_interval:
+            return
+        self._status_published = now
+        snapshot = status_snapshot(statuses, until=until, phase=phase)
+        if self._status_listener is not None:
+            self._status_listener(snapshot)
+        if self._status_path is not None:
+            # Atomic replace: a concurrent reader always sees a complete
+            # JSON document, never a torn write.
+            tmp = f"{self._status_path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self._status_path)
+
     def _supervise(self, pipes, procs, until: float,
                    deadline: float) -> None:
         """Probe workers until distributed quiescence (double probe over
@@ -627,7 +748,8 @@ class MultiprocessCoSimulation:
             statuses = {name: self._expect(pipes, procs, name, "status",
                                            deadline)
                         for name in sorted(procs)}
-            times = [row[1] for st in statuses.values()
+            self._publish_status(statuses, until, phase="running")
+            times = [row["time"] for st in statuses.values()
                      for row in st["subsystems"]]
             global_now = min(times, default=0.0)
             while pending_crashes and pending_crashes[0].at_time <= global_now:
@@ -650,10 +772,12 @@ class MultiprocessCoSimulation:
                 st = statuses[name]
                 if not st["idle"] or st["pending"]:
                     quiet = False
-                for ss_name, now, next_time, dispatched in st["subsystems"]:
+                for row in st["subsystems"]:
+                    next_time = row["next_event"]
                     if next_time != float("inf") and next_time <= until:
                         quiet = False
-                    signature.append((ss_name, now, dispatched))
+                    signature.append((row["name"], row["time"],
+                                      row["dispatched"]))
                 wire_out += st["wire_out"]
                 wire_in += st["wire_in"]
                 signature.append((name, st["wire_out"], st["wire_in"]))
@@ -695,6 +819,8 @@ class MultiprocessCoSimulation:
         link_rows: List[dict] = []
         subsystem_rows: List[dict] = []
         trace_dropped = 0
+        dropped_by_node: Dict[str, int] = {}
+        trace_by_node: Dict[str, List[dict]] = {}
         for name in sorted(self._bundles):
             bundle = self._bundles[name]
             subsystem_rows.extend(bundle["subsystems"])
@@ -706,6 +832,8 @@ class MultiprocessCoSimulation:
             merge_counters(trace_counts, bundle["trace_counts"])
             merge_timings(timings, bundle["timings"])
             trace_dropped += bundle["trace_dropped"]
+            dropped_by_node[name] = bundle["trace_dropped"]
+            trace_by_node[name] = bundle.get("trace", [])
         report.subsystems = sorted(subsystem_rows, key=lambda r: r["name"])
         report.links = merge_link_rows(link_rows)
         report.counters = dict(sorted(counters.items()))
@@ -714,5 +842,9 @@ class MultiprocessCoSimulation:
         report.faults = dict(sorted(faults.items()))
         report.trace_counts = dict(sorted(trace_counts.items()))
         report.trace_dropped = trace_dropped
+        report.trace_dropped_by_node = dropped_by_node
+        report.trace_records = merge_trace_records(trace_by_node)
+        report.stall_attribution = stall_attribution(
+            report.trace_records, nodes=subject_nodes(report))
         report.timings = dict(sorted(timings.items()))
         return report

@@ -134,9 +134,20 @@ class PiaNode:
                 message.time, peer_injected, peer_forwarded)
             return
         if message.kind is MessageKind.SIGNAL:
-            for observer in self.signal_observers:
-                observer(message)
-            self._endpoint_for(message.channel).receive_signal(message)
+            endpoint = self._endpoint_for(message.channel)
+            telemetry = endpoint.subsystem.scheduler.telemetry
+            traced = telemetry.enabled and message.trace is not None
+            if traced:
+                # Events this signal injects inherit its trace context,
+                # linking the local dispatch chain to the remote send.
+                telemetry.cause = message.trace
+            try:
+                for observer in self.signal_observers:
+                    observer(message)
+                endpoint.receive_signal(message)
+            finally:
+                if traced:
+                    telemetry.cause = None
             return
         raise TransportError(
             f"{self.name}: no handler for {message.kind} message")

@@ -101,10 +101,13 @@ class RecoveryManager:
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.count("rollback.count")
+            cause = getattr(straggler, "cause", None)
+            extra = {"cause": cause[1], "hop": cause[3]} \
+                if cause is not None else {}
             telemetry.trace(TraceKind.ROLLBACK,
                             time=straggler.straggler_time, subject=receiver,
                             snapshot_id=snap.snapshot_id,
-                            restored_time=snap.max_time())
+                            restored_time=snap.max_time(), **extra)
         return snap
 
     def rollback_to(self, snap: GlobalSnapshot) -> None:

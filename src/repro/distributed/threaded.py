@@ -216,6 +216,11 @@ class ThreadedCoSimulation:
         if subsystem.name in self.subsystems:
             raise ConfigurationError(f"duplicate subsystem {subsystem.name!r}")
         node.add_subsystem(subsystem)
+        # Same wiring as CoSimulation: subsystem schedulers share the
+        # executor telemetry (cause propagation is thread-local, so node
+        # threads never cross-contaminate), which is what gives threaded
+        # runs dispatch records and causal spans at all.
+        subsystem.attach_telemetry(self.telemetry)
         self.subsystems[subsystem.name] = subsystem
         self.clients[subsystem.name] = SafeTimeClient(subsystem)
         return subsystem

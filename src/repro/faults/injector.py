@@ -244,6 +244,18 @@ class FaultInjector:
             if not ids:
                 self._dup_ids.pop(dst, None)
             self._count("fault.duplicates_suppressed")
+        if self.telemetry.enabled:
+            # The redundant copy carries the original send's trace
+            # context; recording it here is what lets the causal layer
+            # prove every duplicate shared the send's span.
+            trace = getattr(message, "trace", None)
+            extra = {} if trace is None else \
+                {"trace_id": trace[0], "span": trace[1]}
+            self.telemetry.trace(
+                TraceKind.FAULT_INJECT, time=message.time,
+                subject=f"{message.src}->{message.dst}",
+                action="duplicate-suppressed",
+                message_kind=message.kind.value, **extra)
         return True
 
     # ------------------------------------------------------------------

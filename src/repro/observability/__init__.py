@@ -8,16 +8,30 @@ shared by every layer of a simulation feeds a :class:`MetricsRegistry`
 of typed records; :func:`run_report` assembles both into a
 :class:`RunReport` rendered as text or JSON.
 
+On top of the raw records sits the causal layer: every data-plane
+message carries a :mod:`span <repro.observability.spans>` context, so
+send/receive/dispatch records across nodes link into chains —
+exportable as a Chrome-trace/Perfetto timeline (:mod:`.export`),
+profiled into per-peer stall attribution, and observable live for
+multiprocess runs (:mod:`.live`).
+
 Zero dependencies, deterministic under the in-memory transport, and a
 one-attribute-read no-op path when disabled — cheap enough to leave on.
 """
 
+from .export import (
+    chrome_trace,
+    stall_attribution,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .merge import (
     merge_counters,
     merge_gauges,
     merge_histograms,
     merge_link_rows,
     merge_timings,
+    merge_trace_records,
 )
 from .metrics import (
     Counter,
@@ -28,6 +42,13 @@ from .metrics import (
     Timer,
 )
 from .report import RunReport, run_report
+from .spans import (
+    SpanMinter,
+    causal_chains,
+    ensure_context,
+    span_details,
+    span_origin,
+)
 from .telemetry import NULL_TELEMETRY, Telemetry
 from .trace import TraceBuffer, TraceKind, TraceRecord
 
@@ -37,6 +58,10 @@ __all__ = [
     "NULL_TELEMETRY", "Telemetry",
     "TraceBuffer", "TraceKind", "TraceRecord",
     "RunReport", "run_report",
+    "SpanMinter", "causal_chains", "ensure_context", "span_details",
+    "span_origin",
+    "chrome_trace", "stall_attribution", "validate_chrome_trace",
+    "write_chrome_trace",
     "merge_counters", "merge_gauges", "merge_histograms",
-    "merge_link_rows", "merge_timings",
+    "merge_link_rows", "merge_timings", "merge_trace_records",
 ]

@@ -1,0 +1,138 @@
+"""Live run introspection: a console view over status snapshots.
+
+The multiprocess executor's supervision loop can publish a JSON
+:func:`~repro.distributed.multiprocess.status_snapshot` to a file
+(``run(..., status_path="status.json")``), atomically replaced every
+``status_interval`` seconds.  This module is the other half: it tails
+that file and renders a periodic per-node / per-subsystem table —
+local virtual time, next event, queue depth, safe-time horizon, stall
+state, which peer is pinning the horizon, and each worker's heartbeat
+age — until the snapshot's phase turns ``done``.
+
+Run it next to a live simulation::
+
+    python -m repro.observability.live status.json
+    python -m repro.observability.live --once status.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time as _time
+from typing import List, Optional
+
+
+def _fmt(value, *, unit: str = "") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}{unit}"
+    return f"{value}{unit}"
+
+
+def render_status(snapshot: dict) -> str:
+    """Render one status snapshot as a console block."""
+    out: List[str] = []
+    phase = snapshot.get("phase", "?")
+    header = (f"phase={phase}  global_time="
+              f"{_fmt(snapshot.get('global_time'))}  until="
+              f"{_fmt(snapshot.get('until'))}")
+    out.append(header)
+    nodes = snapshot.get("nodes", {})
+    for name in sorted(nodes):
+        node = nodes[name]
+        out.append("")
+        out.append(
+            f"node {name}: "
+            f"{'idle' if node.get('idle') else 'busy'}  "
+            f"rounds={_fmt(node.get('rounds'))}  "
+            f"pending={_fmt(node.get('pending'))}  "
+            f"wire={_fmt(node.get('wire_out'))}/{_fmt(node.get('wire_in'))}  "
+            f"heartbeat={_fmt(node.get('heartbeat_age'), unit='s')}")
+        rows = node.get("subsystems", [])
+        if not rows:
+            continue
+        headers = ["subsystem", "time", "next", "events", "queue",
+                   "horizon", "stalled", "waiting on"]
+        table = [[row.get("name", "?"), _fmt(row.get("time")),
+                  _fmt(row.get("next_event")), _fmt(row.get("dispatched")),
+                  _fmt(row.get("queue_depth")), _fmt(row.get("horizon")),
+                  _fmt(row.get("stalled")), _fmt(row.get("waiting_on"))]
+                 for row in rows]
+        widths = [len(h) for h in headers]
+        for row in table:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        line = lambda cells: "  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+        out.append("  " + line(headers))
+        out.append("  " + "  ".join("-" * w for w in widths))
+        out.extend("  " + line(row) for row in table)
+    return "\n".join(out)
+
+
+def read_snapshot(path: str) -> Optional[dict]:
+    """Load the snapshot at ``path``; ``None`` when absent/incomplete.
+
+    The writer replaces the file atomically, so a partial read can only
+    mean the run has not published yet — both cases are "no data yet".
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def follow(path: str, *, interval: float = 1.0,
+           iterations: Optional[int] = None, out=None) -> Optional[dict]:
+    """Tail ``path``, printing a rendered view each ``interval`` seconds
+    until the snapshot's phase is ``done`` (or ``iterations`` views have
+    been printed).  Returns the last snapshot seen."""
+    out = out if out is not None else sys.stdout
+    printed = 0
+    snapshot = None
+    while iterations is None or printed < iterations:
+        latest = read_snapshot(path)
+        if latest is not None:
+            snapshot = latest
+            print(render_status(snapshot), file=out)
+            print("", file=out)
+            printed += 1
+            if snapshot.get("phase") == "done":
+                break
+        if iterations is not None and printed >= iterations:
+            break
+        _time.sleep(interval)
+    return snapshot
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.live",
+        description="Console view over a multiprocess run's status "
+                    "snapshots (see MultiprocessCoSimulation.run's "
+                    "status_path).")
+    parser.add_argument("path", help="status JSON file the run publishes")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between refreshes (default 1.0)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one view and exit")
+    args = parser.parse_args(argv)
+    if args.once:
+        snapshot = read_snapshot(args.path)
+        if snapshot is None:
+            print(f"no status snapshot at {args.path}", file=sys.stderr)
+            return 1
+        print(render_status(snapshot))
+        return 0
+    snapshot = follow(args.path, interval=args.interval)
+    return 0 if snapshot is not None else 1
+
+
+if __name__ == "__main__":    # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -96,3 +96,24 @@ def merge_timings(into: Dict[str, dict], add: Dict[str, dict]) -> Dict[str, dict
             have["total_seconds"] += row["total_seconds"]
             have["count"] += row["count"]
     return into
+
+
+def merge_trace_records(per_node: Dict[str, Iterable[dict]]) -> List[dict]:
+    """Interleave per-node trace buffers into one stable stream.
+
+    ``per_node`` maps node name to that worker's trace records (the
+    dicts from :meth:`~.trace.TraceRecord.to_dict`).  Every record is
+    tagged with its node and the streams are merged in ``(time, node,
+    seq)`` order — deterministic across runs, and preserving each node's
+    own record order (``seq`` is per-telemetry monotone), so per-subject
+    subsequences match what a single-process run would record.
+    """
+    merged: List[dict] = []
+    for node in sorted(per_node):
+        for record in per_node[node]:
+            if record.get("node") != node:
+                record = dict(record, node=node)
+            merged.append(record)
+    merged.sort(key=lambda r: (r.get("time", 0.0), r["node"],
+                               r.get("seq", 0)))
+    return merged

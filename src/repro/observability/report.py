@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from . import export as _export
 from .telemetry import NULL_TELEMETRY, Telemetry
 
 
@@ -39,12 +40,23 @@ class RunReport:
     faults: dict = field(default_factory=dict)
     trace_counts: dict = field(default_factory=dict)
     trace_dropped: int = 0
+    #: Per-node trace drops (multiprocess runs; empty otherwise).
+    trace_dropped_by_node: dict = field(default_factory=dict)
+    #: subsystem, node, peer_node, waits, waited, critical — which peer's
+    #: traffic each subsystem spent its virtual time waiting for (the
+    #: dispatch-gap profiler pass of :func:`.export.stall_attribution`).
+    stall_attribution: List[dict] = field(default_factory=list)
+    #: The full merged trace (record dicts incl. wall clocks).  Excluded
+    #: from to_dict() unless asked for — it is bulky, and the wall field
+    #: is nondeterministic.
+    trace_records: List[dict] = field(default_factory=list)
     #: Wall-clock timers — nondeterministic, excluded from to_dict()
     #: unless asked for.
     timings: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
-    def to_dict(self, *, include_timings: bool = False) -> dict:
+    def to_dict(self, *, include_timings: bool = False,
+                include_trace: bool = False) -> dict:
         data = {
             "title": self.title,
             "subsystems": self.subsystems,
@@ -55,10 +67,18 @@ class RunReport:
             "rollbacks": self.rollbacks,
             "faults": self.faults,
             "trace": {"counts": self.trace_counts,
-                      "dropped": self.trace_dropped},
+                      "dropped": self.trace_dropped,
+                      "dropped_by_node": self.trace_dropped_by_node},
+            "stall_attribution": self.stall_attribution,
         }
         if include_timings:
             data["timings"] = self.timings
+        if include_trace:
+            # Bulky and wall-clock-bearing; opt-in only.  The wall field
+            # is stripped so the document stays diffable.
+            data["trace"]["records"] = [
+                {k: v for k, v in record.items() if k != "wall"}
+                for record in self.trace_records]
         return data
 
     def to_json(self, *, include_timings: bool = False,
@@ -132,10 +152,25 @@ class RunReport:
                   "-" if row["min"] is None else f"{row['min']:g}",
                   "-" if row["max"] is None else f"{row['max']:g}"]
                  for name, row in sorted(self.histograms.items())]))
+        if self.stall_attribution:
+            out.append("")
+            out.append(_table(
+                ["waiting subsystem", "node", "on peer node", "waits",
+                 "waited", "critical"],
+                [[row["subsystem"], row["node"], row["peer_node"],
+                  str(row["waits"]), f"{row['waited']:g}",
+                  "*" if row["critical"] else ""]
+                 for row in self.stall_attribution]))
         if self.trace_counts:
             out.append("")
             dropped = f" (dropped {self.trace_dropped})" \
                 if self.trace_dropped else ""
+            if self.trace_dropped_by_node and any(
+                    self.trace_dropped_by_node.values()):
+                per_node = ", ".join(
+                    f"{node}={count}" for node, count
+                    in sorted(self.trace_dropped_by_node.items()))
+                dropped = f" (dropped {self.trace_dropped}: {per_node})"
             out.append("trace records" + dropped + ": " + ", ".join(
                 f"{kind}={count}"
                 for kind, count in sorted(self.trace_counts.items())))
@@ -232,5 +267,8 @@ def run_report(target, *, title: Optional[str] = None) -> RunReport:
     report.histograms = snapshot.get("histograms", {})
     report.trace_counts = telemetry.trace_buffer.counts_by_kind()
     report.trace_dropped = telemetry.trace_buffer.dropped
+    report.trace_records = _export.trace_records(telemetry)
+    report.stall_attribution = _export.stall_attribution(
+        report.trace_records, nodes=_export.subject_nodes(report))
     report.timings = telemetry.registry.timings()
     return report

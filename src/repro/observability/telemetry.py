@@ -22,10 +22,13 @@ is permanently ``False`` — one attribute read per hot-path visit.
 from __future__ import annotations
 
 import itertools
+import threading
+import time as _time
 from contextlib import nullcontext
 from typing import Optional
 
 from .metrics import MetricsRegistry, Timer
+from .spans import SpanMinter
 from .trace import TraceBuffer, TraceRecord
 
 _NULL_TIMER = nullcontext()
@@ -39,7 +42,22 @@ class Telemetry:
         self.enabled = enabled
         self.registry = MetricsRegistry()
         self.trace_buffer = TraceBuffer(trace_capacity)
+        #: Deterministic per-origin span ids for causal tracing.
+        self.spans = SpanMinter()
+        #: The trace context currently being dispatched, thread-local:
+        #: under the threaded executor several node threads share one
+        #: Telemetry, and each must see only its own dispatch's cause.
+        self._cause = threading.local()
         self._seq = itertools.count(1)
+
+    @property
+    def cause(self):
+        """Trace context of the in-flight dispatch (``None`` outside one)."""
+        return getattr(self._cause, "value", None)
+
+    @cause.setter
+    def cause(self, context) -> None:
+        self._cause.value = context
 
     # ------------------------------------------------------------------
     def enable(self) -> None:
@@ -79,13 +97,15 @@ class Telemetry:
         if not self.enabled:
             return
         self.trace_buffer.append(
-            TraceRecord(next(self._seq), kind, time, subject, details))
+            TraceRecord(next(self._seq), kind, time, subject, details,
+                        wall=_time.time()))
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Forget everything recorded so far (the gate is untouched)."""
         self.registry.reset()
         self.trace_buffer.clear()
+        self.spans.reset()
         self._seq = itertools.count(1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

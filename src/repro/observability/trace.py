@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class TraceKind:
@@ -47,6 +47,10 @@ class TraceKind:
     NODE_DROP = "node-drop"
 
 
+#: Core field names details must never shadow (see TraceRecord.to_dict).
+_CORE_FIELDS = frozenset(("seq", "kind", "time", "subject"))
+
+
 @dataclass(frozen=True)
 class TraceRecord:
     """One structured observation."""
@@ -56,10 +60,19 @@ class TraceRecord:
     time: float           # virtual time the record describes
     subject: str          # subsystem, component or "src->dst" link
     details: dict = field(default_factory=dict)
+    #: Wall clock at record time — nondeterministic, so excluded from
+    #: equality and :meth:`to_dict` (the wall-clock timeline view reads
+    #: it straight off the record).
+    wall: float = field(default=0.0, compare=False)
 
     def to_dict(self) -> dict:
-        return {"seq": self.seq, "kind": self.kind, "time": self.time,
-                "subject": self.subject, **self.details}
+        """Flatten into one dict; detail keys that would shadow a core
+        field are emitted namespaced as ``detail.<key>`` instead."""
+        data = {"seq": self.seq, "kind": self.kind, "time": self.time,
+                "subject": self.subject}
+        for key, value in self.details.items():
+            data[f"detail.{key}" if key in _CORE_FIELDS else key] = value
+        return data
 
 
 class TraceBuffer:
@@ -85,7 +98,7 @@ class TraceBuffer:
     def __len__(self) -> int:
         return len(self._records)
 
-    def records(self, kind: str = None) -> List[TraceRecord]:
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
         if kind is None:
             return list(self._records)
         return [r for r in self._records if r.kind == kind]

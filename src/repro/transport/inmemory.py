@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.errors import TransportError
 from ..core.fastcopy import is_immutable
 from ..observability import NULL_TELEMETRY, TraceKind
+from ..observability.spans import ensure_context, span_details
 from .accounting import NetworkAccounting
 from .batch import SendBatcher
 from .latency import SAME_HOST, LatencyModel
@@ -119,6 +120,12 @@ class InMemoryTransport:
         deduplicated at the poll boundary, and traffic touching a
         crashed node is swallowed (``lost``).
         """
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            # Mint before the fault plane decides the message's fate, so
+            # every copy (duplicate, delayed, retried) shares one span
+            # and the ordinal stream is identical across transports.
+            ensure_context(telemetry, message)
         injector = self.fault_injector
         action, ticks = "deliver", 0
         if injector is not None:
@@ -131,11 +138,11 @@ class InMemoryTransport:
             return self._enqueue_batched(message, action, injector)
         delivered, size = self._through_wire(message)
         delay = self.accounting.record(message.src, message.dst, size)
-        telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.trace(TraceKind.MSG_SEND, time=message.time,
                             subject=f"{message.src}->{message.dst}",
-                            message_kind=message.kind.value, bytes=size)
+                            message_kind=message.kind.value, bytes=size,
+                            **span_details(message.trace))
         if action == "delay":
             injector.hold(message.dst, delivered, ticks)
             return delay
@@ -173,7 +180,8 @@ class InMemoryTransport:
         if telemetry.enabled:
             telemetry.trace(TraceKind.MSG_SEND, time=message.time,
                             subject=f"{message.src}->{message.dst}",
-                            message_kind=message.kind.value, batched=True)
+                            message_kind=message.kind.value, batched=True,
+                            **span_details(message.trace))
         self.batcher.enqueue(message.src, message.dst, member)
         if action == "duplicate":
             self.batcher.enqueue(message.src, message.dst, member)
@@ -235,6 +243,9 @@ class InMemoryTransport:
         The destination's call handler runs inline; both directions are
         charged to accounting.  Calls cannot reach a crashed node.
         """
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            ensure_context(telemetry, message)
         if self.fault_injector is not None:
             self.fault_injector.check_call(message)
         if self.batching:
@@ -250,12 +261,11 @@ class InMemoryTransport:
                 f"(registered: {sorted(self._call_handlers)})")
         request, req_size = self._through_wire(message)
         self.accounting.record(message.src, message.dst, req_size)
-        telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.trace(TraceKind.MSG_SEND, time=message.time,
                             subject=f"{message.src}->{message.dst}",
                             message_kind=message.kind.value, bytes=req_size,
-                            call=True)
+                            call=True, **span_details(message.trace))
         reply = handler(request)
         if not isinstance(reply, Message):
             raise TransportError(
@@ -267,7 +277,7 @@ class InMemoryTransport:
             telemetry.trace(TraceKind.MSG_RECV, time=reply.time,
                             subject=f"{message.dst}->{message.src}",
                             message_kind=reply.kind.value, bytes=resp_size,
-                            call=True)
+                            call=True, **span_details(reply.trace))
         return response
 
     def poll(self, name: str, *, limit: Optional[int] = None) -> List[Message]:
@@ -296,7 +306,8 @@ class InMemoryTransport:
             for message in drained:
                 telemetry.trace(TraceKind.MSG_RECV, time=message.time,
                                 subject=f"{message.src}->{message.dst}",
-                                message_kind=message.kind.value)
+                                message_kind=message.kind.value,
+                                **span_details(message.trace))
         return drained
 
     def pending(self, name: Optional[str] = None) -> int:

@@ -60,13 +60,21 @@ class Message:
     #: Correlates requests with replies.
     request_id: Optional[int] = None
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: Causal trace context ``(trace_id, span, parent, hop)`` minted by
+    #: the sending transport when telemetry is enabled (see
+    #: :mod:`repro.observability.spans`); ``None`` when tracing is off.
+    trace: Optional[tuple] = None
 
     def reply(self, kind: MessageKind, *, time: float = 0.0,
               payload: Any = None) -> "Message":
-        """Build the response message for a request."""
+        """Build the response message for a request.
+
+        The reply shares the request's trace context: a synchronous call
+        and its response are one causal span.
+        """
         return Message(kind=kind, src=self.dst, dst=self.src,
                        channel=self.channel, time=time, payload=payload,
-                       request_id=self.request_id)
+                       request_id=self.request_id, trace=self.trace)
 
 
 def encode(message: Message) -> bytes:

@@ -35,6 +35,7 @@ from ..core.errors import LinkDown, TransportError
 from ..core.fastcopy import is_immutable
 from ..faults.retry import RetryPolicy
 from ..observability import NULL_TELEMETRY, TraceKind
+from ..observability.spans import ensure_context, span_details
 from .accounting import NetworkAccounting
 from .batch import SendBatcher
 from .latency import SAME_HOST, LatencyModel
@@ -468,6 +469,11 @@ class TcpTransport:
     # ------------------------------------------------------------------
     def send(self, message: Message) -> float:
         self._guard_process()
+        if self.telemetry.enabled:
+            # Mint before the fault plane decides the fate: duplicates,
+            # delays and retries all re-encode this message, so every
+            # copy crossing the wire carries the original send's span.
+            ensure_context(self.telemetry, message)
         injector = self.fault_injector
         remote = message.dst in self._peers
         action, ticks = "deliver", 0
@@ -491,7 +497,8 @@ class TcpTransport:
             if telemetry.enabled:
                 telemetry.trace(TraceKind.MSG_SEND, time=message.time,
                                 subject=f"{message.src}->{message.dst}",
-                                message_kind=message.kind.value, batched=True)
+                                message_kind=message.kind.value, batched=True,
+                                **span_details(message.trace))
             self.batcher.enqueue(message.src, message.dst, member)
             if action == "duplicate":
                 if remote:
@@ -514,7 +521,8 @@ class TcpTransport:
         if telemetry.enabled:
             telemetry.trace(TraceKind.MSG_SEND, time=message.time,
                             subject=f"{message.src}->{message.dst}",
-                            message_kind=message.kind.value, bytes=len(blob))
+                            message_kind=message.kind.value, bytes=len(blob),
+                            **span_details(message.trace))
         if action == "delay":
             if remote:
                 self._send_reliable(
@@ -615,6 +623,9 @@ class TcpTransport:
         never see a raw socket error for a dead peer.
         """
         self._guard_process()
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            ensure_context(telemetry, message)
         if self.fault_injector is not None:
             self.fault_injector.check_call(message)
         if self.batching:
@@ -625,6 +636,11 @@ class TcpTransport:
         address = self._address_of(message.dst)
         blob = encode(message)
         self._charge(message.src, message.dst, len(blob))
+        if telemetry.enabled and message.trace is not None:
+            telemetry.trace(TraceKind.MSG_SEND, time=message.time,
+                            subject=f"{message.src}->{message.dst}",
+                            message_kind=message.kind.value, bytes=len(blob),
+                            call=True, **span_details(message.trace))
         policy = self.retry_policy
         attempt = 0
         start = _time.monotonic()
@@ -647,11 +663,11 @@ class TcpTransport:
                 self._retry_sleep(message.src, message.dst, attempt - 1,
                                   message.time, "call")
         self._charge(message.dst, message.src, len(encode(reply)))
-        telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.trace(TraceKind.MSG_RECV, time=reply.time,
                             subject=f"{message.dst}->{message.src}",
-                            message_kind=reply.kind.value, call=True)
+                            message_kind=reply.kind.value, call=True,
+                            **span_details(reply.trace))
         return reply
 
     def poll(self, name: str, *, limit: Optional[int] = None) -> List[Message]:
@@ -680,7 +696,8 @@ class TcpTransport:
             for message in drained:
                 telemetry.trace(TraceKind.MSG_RECV, time=message.time,
                                 subject=f"{message.src}->{message.dst}",
-                                message_kind=message.kind.value)
+                                message_kind=message.kind.value,
+                                **span_details(message.trace))
         return drained
 
     def pending(self, name: Optional[str] = None) -> int:

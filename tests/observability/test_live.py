@@ -1,0 +1,103 @@
+"""Live introspection: status snapshots and the console view over them."""
+
+import io
+import json
+
+from repro.distributed.multiprocess import status_snapshot
+from repro.observability.live import (
+    follow,
+    main,
+    read_snapshot,
+    render_status,
+)
+
+WORKER_STATUS = {
+    "node": "n-w0",
+    "idle": False,
+    "rounds": 12,
+    "pending": 1,
+    "wire_out": 5,
+    "wire_in": 4,
+    "wall": 0.0,
+    "subsystems": [{
+        "name": "w0", "time": 3.5, "next_event": 4.0, "dispatched": 7,
+        "stalls": 2, "queue_depth": 1, "horizon": float("inf"),
+        "stalled": False, "waiting_on": "hub@n-hub",
+    }],
+}
+
+
+class TestStatusSnapshot:
+    def test_json_safe_and_complete(self):
+        snapshot = status_snapshot({"n-w0": WORKER_STATUS}, until=10.0)
+        json.dumps(snapshot)    # must not choke on inf
+        node = snapshot["nodes"]["n-w0"]
+        row = node["subsystems"][0]
+        assert snapshot["phase"] == "running"
+        assert snapshot["until"] == 10.0
+        assert snapshot["global_time"] == 3.5
+        assert row["horizon"] is None           # inf -> null
+        assert row["waiting_on"] == "hub@n-hub"
+        assert node["heartbeat_age"] >= 0.0
+
+    def test_infinite_until_is_null(self):
+        snapshot = status_snapshot({"n-w0": WORKER_STATUS})
+        assert snapshot["until"] is None
+
+    def test_done_phase_carried_through(self):
+        snapshot = status_snapshot({}, phase="done")
+        assert snapshot["phase"] == "done"
+        assert snapshot["global_time"] == 0.0
+
+
+class TestRenderStatus:
+    def test_view_includes_every_field_a_human_needs(self):
+        snapshot = status_snapshot({"n-w0": WORKER_STATUS}, until=10.0)
+        view = render_status(snapshot)
+        assert "phase=running" in view
+        assert "node n-w0" in view
+        assert "busy" in view
+        assert "hub@n-hub" in view
+        assert "w0" in view
+
+    def test_infinite_values_render_as_dash(self):
+        snapshot = status_snapshot({"n-w0": WORKER_STATUS})
+        view = render_status(snapshot)
+        assert "until=-" in view
+
+
+class TestFileTailing:
+    def write(self, path, snapshot):
+        path.write_text(json.dumps(snapshot))
+
+    def test_read_snapshot_missing_or_torn_is_none(self, tmp_path):
+        assert read_snapshot(str(tmp_path / "missing.json")) is None
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"phase": "runn')
+        assert read_snapshot(str(torn)) is None
+
+    def test_follow_stops_on_done_phase(self, tmp_path):
+        path = tmp_path / "status.json"
+        self.write(path, status_snapshot({"n-w0": WORKER_STATUS},
+                                         phase="done"))
+        out = io.StringIO()
+        last = follow(str(path), interval=0.01, out=out)
+        assert last["phase"] == "done"
+        assert "phase=done" in out.getvalue()
+
+    def test_follow_respects_iteration_budget(self, tmp_path):
+        path = tmp_path / "status.json"
+        self.write(path, status_snapshot({"n-w0": WORKER_STATUS}))
+        out = io.StringIO()
+        follow(str(path), interval=0.01, iterations=2, out=out)
+        assert out.getvalue().count("phase=running") == 2
+
+    def test_main_once_mode(self, tmp_path, capsys):
+        path = tmp_path / "status.json"
+        self.write(path, status_snapshot({"n-w0": WORKER_STATUS}))
+        assert main(["--once", str(path)]) == 0
+        assert "node n-w0" in capsys.readouterr().out
+
+    def test_main_once_without_file_fails(self, tmp_path, capsys):
+        assert main(["--once", str(tmp_path / "none.json")]) == 1
+        assert "no status snapshot" in capsys.readouterr().err

@@ -6,6 +6,7 @@ from repro.observability import (
     merge_histograms,
     merge_link_rows,
     merge_timings,
+    merge_trace_records,
 )
 
 
@@ -95,3 +96,31 @@ class TestTimings:
                              "idle": {"total_seconds": 3.0, "count": 4}})
         assert into["run"] == {"total_seconds": 1.5, "count": 3}
         assert into["idle"] == {"total_seconds": 3.0, "count": 4}
+
+
+class TestTraceRecords:
+    def test_interleaves_streams_in_time_node_seq_order(self):
+        merged = merge_trace_records({
+            "n2": [{"seq": 1, "kind": "dispatch", "time": 1.0, "subject": "b"},
+                   {"seq": 2, "kind": "dispatch", "time": 3.0, "subject": "b"}],
+            "n1": [{"seq": 1, "kind": "dispatch", "time": 2.0, "subject": "a"},
+                   {"seq": 2, "kind": "dispatch", "time": 2.0, "subject": "a"}],
+        })
+        assert [(r["node"], r["time"], r["seq"]) for r in merged] == [
+            ("n2", 1.0, 1), ("n1", 2.0, 1), ("n1", 2.0, 2), ("n2", 3.0, 2)]
+
+    def test_tags_every_record_with_its_node(self):
+        merged = merge_trace_records({"n1": [{"seq": 1, "time": 0.0}]})
+        assert merged[0]["node"] == "n1"
+
+    def test_same_time_orders_by_node_then_seq(self):
+        merged = merge_trace_records({
+            "b": [{"seq": 1, "time": 5.0}],
+            "a": [{"seq": 9, "time": 5.0}],
+        })
+        assert [r["node"] for r in merged] == ["a", "b"]
+
+    def test_preserves_existing_node_tag(self):
+        merged = merge_trace_records(
+            {"n1": [{"seq": 1, "time": 0.0, "node": "n1"}]})
+        assert merged == [{"seq": 1, "time": 0.0, "node": "n1"}]

@@ -1,0 +1,134 @@
+"""Causal span minting, propagation invariants, and chain linking."""
+
+from repro.observability import (
+    SpanMinter,
+    Telemetry,
+    TraceKind,
+    causal_chains,
+    ensure_context,
+    span_details,
+    span_origin,
+)
+from repro.transport.message import Message, MessageKind
+
+
+def msg(kind=MessageKind.SIGNAL, src="n1", dst="n2", **kwargs):
+    return Message(kind=kind, src=src, dst=dst, channel="ch",
+                   time=1.0, **kwargs)
+
+
+class TestSpanMinter:
+    def test_root_context_shape(self):
+        minter = SpanMinter()
+        trace_id, span, parent, hop = minter.mint("n1")
+        assert trace_id == span == "n1:1"
+        assert parent is None
+        assert hop == 0
+
+    def test_child_links_to_cause(self):
+        minter = SpanMinter()
+        root = minter.mint("n1")
+        child = minter.mint("n2", cause=root)
+        assert child == ("n1:1", "n2:1", "n1:1", 1)
+
+    def test_ordinal_streams_are_per_origin(self):
+        minter = SpanMinter()
+        assert minter.mint("n1")[1] == "n1:1"
+        assert minter.mint("n2")[1] == "n2:1"
+        assert minter.mint("n1")[1] == "n1:2"
+
+    def test_reset_restarts_ordinals(self):
+        minter = SpanMinter()
+        minter.mint("n1")
+        minter.reset()
+        assert minter.mint("n1")[1] == "n1:1"
+
+    def test_deterministic_across_instances(self):
+        a, b = SpanMinter(), SpanMinter()
+        seq = ["n1", "n1", "n2", "n1"]
+        assert [a.mint(n) for n in seq] == [b.mint(n) for n in seq]
+
+
+class TestEnsureContext:
+    def test_mints_once_and_is_idempotent(self):
+        telemetry = Telemetry()
+        message = msg()
+        first = ensure_context(telemetry, message)
+        again = ensure_context(telemetry, message)
+        assert first is not None
+        assert again == first == message.trace
+
+    def test_safe_time_kinds_never_minted(self):
+        telemetry = Telemetry()
+        for kind in (MessageKind.SAFE_TIME_REQUEST,
+                     MessageKind.SAFE_TIME_REPLY,
+                     MessageKind.SAFE_TIME_GRANT):
+            assert ensure_context(telemetry, msg(kind=kind)) is None
+
+    def test_child_of_current_cause(self):
+        telemetry = Telemetry()
+        telemetry.cause = ("n9:1", "n9:1", None, 0)
+        context = ensure_context(telemetry, msg(src="n1"))
+        assert context == ("n9:1", "n1:1", "n9:1", 1)
+
+    def test_reply_shares_request_context(self):
+        telemetry = Telemetry()
+        request = msg(kind=MessageKind.HW_CALL, request_id=5)
+        ensure_context(telemetry, request)
+        reply = request.reply(MessageKind.HW_REPLY, time=2.0)
+        assert reply.trace == request.trace
+
+
+class TestHelpers:
+    def test_span_details_round_trip(self):
+        assert span_details(None) == {}
+        assert span_details(("t", "s", "p", 3)) == \
+            {"trace_id": "t", "span": "s", "parent": "p", "hop": 3}
+
+    def test_span_origin_strips_ordinal(self):
+        assert span_origin("n-w0:12") == "n-w0"
+        assert span_origin("host:8:3") == "host:8"
+
+
+class TestCausalChains:
+    def send(self, span, parent=None, hop=0):
+        return {"kind": TraceKind.MSG_SEND, "time": 1.0, "subject": "a->b",
+                "span": span, "parent": parent, "hop": hop}
+
+    def recv(self, span):
+        return {"kind": TraceKind.MSG_RECV, "time": 1.0, "subject": "a->b",
+                "span": span}
+
+    def test_links_sends_to_receives(self):
+        chains = causal_chains([self.send("n1:1"), self.recv("n1:1")])
+        assert set(chains["sends"]) == {"n1:1"}
+        assert len(chains["receives"]["n1:1"]) == 1
+        assert chains["orphan_receives"] == []
+        assert chains["broken_parents"] == []
+
+    def test_orphan_receive_detected(self):
+        chains = causal_chains([self.recv("ghost:1")])
+        assert len(chains["orphan_receives"]) == 1
+
+    def test_duplicate_deliveries_share_span_not_orphans(self):
+        chains = causal_chains(
+            [self.send("n1:1"), self.recv("n1:1"), self.recv("n1:1")])
+        assert len(chains["receives"]["n1:1"]) == 2
+        assert chains["orphan_receives"] == []
+
+    def test_broken_parent_detected_and_max_hop(self):
+        chains = causal_chains([
+            self.send("n1:1"),
+            self.send("n2:1", parent="n1:1", hop=1),
+            self.send("n2:2", parent="missing:9", hop=4),
+        ])
+        assert [r["span"] for r in chains["broken_parents"]] == ["n2:2"]
+        assert chains["max_hop"] == 4
+
+    def test_untraced_records_ignored(self):
+        chains = causal_chains([
+            {"kind": TraceKind.MSG_RECV, "time": 0.0, "subject": "a->b"},
+            {"kind": TraceKind.DISPATCH, "time": 0.0, "subject": "ss"},
+        ])
+        assert chains["sends"] == {}
+        assert chains["orphan_receives"] == []

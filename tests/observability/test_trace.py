@@ -61,6 +61,25 @@ class TestRecord:
                                     "subject": "ss1", "peer": "ss2",
                                     "desired": 3.0}
 
+    def test_to_dict_namespaces_colliding_detail_keys(self):
+        """Regression: a detail named seq/kind/time/subject used to
+        overwrite the record's own field in the flattened dict (the fault
+        injector's records carry a per-link ``seq`` detail)."""
+        record = TraceRecord(7, TraceKind.FAULT_INJECT, 2.5, "a->b",
+                             {"action": "drop", "seq": 99, "time": -1.0})
+        data = record.to_dict()
+        assert data["seq"] == 7
+        assert data["time"] == 2.5
+        assert data["detail.seq"] == 99
+        assert data["detail.time"] == -1.0
+        assert data["action"] == "drop"
+
+    def test_wall_clock_excluded_from_equality_and_dict(self):
+        a = TraceRecord(1, TraceKind.DISPATCH, 0.0, "ss", wall=10.0)
+        b = TraceRecord(1, TraceKind.DISPATCH, 0.0, "ss", wall=20.0)
+        assert a == b
+        assert "wall" not in a.to_dict()
+
 
 class TestTelemetryTraceIntegration:
     def test_telemetry_assigns_monotone_sequence_numbers(self):
