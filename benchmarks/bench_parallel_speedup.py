@@ -1,24 +1,35 @@
 #!/usr/bin/env python
-"""Parallel speedup: one GIL versus many processes.
+"""Parallel speedup: one GIL versus many processes, and what it costs.
 
 The compute-star workload (hub + W WubbleU-style word-level nodes, each
-grinding a pure-Python checksum loop per round) runs under all three
+grinding a pure-Python checksum loop per round) runs under four
 deployment modes — cooperative :class:`CoSimulation`, thread-per-node
-:class:`ThreadedCoSimulation`, process-per-node
-:class:`MultiprocessCoSimulation` — at 1, 2 and 4 workers.
+:class:`ThreadedCoSimulation`, and process-per-node
+:class:`MultiprocessCoSimulation` over both its data planes (loopback
+TCP and shared-memory rings) — at 1, 2 and 4 workers.  Multiprocess
+cases share one warm :class:`WorkerPool`: the first run of each case
+pays the spawn (recorded as ``cold_wall_seconds``), the timed number is
+the warm steady state, which is what a parameter sweep or long-lived
+service actually sees.
 
-Two claims are checked:
+Three claims are checked; the first two are asserted on *any* machine:
 
 * **Determinism** — every mode must report bit-identical per-subsystem
   virtual times and dispatched-event counts (the conservative protocol
   makes deployment a pure performance choice).  Always asserted.
-* **Speedup** — at 4 workers the multiprocess run must beat the threaded
-  run by >= 1.5x wall clock.  Threads serialise the checksum loops on the
-  GIL; processes do not.  Only asserted when the machine actually has
-  >= 4 usable cores — on smaller runners the numbers are recorded and the
-  assertion is skipped with a note.
+* **Overhead** — at 1 worker there is no parallelism to win, so the
+  process deployment's warm wall clock is pure coordination cost.  The
+  shared-memory run must stay within ``OVERHEAD_CEILING`` (2x) of the
+  cooperative executor.  Always asserted — a single core is enough to
+  measure overhead honestly.
+* **Speedup** — with >= 4 usable cores, multiprocess-shm at 4 workers
+  must beat the threaded run by >= 1.5x; with 2-3 cores the same claim
+  is asserted at 2 workers against a 1.2x floor (2 workers can at best
+  2x, minus coordination).  On a single core parallel speedup is
+  physically impossible, so the numbers are recorded and that one gate
+  is skipped with an honest note.
 
-All coordinator wall-clock numbers land in ``BENCH_pr4.json``
+All coordinator wall-clock numbers land in ``BENCH_pr6.json``
 (``repro.bench.record``), keyed ``<mode>_w<workers>``, with the observed
 core count so readers can judge the scaling numbers in context.
 
@@ -39,11 +50,18 @@ from repro.bench.workloads import (                       # noqa: E402
     compute_star,
     compute_star_multiprocess,
 )
+from repro.distributed import WorkerPool                  # noqa: E402
 
 ROUNDS = int(os.environ.get("PIA_SPEEDUP_ROUNDS", "8"))
 WORDS = int(os.environ.get("PIA_SPEEDUP_WORDS", "120000"))
 WORKER_COUNTS = (1, 2, 4)
-SPEEDUP_FLOOR = 1.5
+SPEEDUP_FLOOR = 1.5         # multiprocess-shm vs threaded, w=4, >=4 cores
+SMALL_SPEEDUP_FLOOR = 1.2   # same claim at w=2 on 2-3 core machines
+OVERHEAD_CEILING = 2.0      # multiprocess-shm vs cosim, w=1, any machine
+
+#: Mode name -> multiprocess transport; other modes are single-process.
+MP_MODES = {"multiprocess": "tcp", "multiprocess_shm": "shm"}
+ALL_MODES = ("cosim", "threaded", "multiprocess", "multiprocess_shm")
 
 
 def usable_cores() -> int:
@@ -53,19 +71,30 @@ def usable_cores() -> int:
         return os.cpu_count() or 1
 
 
-def run_mode(mode: str, workers: int) -> dict:
-    if mode == "multiprocess":
-        cosim = compute_star_multiprocess(workers, ROUNDS, words=WORDS)
+def run_mode(mode: str, workers: int, pool: WorkerPool) -> dict:
+    cold_wall = None
+    if mode in MP_MODES:
+        cosim = compute_star_multiprocess(workers, ROUNDS, words=WORDS,
+                                          transport=MP_MODES[mode],
+                                          pool=pool)
+        # Cold run: spawns whatever the shared pool is still missing.
+        start = time.perf_counter()
+        cosim.run(until=float("inf"), timeout=300.0)
+        cold_wall = time.perf_counter() - start
+        # Warm run: the steady state the gates judge.
+        start = time.perf_counter()
+        events = cosim.run(until=float("inf"), timeout=300.0)
+        wall = time.perf_counter() - start
     else:
         cosim = compute_star(workers, ROUNDS, words=WORDS, executor=mode)
-    start = time.perf_counter()
-    events = cosim.run(until=float("inf")) if mode != "multiprocess" \
-        else cosim.run(until=float("inf"), timeout=300.0)
-    wall = time.perf_counter() - start
+        start = time.perf_counter()
+        events = cosim.run(until=float("inf"))
+        wall = time.perf_counter() - start
     report = cosim.report(title=f"parallel-speedup {mode} w={workers}")
     return {
         "report": report,
         "wall": wall,
+        "cold_wall": cold_wall,
         "events": events,
         "progress": sorted((row["name"], row["time"], row["dispatched"])
                            for row in report.subsystems),
@@ -77,39 +106,62 @@ def main() -> int:
     print(f"compute star: rounds={ROUNDS} words={WORDS} cores={cores}")
     failures = []
     walls = {}
-    for workers in WORKER_COUNTS:
-        results = {mode: run_mode(mode, workers)
-                   for mode in ("cosim", "threaded", "multiprocess")}
-        reference = results["cosim"]
-        for mode, r in results.items():
-            walls[(mode, workers)] = r["wall"]
-            record_bench("parallel_speedup", f"{mode}_w{workers}",
-                         report=r["report"], wall_seconds=r["wall"],
-                         extra={"workers": workers, "rounds": ROUNDS,
-                                "words": WORDS, "cores": cores})
-            if r["events"] != reference["events"] \
-                    or r["progress"] != reference["progress"]:
-                failures.append(
-                    f"{mode} w={workers} diverged from cosim:\n"
-                    f"  cosim: {reference['events']} events, "
-                    f"{reference['progress']}\n"
-                    f"  {mode}: {r['events']} events, {r['progress']}")
-        line = "  ".join(f"{mode}={results[mode]['wall']:.2f}s"
-                         for mode in ("cosim", "threaded", "multiprocess"))
-        print(f"w={workers}: {line}  "
-              f"({reference['events']} events, identical virtual times: "
-              f"{'yes' if not failures else 'CHECK FAILED'})")
+    with WorkerPool() as pool:
+        for workers in WORKER_COUNTS:
+            results = {mode: run_mode(mode, workers, pool)
+                       for mode in ALL_MODES}
+            reference = results["cosim"]
+            for mode, r in results.items():
+                walls[(mode, workers)] = r["wall"]
+                extra = {"workers": workers, "rounds": ROUNDS,
+                         "words": WORDS, "cores": cores}
+                if r["cold_wall"] is not None:
+                    extra["cold_wall_seconds"] = round(r["cold_wall"], 6)
+                record_bench("parallel_speedup", f"{mode}_w{workers}",
+                             report=r["report"], wall_seconds=r["wall"],
+                             extra=extra)
+                if r["events"] != reference["events"] \
+                        or r["progress"] != reference["progress"]:
+                    failures.append(
+                        f"{mode} w={workers} diverged from cosim:\n"
+                        f"  cosim: {reference['events']} events, "
+                        f"{reference['progress']}\n"
+                        f"  {mode}: {r['events']} events, {r['progress']}")
+            line = "  ".join(f"{mode}={results[mode]['wall']:.2f}s"
+                             for mode in ALL_MODES)
+            print(f"w={workers}: {line}  "
+                  f"({reference['events']} events, identical virtual times: "
+                  f"{'yes' if not failures else 'CHECK FAILED'})")
 
-    speedup = walls[("threaded", 4)] / walls[("multiprocess", 4)]
-    print(f"multiprocess vs threaded at 4 workers: {speedup:.2f}x")
+    # Gate 1 (always): warm single-worker overhead versus cooperative.
+    overhead = walls[("multiprocess_shm", 1)] / walls[("cosim", 1)]
+    print(f"multiprocess-shm overhead at 1 worker: {overhead:.2f}x "
+          f"of cosim (ceiling {OVERHEAD_CEILING}x)")
+    if overhead > OVERHEAD_CEILING:
+        failures.append(
+            f"multiprocess-shm w=1 warm wall is {overhead:.2f}x the "
+            f"cooperative executor's, above the {OVERHEAD_CEILING}x "
+            f"overhead ceiling (cores={cores})")
+
+    # Gate 2 (cores permitting): real parallel speedup over the GIL.
+    speedup4 = walls[("threaded", 4)] / walls[("multiprocess_shm", 4)]
+    speedup2 = walls[("threaded", 2)] / walls[("multiprocess_shm", 2)]
+    print(f"multiprocess-shm vs threaded: {speedup2:.2f}x at 2 workers, "
+          f"{speedup4:.2f}x at 4 workers")
     if cores >= 4:
-        if speedup < SPEEDUP_FLOOR:
+        if speedup4 < SPEEDUP_FLOOR:
             failures.append(
-                f"multiprocess speedup at 4 workers is {speedup:.2f}x, "
+                f"multiprocess-shm speedup at 4 workers is {speedup4:.2f}x, "
                 f"below the {SPEEDUP_FLOOR}x floor (cores={cores})")
+    elif cores >= 2:
+        if speedup2 < SMALL_SPEEDUP_FLOOR:
+            failures.append(
+                f"multiprocess-shm speedup at 2 workers is {speedup2:.2f}x, "
+                f"below the {SMALL_SPEEDUP_FLOOR}x floor (cores={cores})")
     else:
-        print(f"SKIP: speedup floor not asserted — only {cores} usable "
-              f"core(s); need >= 4 for the parallelism claim")
+        print("SKIP: parallel-speedup floor not asserted — 1 usable core "
+              "cannot run anything in parallel; overhead and determinism "
+              "gates were still enforced")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -33,6 +33,7 @@ from .errors import (
     NoSuchCheckpointError,
     PiaError,
     ProtocolError,
+    RemoteCallError,
     RunLevelError,
     SimulationError,
     SwitchpointSyntaxError,
@@ -88,7 +89,7 @@ __all__ = [
     "DeadlockError", "DetailSlider", "Event", "EventKind", "EventQueue",
     "FOREVER", "FunctionComponent", "HardwareStubError",
     "IncrementalCheckpointStore", "Interface", "LinkDown", "LoaderError",
-    "Net", "NodeFailure",
+    "Net", "NodeFailure", "RemoteCallError",
     "NoSuchCheckpointError", "PiaError", "Port", "PortDirection",
     "PRIORITY_CONTROL", "PRIORITY_INTERRUPT", "PRIORITY_SIGNAL",
     "PRIORITY_WAKE", "ProcessComponent", "ProtocolError",

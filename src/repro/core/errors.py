@@ -76,6 +76,25 @@ class TransportError(PiaError):
     """A message could not be carried between Pia nodes."""
 
 
+class RemoteCallError(TransportError):
+    """A synchronous call reached the peer but its handler raised.
+
+    The link is healthy — retrying would only re-raise the same handler
+    error — so the transport surfaces the remote exception's type and
+    text instead of burning the retry budget and reporting a misleading
+    :class:`LinkDown`.
+    """
+
+    def __init__(self, message: str, *, src: str | None = None,
+                 dst: str | None = None,
+                 remote_type: str | None = None) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        #: Class name of the exception the remote handler raised.
+        self.remote_type = remote_type
+
+
 class LinkDown(TransportError):
     """A link stayed unreachable through every retry attempt.
 

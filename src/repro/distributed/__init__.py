@@ -19,6 +19,7 @@ from .multiprocess import (
     ChannelSpec,
     MultiprocessCoSimulation,
     SubsystemSpec,
+    WorkerPool,
     register_factory,
     resolve_factory,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "PiaNode", "RecoveryManager", "SafeTimeClient", "SafeTimeService",
     "SnapshotManager", "SnapshotRegistry", "Socket", "StragglerError",
     "SubsystemCut", "SubsystemSpec", "ThreadedCoSimulation", "UNBOUNDED",
+    "WorkerPool",
     "communication_digraph", "compute_grant", "deploy", "local_floor",
     "new_snapshot_id", "offending_cycles", "register_factory",
     "resolve_factory", "suggest_partition", "validate",

@@ -41,12 +41,16 @@ executors bit for bit.
 from __future__ import annotations
 
 import importlib
+import itertools
 import json
 import multiprocessing
 import os
 import threading
 import time as _time
+import weakref
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mpconn
 from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -73,6 +77,11 @@ from ..observability import (
 from ..observability.export import stall_attribution, subject_nodes
 from ..observability.report import _link_rows, _subsystem_row
 from ..transport.message import Message, MessageKind
+from ..transport.shm import (
+    DEFAULT_RING_CAPACITY,
+    SharedMemoryTransport,
+    create_ring_segment,
+)
 from ..transport.tcp import TcpTransport
 from .channel import Channel, ChannelMode
 from .conservative import SafeTimeClient, compute_grant
@@ -186,17 +195,81 @@ class _WorkerSpec:
     fault_plan: Optional[FaultPlan] = None
     retry_policy: Optional[RetryPolicy] = None
     trace_capacity: int = 4096
+    transport: str = "tcp"
+    ring_capacity: int = DEFAULT_RING_CAPACITY
+
+
+class _ControlInbox:
+    """The worker process's single wait point.
+
+    A reader thread pushes every control-pipe message here; the
+    transport's ``wakeup_hook`` kicks the same condition when network
+    traffic arrives.  The serve loop can therefore *park* — one
+    condition wait instead of a ``poll(0)``/sleep spin — and still react
+    immediately to either control or data.
+    """
+
+    def __init__(self) -> None:
+        self._messages: deque = deque()
+        self._cond = threading.Condition()
+        self._wake = False
+        self.eof = False
+
+    def push(self, message) -> None:
+        with self._cond:
+            self._messages.append(message)
+            self._cond.notify_all()
+
+    def push_eof(self) -> None:
+        with self._cond:
+            self.eof = True
+            self._cond.notify_all()
+
+    def kick(self) -> None:
+        """Transport wakeup: remembered so a kick that lands between a
+        worker's last poll and its park is not lost."""
+        with self._cond:
+            self._wake = True
+            self._cond.notify_all()
+
+    def pop(self):
+        """Next queued control message, or None without blocking."""
+        with self._cond:
+            return self._messages.popleft() if self._messages else None
+
+    def wait_control(self):
+        """Block until a control message arrives; None means EOF."""
+        with self._cond:
+            while not self._messages:
+                if self.eof:
+                    return None
+                self._cond.wait()
+            return self._messages.popleft()
+
+    def park(self, timeout: float) -> None:
+        """Sleep until control, transport activity, EOF, or ``timeout``."""
+        with self._cond:
+            if not (self._wake or self._messages or self.eof):
+                self._cond.wait(timeout)
+            self._wake = False
 
 
 class _Worker:
     """The child-process side: one node, its subsystems, and a control
     loop mirroring the threaded executor's per-node worker."""
 
-    def __init__(self, spec: _WorkerSpec, conn) -> None:
+    def __init__(self, spec: _WorkerSpec, conn,
+                 inbox: Optional[_ControlInbox] = None) -> None:
         self.spec = spec
         self.conn = conn
+        self.inbox = inbox if inbox is not None else _ControlInbox()
         self.telemetry = Telemetry(trace_capacity=spec.trace_capacity)
-        self.transport = TcpTransport(batching=spec.batching)
+        if spec.transport == "shm":
+            self.transport = SharedMemoryTransport(
+                batching=spec.batching, ring_capacity=spec.ring_capacity)
+        else:
+            self.transport = TcpTransport(batching=spec.batching)
+        self.transport.wakeup_hook = self.inbox.kick
         self.transport.attach_telemetry(self.telemetry)
         self.injector: Optional[FaultInjector] = None
         if spec.fault_plan is not None:
@@ -363,30 +436,26 @@ class _Worker:
     # ------------------------------------------------------------------
     def serve(self) -> None:
         conn = self.conn
+        inbox = self.inbox
         conn.send(("port", self.transport.local_port(self.node.name)))
         running = False
         crashed = False
+        idle_noted = False
         while True:
-            if running and not crashed:
-                has_control = conn.poll(0)
-            else:
-                # Parked (pre-start or post-crash): block on control.  A
-                # long silence means the coordinator is gone; exit rather
-                # than linger as an orphan.
-                has_control = conn.poll(60.0)
-                if not has_control:
-                    return
-            if has_control:
-                message = conn.recv()
+            message = inbox.pop()
+            if message is not None:
                 tag = message[0]
                 if tag == "peers":
                     for peer, (host, port) in sorted(message[1].items()):
                         self.transport.set_peer(peer, port, host)
+                elif tag == "rings":
+                    self._attach_rings(message[1])
                 elif tag == "start":
                     self.until = message[1]
                     with self.lock:
                         self.node.start()
                     running = True
+                    idle_noted = False
                 elif tag == "status?":
                     conn.send(("status", self._status()))
                 elif tag == "crash":
@@ -398,10 +467,39 @@ class _Worker:
                 elif tag == "stop":
                     return
                 continue    # drain queued control before the next round
+            if inbox.eof:
+                # Coordinator gone: exit rather than linger as an orphan.
+                return
+            if not running or crashed:
+                inbox.park(60.0)
+                continue
             self.progress = self._one_round()
             self.rounds += 1
-            if not self.progress:
-                _time.sleep(0.001)
+            if self.progress:
+                idle_noted = False
+                continue
+            if not idle_noted:
+                # One note per idle transition wakes the coordinator's
+                # supervision wait without a per-round status storm.
+                idle_noted = True
+                conn.send(("note", "idle"))
+            # Park until control or network traffic; the short backstop
+            # covers tick-counted fault releases that arrive without a
+            # wire-level wakeup.
+            inbox.park(0.05)
+
+    def _attach_rings(self, names: Dict[Tuple[str, str], str]) -> None:
+        if not isinstance(self.transport, SharedMemoryTransport):
+            return
+        me = self.node.name
+        for (src, dst), name in sorted(names.items()):
+            if src == me:
+                self.transport.attach_outbound_ring(src, dst, name)
+            elif dst == me:
+                self.transport.attach_inbound_ring(src, dst, name)
+
+    def close(self) -> None:
+        self.transport.close()
 
 
 def _json_safe(value):
@@ -453,20 +551,166 @@ def status_snapshot(statuses: Dict[str, dict], *,
             "global_time": min(times, default=0.0), "nodes": nodes}
 
 
-def _worker_main(spec: _WorkerSpec, conn) -> None:
-    """Process entry point (top-level so it survives ``spawn`` pickling)."""
-    try:
-        _Worker(spec, conn).serve()
-    except BaseException as exc:     # surface into the coordinator
+def _inbox_reader(conn, inbox: _ControlInbox) -> None:
+    """Pump every control-pipe message into the inbox; EOF means the
+    coordinator closed its end (or died)."""
+    while True:
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            message = conn.recv()
+        except (EOFError, OSError):
+            inbox.push_eof()
+            return
+        inbox.push(message)
+
+
+def _pool_main(conn) -> None:
+    """Process entry point for a warm pool worker (top-level so it
+    survives ``spawn`` pickling).
+
+    The process outlives any single job: it loops receiving ``("job",
+    spec)`` messages, runs a full :class:`_Worker` lifetime per job, and
+    acknowledges teardown with ``("job-done",)`` so the coordinator
+    knows the worker is clean to reuse.  The expensive part of
+    process-per-node execution — ``spawn`` plus importing the framework
+    — is paid once per *pool worker*, not once per ``run()``.
+    """
+    inbox = _ControlInbox()
+    threading.Thread(target=_inbox_reader, args=(conn, inbox),
+                     name="pia-pool-reader", daemon=True).start()
+    while True:
+        message = inbox.wait_control()
+        if message is None:     # coordinator gone
+            return
+        tag = message[0]
+        if tag == "exit":
+            return
+        if tag != "job":
+            # Stray control from a job that already ended (a "stop" or
+            # "status?" that raced the job-done ack): ignore.
+            continue
+        worker = None
+        try:
+            worker = _Worker(message[1], conn, inbox)
+            worker.serve()
+        except BaseException as exc:     # surface into the coordinator
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            except OSError:
+                return
+        finally:
+            if worker is not None:
+                try:
+                    worker.close()
+                except Exception:
+                    pass
+        try:
+            conn.send(("job-done",))
+        except OSError:
+            return
+
+
+class _PoolWorker:
+    """Coordinator-side handle on one warm worker process."""
+
+    def __init__(self, ctx, index: int) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.proc = ctx.Process(target=_pool_main, args=(child_conn,),
+                                name=f"pia-pool-{index}", daemon=True)
+        self.proc.start()
+        child_conn.close()
+
+    def is_alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
         except OSError:
             pass
-    finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=1.0)
+
+
+class WorkerPool:
+    """A reusable pool of warm worker processes.
+
+    Spawning a Python process and importing the framework costs far more
+    than most short co-simulation runs.  A pool spawns each process
+    once; :class:`MultiprocessCoSimulation` checks workers out per
+    ``run()`` and returns them afterwards, so repeated runs (parameter
+    sweeps, benchmarks, warm services) skip the spawn entirely.  Share
+    one pool across executors by passing it as the ``pool=`` argument.
+    """
+
+    def __init__(self, *, start_method: str = "spawn") -> None:
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"start method {start_method!r} not available on this "
+                f"platform: {multiprocessing.get_all_start_methods()}")
+        self.start_method = start_method
+        self.ctx = multiprocessing.get_context(start_method)
+        self._idle: List[_PoolWorker] = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._closed = False
+        #: Lifetime spawn count (a warm pool keeps this flat across runs).
+        self.spawned = 0
+
+    def acquire(self, count: int) -> List[_PoolWorker]:
+        """Check out ``count`` live workers, spawning only on shortfall."""
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("worker pool is closed")
+            workers: List[_PoolWorker] = []
+            while self._idle and len(workers) < count:
+                worker = self._idle.pop()
+                if worker.is_alive():
+                    workers.append(worker)
+                else:
+                    worker.kill()
+            while len(workers) < count:
+                workers.append(_PoolWorker(self.ctx, next(self._seq)))
+                self.spawned += 1
+            return workers
+
+    def release(self, worker: _PoolWorker, *, healthy: bool = True) -> None:
+        """Return a worker; unhealthy (or post-close) workers are killed."""
+        with self._lock:
+            if healthy and not self._closed and worker.is_alive():
+                self._idle.append(worker)
+                return
+        worker.kill()
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    def close(self) -> None:
+        """Shut down idle workers; in-flight workers die on release."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for worker in idle:
+            try:
+                worker.conn.send(("exit",))
+            except OSError:
+                pass
+        for worker in idle:
+            try:
+                worker.proc.join(timeout=1.0)
+            except Exception:
+                pass
+            worker.kill()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class MultiprocessCoSimulation:
@@ -494,17 +738,29 @@ class MultiprocessCoSimulation:
                  retry_policy: Optional[RetryPolicy] = None,
                  batching: bool = True,
                  start_method: str = "spawn",
-                 trace_capacity: int = 4096) -> None:
+                 trace_capacity: int = 4096,
+                 transport: str = "tcp",
+                 ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 pool: Optional[WorkerPool] = None) -> None:
         if start_method not in multiprocessing.get_all_start_methods():
             raise ConfigurationError(
                 f"start method {start_method!r} not available on this "
                 f"platform: {multiprocessing.get_all_start_methods()}")
+        if transport not in ("tcp", "shm"):
+            raise ConfigurationError(
+                f"unknown transport {transport!r}: expected 'tcp' (works "
+                "across machines) or 'shm' (same-host shared-memory rings)")
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         self.batching = batching
         self.start_method = start_method
         self.trace_capacity = trace_capacity
+        self.transport = transport
+        self.ring_capacity = ring_capacity
+        self._pool = pool
+        self._own_pool: Optional[WorkerPool] = None
+        self._pool_finalizer = None
         self._nodes: Dict[str, List[SubsystemSpec]] = {}
         self._subsystem_node: Dict[str, str] = {}
         self._channels: List[ChannelSpec] = []
@@ -572,7 +828,45 @@ class MultiprocessCoSimulation:
             fault_plan=plan,
             retry_policy=self.retry_policy,
             trace_capacity=self.trace_capacity,
+            transport=self.transport,
+            ring_capacity=self.ring_capacity,
         )
+
+    def _ring_links(self) -> List[Tuple[str, str]]:
+        """Every directed node pair a channel crosses — one shm ring each."""
+        links = set()
+        for cs in self._channels:
+            if cs.node_a != cs.node_b:
+                links.add((cs.node_a, cs.node_b))
+                links.add((cs.node_b, cs.node_a))
+        return sorted(links)
+
+    def _acquire_pool(self) -> WorkerPool:
+        if self._pool is not None:
+            return self._pool
+        if self._own_pool is None:
+            self._own_pool = WorkerPool(start_method=self.start_method)
+            # Tie the private pool's lifetime to this executor so dropped
+            # instances do not strand warm processes.
+            self._pool_finalizer = weakref.finalize(
+                self, WorkerPool.close, self._own_pool)
+        return self._own_pool
+
+    def close(self) -> None:
+        """Shut down the executor's private warm pool (shared pools passed
+        via ``pool=`` are the caller's to close)."""
+        if self._own_pool is not None:
+            self._own_pool.close()
+            self._own_pool = None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+
+    def __enter__(self) -> "MultiprocessCoSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _check_topology(self) -> None:
         """Specs cannot see port directions, so the check is the safe
@@ -619,30 +913,39 @@ class MultiprocessCoSimulation:
         self._status_published = 0.0
         self._last_statuses: Dict[str, dict] = {}
         started_at = _time.perf_counter()
-        ctx = multiprocessing.get_context(self.start_method)
-        procs: Dict[str, multiprocessing.Process] = {}
-        pipes: Dict[str, object] = {}
+        pool = self._acquire_pool()
+        names = sorted(self._nodes)
+        workers = pool.acquire(len(names))
+        assigned: Dict[str, _PoolWorker] = dict(zip(names, workers))
+        procs: Dict[str, _PoolWorker] = assigned
+        pipes: Dict[str, object] = {name: worker.conn
+                                    for name, worker in assigned.items()}
+        segments: Dict[Tuple[str, str], object] = {}
         deadline = _time.monotonic() + timeout
         try:
-            for name in sorted(self._nodes):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(target=_worker_main,
-                                   args=(self.worker_spec(name), child_conn),
-                                   name=f"pia-mp-{name}", daemon=True)
-                proc.start()
-                child_conn.close()
-                procs[name] = proc
-                pipes[name] = parent_conn
+            for name in names:
+                pipes[name].send(("job", self.worker_spec(name)))
             ports = {name: self._expect(pipes, procs, name, "port", deadline)
-                     for name in sorted(procs)}
-            for name in sorted(procs):
+                     for name in names}
+            if self.transport == "shm":
+                # One SPSC ring per directed link, created here so the
+                # coordinator owns (and can always unlink) the segments.
+                for link in self._ring_links():
+                    segments[link] = create_ring_segment(self.ring_capacity)
+                ring_names = {link: seg.name
+                              for link, seg in segments.items()}
+                for name in names:
+                    mine = {link: ring for link, ring in ring_names.items()
+                            if name in link}
+                    pipes[name].send(("rings", mine))
+            for name in names:
                 peers = {peer: ("127.0.0.1", port)
                          for peer, port in ports.items() if peer != name}
                 pipes[name].send(("peers", peers))
                 pipes[name].send(("start", until))
             self._supervise(pipes, procs, until, deadline)
             bundles: Dict[str, dict] = {}
-            for name in sorted(procs):
+            for name in names:
                 pipes[name].send(("report?",))
                 bundles[name] = self._expect(pipes, procs, name, "report",
                                              deadline)
@@ -652,52 +955,86 @@ class MultiprocessCoSimulation:
                 self._publish_status(self._last_statuses, until,
                                      phase="done", force=True)
         finally:
-            for conn in pipes.values():
+            for name in names:
                 try:
-                    conn.send(("stop",))
+                    pipes[name].send(("stop",))
                 except OSError:
                     pass
-            for proc in procs.values():
-                proc.join(timeout=2.0)
-            for proc in procs.values():
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=1.0)
-            for conn in pipes.values():
-                conn.close()
+            for name in names:
+                worker = assigned[name]
+                clean = self._drain_job_done(worker, timeout=2.5)
+                pool.release(worker, healthy=clean)
+            # Workers have detached from their ring segments (job-done
+            # comes after transport close), so unlink retires them.
+            for segment in segments.values():
+                try:
+                    segment.close()
+                    segment.unlink()
+                except OSError:
+                    pass
         elapsed = _time.perf_counter() - started_at
         self.cpu_seconds += elapsed
         if self.telemetry.enabled:
             self.telemetry.registry.timer("executor.run").add(elapsed)
             self.telemetry.gauge("mp.workers", len(procs))
+            self.telemetry.gauge("mp.pool_spawned", pool.spawned)
         return self.dispatched
 
+    @staticmethod
+    def _drain_job_done(worker: _PoolWorker, *, timeout: float) -> bool:
+        """Wait for the worker's ``job-done`` teardown ack, swallowing
+        whatever the aborted job left queued (stale statuses, idle notes,
+        parting errors).  Returns False — do not reuse — on silence or a
+        dead pipe."""
+        deadline = _time.monotonic() + timeout
+        while True:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                return False
+            try:
+                if not worker.conn.poll(remaining):
+                    return False
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return False
+            if message[0] == "job-done":
+                return True
+
     def _expect(self, pipes, procs, name: str, tag: str, deadline: float):
-        """Wait for one ``tag`` message from worker ``name``."""
+        """Wait for one ``tag`` message from worker ``name``.
+
+        ``note`` messages (idle-edge wakeups) are advisory and skipped.
+        A worker that died with a parting ``error`` still queued gets
+        that error surfaced — its pipe reads succeed until drained —
+        rather than a generic death message.
+        """
         conn = pipes[name]
-        remaining = max(0.0, deadline - _time.monotonic())
-        if not conn.poll(remaining):
-            if not procs[name].is_alive():
+        while True:
+            remaining = max(0.0, deadline - _time.monotonic())
+            if not conn.poll(remaining):
+                if not procs[name].is_alive():
+                    raise NodeFailure(
+                        f"node {name!r}: worker process died without a "
+                        f"{tag!r} reply", node=name)
+                raise SimulationError(
+                    f"node {name!r}: worker unresponsive (no {tag!r} within "
+                    "the run timeout)")
+            try:
+                message = conn.recv()
+            except EOFError:
                 raise NodeFailure(
-                    f"node {name!r}: worker process died without a report",
-                    node=name)
-            raise SimulationError(
-                f"node {name!r}: worker unresponsive (no {tag!r} within "
-                "the run timeout)")
-        try:
-            message = conn.recv()
-        except EOFError:
-            raise NodeFailure(
-                f"node {name!r}: worker process died mid-run", node=name) \
-                from None
-        if message[0] == "error":
-            raise NodeFailure(
-                f"node {name!r} worker failed: {message[1]}", node=name)
-        if message[0] != tag:
-            raise SimulationError(
-                f"node {name!r}: expected {tag!r} from worker, got "
-                f"{message[0]!r}")
-        return message[1]
+                    f"node {name!r}: worker process died mid-run",
+                    node=name) from None
+            if message[0] == "note":
+                continue
+            if message[0] == "error":
+                raise NodeFailure(
+                    f"node {name!r} worker failed: {message[1]}", node=name)
+            if message[0] != tag:
+                raise SimulationError(
+                    f"node {name!r}: expected {tag!r} from worker, got "
+                    f"{message[0]!r}")
+            return message[1]
 
     def _publish_status(self, statuses: Dict[str, dict], until: float, *,
                         phase: str = "running", force: bool = False) -> None:
@@ -741,9 +1078,12 @@ class MultiprocessCoSimulation:
             for name in sorted(procs):
                 if not procs[name].is_alive():
                     # Give a parting "error" message precedence over the
-                    # bare death, if one is queued.
-                    self._expect(pipes, procs, name, "status",
-                                 _time.monotonic())
+                    # bare death, if one is queued.  A dead worker's pipe
+                    # never blocks (EOF is readable), so the real run
+                    # deadline is safe — and unlike a zero deadline it
+                    # cannot race past a queued error into the generic
+                    # "unresponsive" path.
+                    self._expect(pipes, procs, name, "status", deadline)
                 pipes[name].send(("status?",))
             statuses = {name: self._expect(pipes, procs, name, "status",
                                            deadline)
@@ -786,8 +1126,28 @@ class MultiprocessCoSimulation:
             signature = tuple(signature)
             if quiet and signature == previous:
                 return
-            previous = signature if quiet else None
-            _time.sleep(0.005)
+            if quiet:
+                # First quiet sweep: confirm immediately.  The double
+                # probe only needs two observations with no progress in
+                # between; waiting would just delay the finish line.
+                previous = signature
+                continue
+            previous = None
+            # Busy sweep: park until a worker speaks (an idle note, a
+            # queued error) instead of polling on a fixed 5 ms cadence.
+            # The backstop keeps scheduled crashes and status publishing
+            # on time even if every pipe stays silent.
+            if pending_crashes:
+                backstop = 0.05
+            elif self._status_path is not None \
+                    or self._status_listener is not None:
+                backstop = min(0.25, max(0.05, self._status_interval / 2))
+            else:
+                backstop = 0.25
+            _mpconn.wait([pipes[name] for name in sorted(procs)],
+                         timeout=min(backstop,
+                                     max(0.0,
+                                         deadline - _time.monotonic())))
 
     # ------------------------------------------------------------------
     # results

@@ -15,9 +15,9 @@ rolled at enqueue time, in original send order, so per-link ordinals —
 and therefore every seeded fault decision — are identical with batching
 on or off.
 
-The batcher itself is transport-agnostic bookkeeping: queues, counters
-and a reusable frame-assembly buffer.  Delivery is the owning transport's
-business.
+The batcher itself is transport-agnostic bookkeeping: queues and
+counters.  Delivery — frame assembly included — is the owning
+transport's business.
 """
 
 from __future__ import annotations
@@ -34,9 +34,6 @@ class SendBatcher:
     def __init__(self) -> None:
         self._queues: Dict[Tuple[str, str], List[Message]] = {}
         self._lock = threading.Lock()
-        #: Reusable frame-assembly buffer (length prefix + payload), so a
-        #: steady-state flush allocates no fresh bytearray per frame.
-        self.buffer = bytearray()
 
     def enqueue(self, src: str, dst: str, message: Message) -> None:
         with self._lock:

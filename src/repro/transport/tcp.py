@@ -31,7 +31,7 @@ import time as _time
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.errors import LinkDown, TransportError
+from ..core.errors import LinkDown, RemoteCallError, TransportError
 from ..core.fastcopy import is_immutable
 from ..faults.retry import RetryPolicy
 from ..observability import NULL_TELEMETRY, TraceKind
@@ -62,6 +62,24 @@ _FAULT_HOLD = "fault-hold"
 _FAULT_SWAP = "fault-swap"
 _FAULT_DUP = "fault-dup"
 _FAULT_TAGS = (_FAULT_HOLD, _FAULT_SWAP, _FAULT_DUP)
+
+
+#: Reply envelope for a synchronous call whose handler raised: the
+#: payload carries ``(_CALL_ERROR, exception type name, str(exc))`` and
+#: ``call()`` re-raises it as a typed :class:`RemoteCallError` instead of
+#: letting the connection die and the caller burn its retry budget.
+_CALL_ERROR = "call-error"
+
+
+def _open_call_error(message: Message):
+    """Return ``(type_name, text)`` for a call-error envelope, else None."""
+    if message.kind is not MessageKind.CONTROL:
+        return None
+    payload = message.payload
+    if (isinstance(payload, tuple) and len(payload) == 3
+            and payload[0] == _CALL_ERROR):
+        return payload[1], payload[2]
+    return None
 
 
 def _fault_envelope(tag: str, message: Message, ticks: int = 0) -> Message:
@@ -132,29 +150,52 @@ class _NodeEndpoint:
         try:
             while self.running:
                 message = decode_any(_recv_frame(conn))
-                if isinstance(message, BatchFrame):
-                    for member in message.messages:
-                        self._ingest(member)
-                    if message.grants:
-                        with self.lock:
-                            self.inbox.extend(message.grants)
-                        with self.transport.wire_lock:
-                            self.transport.wire_in += len(message.grants)
-                elif message.kind in (MessageKind.SAFE_TIME_REQUEST,
-                                      MessageKind.HW_CALL):
-                    reply = self.transport._dispatch_call(self.name, message)
+                if not isinstance(message, BatchFrame) and message.kind in (
+                        MessageKind.SAFE_TIME_REQUEST, MessageKind.HW_CALL):
+                    # A handler error must reach the *caller*, not kill
+                    # this connection thread: reply with a typed error
+                    # envelope that call() re-raises as RemoteCallError.
+                    try:
+                        reply = self.transport._dispatch_call(self.name,
+                                                              message)
+                    except Exception as exc:
+                        reply = message.reply(
+                            MessageKind.CONTROL,
+                            payload=(_CALL_ERROR, type(exc).__name__,
+                                     str(exc)))
                     _send_frame(conn, encode(reply))
                 else:
-                    self._ingest(message)
+                    self.ingest_frame(message)
         except (ConnectionError, OSError):
             pass
         finally:
             conn.close()
 
+    def ingest_frame(self, message) -> None:
+        """File one arrived one-way wire frame — a single
+        :class:`Message` or a whole :class:`BatchFrame` — shared by the
+        TCP receiver threads and the shared-memory ring pump."""
+        if isinstance(message, BatchFrame):
+            for member in message.messages:
+                self._ingest(member)
+            if message.grants:
+                with self.lock:
+                    self.inbox.extend(message.grants)
+                with self.transport.wire_lock:
+                    self.transport.wire_in += len(message.grants)
+                self.transport._wake()
+        else:
+            self._ingest(message)
+
     def _ingest(self, message: Message) -> None:
         """File one arrived one-way message: unwrap fault envelopes into
         the local injector's queues, everything else into the inbox."""
         transport = self.transport
+        if transport._accept_spill(message):
+            # An oversized-frame spill riding the TCP fallback path; the
+            # ring pump ingests (and wire-counts) the inner frame when
+            # its ordering marker comes up.
+            return
         injector = transport.fault_injector
         opened = _open_fault_envelope(message)
         if opened is not None:
@@ -178,6 +219,7 @@ class _NodeEndpoint:
             # never see wire_in caught up while a delivery is in limbo.
             with transport.wire_lock:
                 transport.wire_in += 1
+            transport._wake()
             return
         with self.lock:
             self.inbox.append(message)
@@ -191,6 +233,7 @@ class _NodeEndpoint:
             if late:
                 with self.lock:
                     self.inbox.extend(late)
+        transport._wake()
 
     def close(self) -> None:
         self.running = False
@@ -232,6 +275,17 @@ class TcpTransport:
         self._endpoints: Dict[str, _NodeEndpoint] = {}
         self._call_handlers: Dict[str, Callable[[Message], Message]] = {}
         self._conns: Dict[Tuple[str, str], _Connection] = {}
+        #: Cached per-directed-link connections for synchronous calls,
+        #: separate from the one-way data connections: a call holds its
+        #: connection's lock across the send *and* the reply read, which
+        #: must never stall unrelated one-way traffic.  Reuse matters —
+        #: a fresh ``create_connection`` per safe-time call churns
+        #: ephemeral ports and dominates call latency under load.
+        self._call_conns: Dict[Tuple[str, str], _Connection] = {}
+        #: Optional executor hook invoked (from receiver threads) after a
+        #: message lands in an inbox: lets an event-driven worker park on
+        #: a condition instead of spinning on poll().
+        self.wakeup_hook: Optional[Callable[[], None]] = None
         #: Nodes living in *other* processes: name -> (host, port).  Set
         #: by the multiprocess deployment after every worker has bound its
         #: listener; destinations are resolved here when not local.
@@ -264,6 +318,16 @@ class TcpTransport:
     def set_piggyback_provider(self, provider) -> None:
         """Install the executor's grant source for batch flushes."""
         self.piggyback_provider = provider
+
+    def _wake(self) -> None:
+        """Nudge a parked executor after an arrival (see wakeup_hook)."""
+        hook = self.wakeup_hook
+        if hook is not None:
+            hook()
+
+    def _accept_spill(self, message: Message) -> bool:
+        """Intercept an shm spill envelope (shared-memory subclass only)."""
+        return False
 
     def attach_telemetry(self, telemetry) -> None:
         """Feed message traces and per-link counters to ``telemetry``."""
@@ -298,7 +362,8 @@ class TcpTransport:
         # Only the calling thread survives a fork, so no other thread can
         # be mid-send; closing our dups never disturbs the parent's FDs.
         conns, self._conns = self._conns, {}
-        for entry in conns.values():
+        call_conns, self._call_conns = self._call_conns, {}
+        for entry in list(conns.values()) + list(call_conns.values()):
             try:
                 entry.sock.close()
             except OSError:
@@ -366,12 +431,13 @@ class TcpTransport:
         self._call_handlers.pop(name, None)
         self.batcher.clear(name)
         with self._conn_lock:
-            for key in [k for k in self._conns if name in k]:
-                entry = self._conns.pop(key)
-                try:
-                    entry.sock.close()
-                except OSError:
-                    pass
+            for cache in (self._conns, self._call_conns):
+                for key in [k for k in cache if name in k]:
+                    entry = cache.pop(key)
+                    try:
+                        entry.sock.close()
+                    except OSError:
+                        pass
 
     def nodes(self) -> list:
         return sorted(self._endpoints)
@@ -380,16 +446,29 @@ class TcpTransport:
         self.accounting.set_model(a, b, model)
 
     def close(self) -> None:
+        """Tear down endpoints and connections and reset link state.
+
+        A closed transport must be reusable: peers, queued batches and
+        the wire counters are cleared too, so a later ``register`` +
+        ``send`` cycle neither resolves stale remote addresses nor starts
+        with ``wire_balanced()`` already false.
+        """
         for endpoint in self._endpoints.values():
             endpoint.close()
         with self._conn_lock:
-            for entry in self._conns.values():
-                try:
-                    entry.sock.close()
-                except OSError:
-                    pass
-            self._conns.clear()
+            for cache in (self._conns, self._call_conns):
+                for entry in cache.values():
+                    try:
+                        entry.sock.close()
+                    except OSError:
+                        pass
+                cache.clear()
         self._endpoints.clear()
+        self._peers.clear()
+        self.batcher.clear()
+        with self.wire_lock:
+            self.wire_out = 0
+            self.wire_in = 0
 
     # ------------------------------------------------------------------
     def _connection(self, src: str, dst: str) -> _Connection:
@@ -408,6 +487,31 @@ class TcpTransport:
         with self._conn_lock:
             if self._conns.get((src, dst)) is entry:
                 del self._conns[(src, dst)]
+        try:
+            entry.sock.close()
+        except OSError:
+            pass
+        if self.telemetry.enabled:
+            self.telemetry.count("transport.evictions")
+
+    def _call_connection(self, src: str, dst: str) -> _Connection:
+        """The cached request/response connection for one directed link."""
+        key = (src, dst)
+        with self._conn_lock:
+            entry = self._call_conns.get(key)
+            if entry is None:
+                sock = socket.create_connection(self._address_of(dst),
+                                                timeout=10.0)
+                entry = _Connection(sock)
+                self._call_conns[key] = entry
+                if self.telemetry.enabled:
+                    self.telemetry.count("transport.call_connects")
+            return entry
+
+    def _evict_call(self, src: str, dst: str, entry: _Connection) -> None:
+        with self._conn_lock:
+            if self._call_conns.get((src, dst)) is entry:
+                del self._call_conns[(src, dst)]
         try:
             entry.sock.close()
         except OSError:
@@ -616,11 +720,14 @@ class TcpTransport:
         return True
 
     def call(self, message: Message) -> Message:
-        """Blocking request/response over a dedicated connection.
+        """Blocking request/response over a cached per-link connection.
 
-        Connection failures (refused, reset, peer gone) are retried per
-        the retry policy; exhaustion raises :class:`LinkDown` so callers
-        never see a raw socket error for a dead peer.
+        Connection failures (refused, reset, peer gone) evict the cached
+        connection and are retried per the retry policy; exhaustion
+        raises :class:`LinkDown` so callers never see a raw socket error
+        for a dead peer.  A reply reporting that the *handler* raised is
+        re-raised as :class:`RemoteCallError` — the link is fine, so no
+        retries are burned on it.
         """
         self._guard_process()
         telemetry = self.telemetry
@@ -633,7 +740,6 @@ class TcpTransport:
             # traffic either way lands first, as in the unbatched run.
             self.flush_batches(src=message.src, dst=message.dst)
             self.flush_batches(src=message.dst, dst=message.src)
-        address = self._address_of(message.dst)
         blob = encode(message)
         self._charge(message.src, message.dst, len(blob))
         if telemetry.enabled and message.trace is not None:
@@ -645,13 +751,16 @@ class TcpTransport:
         attempt = 0
         start = _time.monotonic()
         while True:
+            entry = None
             try:
-                with socket.create_connection(address,
-                                              timeout=10.0) as conn:
-                    _send_frame(conn, blob)
-                    reply = decode(_recv_frame(conn))
+                entry = self._call_connection(message.src, message.dst)
+                with entry.lock:
+                    _send_frame(entry.sock, blob)
+                    reply = decode(_recv_frame(entry.sock))
                 break
             except (ConnectionError, OSError) as exc:
+                if entry is not None:
+                    self._evict_call(message.src, message.dst, entry)
                 attempt += 1
                 exhausted = (attempt >= policy.max_attempts
                              or _time.monotonic() - start >= policy.deadline)
@@ -662,6 +771,14 @@ class TcpTransport:
                         dst=message.dst, attempts=attempt) from exc
                 self._retry_sleep(message.src, message.dst, attempt - 1,
                                   message.time, "call")
+        error = _open_call_error(reply)
+        if error is not None:
+            remote_type, text = error
+            raise RemoteCallError(
+                f"call {message.src}->{message.dst} "
+                f"({message.kind.value}) failed in the remote handler: "
+                f"{remote_type}: {text}", src=message.src, dst=message.dst,
+                remote_type=remote_type)
         self._charge(message.dst, message.src, len(encode(reply)))
         if telemetry.enabled:
             telemetry.trace(TraceKind.MSG_RECV, time=reply.time,

@@ -9,9 +9,10 @@ from repro.bench.workloads import (
     compute_star,
     compute_star_multiprocess,
     make_compute_hub,
+    make_compute_worker,
 )
 from repro.core.errors import ConfigurationError, NodeFailure, TopologyError
-from repro.distributed import MultiprocessCoSimulation
+from repro.distributed import MultiprocessCoSimulation, WorkerPool
 from repro.distributed.multiprocess import register_factory, resolve_factory
 from repro.faults import FaultPlan, LinkFaults, NodeCrash, RetryPolicy
 
@@ -28,6 +29,26 @@ FAST_RETRY = dict(max_attempts=8, base_delay=0.0005, max_delay=0.002,
 def progress_rows(report):
     return sorted((row["name"], row["time"], row["dispatched"])
                   for row in report.subsystems)
+
+
+def make_exploding_worker(name, *, index, rounds, words, period=1.0):
+    """A spoke whose behaviour raises mid-run — importable by dotted path
+    so a spawned worker builds it cleanly, then blows up on first use."""
+    from repro.core.component import FunctionComponent
+    from repro.core.process import Receive
+    from repro.core.subsystem import Subsystem
+
+    def behave(comp):
+        yield Receive("go")
+        raise RuntimeError(f"{name} exploded mid-run")
+
+    worker = FunctionComponent("worker", behave,
+                               ports={"go": "in", "done": "out"})
+    subsystem = Subsystem(name)
+    subsystem.add(worker)
+    subsystem.wire(f"go{index}", worker.port("go"))
+    subsystem.wire(f"done{index}", worker.port("done"))
+    return subsystem
 
 
 # ----------------------------------------------------------------------
@@ -191,3 +212,126 @@ class TestChaos:
             cosim.run(until=10.0, timeout=30.0)
         assert excinfo.value.node == "n1"
         assert "nosuchattr" in str(excinfo.value)
+
+    def test_worker_exception_mid_run_surfaces_its_message(self):
+        """The regression: the dead-worker probe passed ``monotonic()``
+        as the deadline, so a queued parting error could be missed and
+        reported as a generic unresponsive/died message.  The actual
+        exception text must reach the coordinator."""
+        cosim = MultiprocessCoSimulation(
+            retry_policy=RetryPolicy(**FAST_RETRY))
+        cosim.add_node("n-hub")
+        cosim.add_subsystem("n-hub", "hub",
+                            "repro.bench.workloads:make_compute_hub",
+                            workers=1, rounds=2)
+        cosim.add_node("n-w0")
+        cosim.add_subsystem(
+            "n-w0", "w0",
+            "tests.distributed.test_multiprocess:make_exploding_worker",
+            index=0, rounds=2, words=10)
+        cosim.connect("hub", "w0", delay=0.25, nets=("go0", "done0"))
+        with pytest.raises(NodeFailure) as excinfo:
+            cosim.run(until=100.0, timeout=30.0)
+        assert excinfo.value.node == "n-w0"
+        assert "w0 exploded mid-run" in str(excinfo.value)
+        cosim.close()
+
+
+# ----------------------------------------------------------------------
+# the shared-memory data plane
+# ----------------------------------------------------------------------
+
+class TestSharedMemoryBackend:
+    def test_shm_matches_cooperative_run_exactly(self):
+        """The tentpole acceptance check: the shm-backed run's report is
+        indistinguishable from the cooperative executor's on the
+        deterministic fields (events, per-subsystem progress, dispatch
+        traces, faults)."""
+        reference = compute_star(2, 4, words=50, executor="cosim")
+        ref_events = reference.run(until=100.0)
+        ref_report = reference.report()
+
+        cosim = compute_star_multiprocess(2, 4, words=50, transport="shm")
+        events = cosim.run(until=100.0, timeout=60.0)
+        report = cosim.report()
+        cosim.close()
+
+        assert events == ref_events
+        assert progress_rows(report) == progress_rows(ref_report)
+        assert report.counters["scheduler.dispatched"] == \
+            ref_report.counters["scheduler.dispatched"]
+        assert report.trace_counts.get("dispatch") == \
+            ref_report.trace_counts.get("dispatch")
+        assert report.faults == ref_report.faults == {}
+        # The data plane really was shared memory, not loopback TCP.
+        assert report.counters["transport.shm_frames"] > 0
+
+    def test_shm_same_seed_chaos_matches_cooperative(self):
+        reference = compute_star(2, 6, words=50, executor="cosim",
+                                 fault_plan=FaultPlan(**CHAOS),
+                                 retry_policy=RetryPolicy(**FAST_RETRY))
+        ref_events = reference.run(until=100.0)
+        ref_report = reference.report()
+
+        cosim = compute_star_multiprocess(
+            2, 6, words=50, transport="shm", fault_plan=FaultPlan(**CHAOS),
+            retry_policy=RetryPolicy(**FAST_RETRY))
+        events = cosim.run(until=100.0, timeout=90.0)
+        report = cosim.report()
+        cosim.close()
+
+        assert events == ref_events
+        assert progress_rows(report) == progress_rows(ref_report)
+        assert report.faults == ref_report.faults
+
+    def test_tiny_rings_spill_oversized_frames_over_tcp(self):
+        """With rings too small for most frames, the TCP fallback must
+        carry them without changing the run's result."""
+        reference = compute_star(2, 3, words=50, executor="cosim")
+        ref_events = reference.run(until=100.0)
+
+        cosim = compute_star_multiprocess(2, 3, words=50, transport="shm",
+                                          ring_capacity=256)
+        events = cosim.run(until=100.0, timeout=60.0)
+        report = cosim.report()
+        cosim.close()
+
+        assert events == ref_events
+        assert report.counters.get("transport.shm_spills", 0) > 0
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            MultiprocessCoSimulation(transport="carrier-pigeon")
+
+
+# ----------------------------------------------------------------------
+# the warm worker pool
+# ----------------------------------------------------------------------
+
+class TestWarmPool:
+    def test_repeat_runs_reuse_the_same_processes(self):
+        """Consecutive runs on one executor must not respawn: the pool
+        spawns once per node, then reuses."""
+        cosim = compute_star_multiprocess(2, 3, words=20, transport="shm")
+        first = cosim.run(until=100.0, timeout=60.0)
+        second = cosim.run(until=100.0, timeout=60.0)
+        pool = cosim._own_pool
+        assert first == second
+        assert pool.spawned == 3
+        assert pool.idle_count() == 3
+        cosim.close()
+        assert pool.idle_count() == 0
+
+    def test_shared_pool_across_executors(self):
+        with WorkerPool() as pool:
+            for __ in range(2):
+                cosim = compute_star_multiprocess(2, 3, words=20, pool=pool)
+                cosim.run(until=100.0, timeout=60.0)
+            assert pool.spawned == 3
+            assert pool.idle_count() == 3
+
+    def test_closed_pool_rejects_acquire(self):
+        pool = WorkerPool()
+        pool.close()
+        with pytest.raises(ConfigurationError):
+            pool.acquire(1)

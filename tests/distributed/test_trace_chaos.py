@@ -33,10 +33,13 @@ def chaos_kwargs():
 
 def run_star(executor, *, batching=False, chaos=True, rounds=6):
     kwargs = chaos_kwargs() if chaos else {}
-    if executor == "multiprocess":
+    if executor in ("multiprocess", "multiprocess_shm"):
+        if executor == "multiprocess_shm":
+            kwargs["transport"] = "shm"
         cosim = compute_star_multiprocess(2, rounds, words=50,
                                           trace_capacity=CAPACITY, **kwargs)
         cosim.run(until=100.0, timeout=90.0)
+        cosim.close()
     else:
         cosim = compute_star(2, rounds, words=50, executor=executor,
                              batching=batching,
@@ -64,8 +67,10 @@ class TestChainConsistency:
         chains = assert_causally_consistent(report)
         assert chains["max_hop"] > 0
 
-    def test_multiprocess_chaos_chains_link(self):
-        report = run_star("multiprocess")
+    @pytest.mark.parametrize("executor", ["multiprocess",
+                                          "multiprocess_shm"])
+    def test_multiprocess_chaos_chains_link(self, executor):
+        report = run_star(executor)
         assert_causally_consistent(report)
 
     def test_duplicates_share_the_sends_span(self):
@@ -101,8 +106,10 @@ class TestCrossExecutorDeterminism:
         coop = run_star("cosim", chaos=False)
         threaded = run_star("threaded", chaos=False)
         multiprocess = run_star("multiprocess", chaos=False)
+        shm = run_star("multiprocess_shm", chaos=False)
         assert coop.stall_attribution == threaded.stall_attribution
         assert coop.stall_attribution == multiprocess.stall_attribution
+        assert coop.stall_attribution == shm.stall_attribution
         assert coop.stall_attribution, "attribution table is empty"
         criticals = [row for row in coop.stall_attribution
                      if row["critical"]]
@@ -126,5 +133,7 @@ class TestCrossExecutorDeterminism:
         coop = run_star("cosim", chaos=False)
         threaded = run_star("threaded", chaos=False)
         multiprocess = run_star("multiprocess", chaos=False)
+        shm = run_star("multiprocess_shm", chaos=False)
         assert spans(coop) == spans(threaded) == spans(multiprocess)
+        assert spans(multiprocess) == spans(shm)
         assert spans(coop), "no spans minted"

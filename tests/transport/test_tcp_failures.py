@@ -19,6 +19,7 @@ from repro.core import (
     LinkDown,
     NodeFailure,
     Receive,
+    RemoteCallError,
     Send,
     TransportError,
 )
@@ -166,6 +167,101 @@ class TestDeadPeers:
         assert not sender.is_alive(), "sender hung after transport.close()"
         assert "error" in outcome
         assert outcome["sent"] < 100_000
+
+
+class TestCallConnectionReuse:
+    def test_repeated_calls_share_one_connection(self):
+        """The regression: every call() used to open (and leak through
+        teardown latency) a fresh socket.  N calls on a healthy link must
+        dial exactly once."""
+        telemetry = Telemetry()
+        with TcpTransport() as transport:
+            transport.attach_telemetry(telemetry)
+            transport.register("a")
+            transport.register("b", call_handler=lambda m: m.reply(
+                MessageKind.SAFE_TIME_REPLY, time=m.time + 1.0))
+            for index in range(20):
+                reply = transport.call(_msg(
+                    kind=MessageKind.SAFE_TIME_REQUEST, time=float(index)))
+                assert reply.time == float(index) + 1.0
+            assert telemetry.registry.counter(
+                "transport.call_connects").value == 1
+            assert set(transport._call_conns) == {("a", "b")}
+
+    def test_dead_call_connection_is_evicted_and_redialled(self):
+        with TcpTransport(retry_policy=FAST_RETRY) as transport:
+            transport.register("a")
+            transport.register("b", call_handler=lambda m: m.reply(
+                MessageKind.SAFE_TIME_REPLY, time=0.0))
+            transport.call(_msg(kind=MessageKind.SAFE_TIME_REQUEST))
+            stale = transport._call_conns[("a", "b")]
+            stale.sock.shutdown(socket.SHUT_RDWR)
+            stale.sock.close()
+            reply = transport.call(_msg(kind=MessageKind.SAFE_TIME_REQUEST))
+            assert reply.kind is MessageKind.SAFE_TIME_REPLY
+            assert transport._call_conns[("a", "b")] is not stale
+
+
+class TestRemoteHandlerErrors:
+    def test_handler_exception_surfaces_as_remote_call_error(self):
+        """The regression: a raising call handler used to kill the
+        connection thread silently, leaving the caller to time out into
+        a misleading LinkDown.  It must surface as a typed error naming
+        the remote exception."""
+        def handler(message):
+            if message.payload == "bad":
+                raise ValueError("handler rejected the request")
+            return message.reply(MessageKind.SAFE_TIME_REPLY, time=9.0)
+
+        with TcpTransport(retry_policy=FAST_RETRY) as transport:
+            transport.register("a")
+            transport.register("b", call_handler=handler)
+            with pytest.raises(RemoteCallError) as err:
+                transport.call(_msg(kind=MessageKind.SAFE_TIME_REQUEST,
+                                    payload="bad"))
+            assert err.value.remote_type == "ValueError"
+            assert "handler rejected the request" in str(err.value)
+            assert err.value.src == "a"
+            assert err.value.dst == "b"
+            # The link survived: the very next call succeeds over the
+            # same cached connection, without burning retry budget.
+            reply = transport.call(_msg(kind=MessageKind.SAFE_TIME_REQUEST,
+                                        payload="good"))
+            assert reply.time == 9.0
+
+
+class TestCloseResetsLinkState:
+    def test_close_clears_peers_batches_and_wire_counters(self):
+        """The regression: close() left peers, queued batches and wire
+        counters behind, so a reused transport resolved stale addresses
+        and started with the wire balance already broken."""
+        transport = TcpTransport(batching=True, retry_policy=FAST_RETRY)
+        transport.register("a")
+        transport.register("b")
+        transport.set_peer("ghost", 1)          # a stale remote address
+        transport.send(_msg(payload="delivered"))
+        transport.flush_batches(src="a")
+        _poll_until(transport, "b", 1)
+        transport.send(_msg(payload="still queued"))    # never flushed
+        assert transport.batcher.pending() == 1
+        assert transport.wire_out > 0
+
+        transport.close()
+        assert transport._peers == {}
+        assert transport.batcher.pending() == 0
+        assert transport.wire_out == 0
+        assert transport.wire_in == 0
+
+        # A fresh register/send cycle on the same instance works and
+        # starts its accounting from zero.
+        transport.register("a")
+        transport.register("b")
+        transport.send(_msg(payload="second life"))
+        transport.flush_batches(src="a")
+        got = _poll_until(transport, "b", 1)
+        assert [m.payload for m in got] == ["second life"]
+        assert transport.wire_out == transport.wire_in == 1
+        transport.close()
 
 
 def _build_pipeline(runner, values):
