@@ -74,6 +74,11 @@ class CheckpointImage:
     nets: dict[str, NetState] = field(default_factory=dict)
     #: Whether the subsystem had started when the image was taken.
     started: bool = True
+    #: Scheduler dispatch/stall counters at capture time.  Restored on
+    #: reinstate so post-rollback (and post-migration) runs report the
+    #: same dispatch totals as an uninterrupted run.
+    dispatched: int = 0
+    stalls: int = 0
     #: Cached :meth:`storage_bytes` result — an image never changes after
     #: capture, so its size is measured at most once.
     _storage_bytes: Optional[int] = field(
@@ -112,7 +117,9 @@ def capture(subsystem: "Subsystem", checkpoint_id: int,
             label: Optional[str] = None) -> CheckpointImage:
     """Snapshot ``subsystem`` into a :class:`CheckpointImage`."""
     image = CheckpointImage(checkpoint_id, label, subsystem.scheduler.now,
-                            started=subsystem._started)
+                            started=subsystem._started,
+                            dispatched=subsystem.scheduler.dispatched,
+                            stalls=subsystem.scheduler.stalls)
     image.events = [
         Event(evt.ts, evt.kind, evt.target, smart_copy(evt.payload), evt.token)
         for evt in subsystem.scheduler.queue.snapshot()
@@ -129,6 +136,8 @@ def reinstate(subsystem: "Subsystem", image: CheckpointImage) -> None:
     """Roll ``subsystem`` back to ``image``."""
     subsystem.scheduler.now = image.time
     subsystem._started = image.started
+    subsystem.scheduler.dispatched = image.dispatched
+    subsystem.scheduler.stalls = image.stalls
     subsystem.scheduler.queue.restore([
         Event(evt.ts, evt.kind, evt.target, smart_copy(evt.payload), evt.token)
         for evt in image.events
@@ -281,6 +290,9 @@ class _IncrementalRecord:
     events: list = field(default_factory=list)
     nets: dict = field(default_factory=dict)
     deltas: dict = field(default_factory=dict)
+    started: bool = True
+    dispatched: int = 0
+    stalls: int = 0
     _storage_bytes: Optional[int] = field(
         default=None, repr=False, compare=False)
 
@@ -358,7 +370,9 @@ class IncrementalCheckpointStore(CheckpointStore):
               label: Optional[str]) -> _IncrementalRecord:
         record = _IncrementalRecord(cid, label, image.time, base_id=base.checkpoint_id,
                                     full=None, events=image.events,
-                                    nets=image.nets)
+                                    nets=image.nets, started=image.started,
+                                    dispatched=image.dispatched,
+                                    stalls=image.stalls)
         for name, snap in image.components.items():
             old = base.components.get(name)
             delta = _DeltaImage(local_time=snap.local_time,
@@ -391,7 +405,10 @@ class IncrementalCheckpointStore(CheckpointStore):
     @staticmethod
     def _apply(base: CheckpointImage, record: _IncrementalRecord) -> CheckpointImage:
         image = CheckpointImage(record.checkpoint_id, record.label, record.time,
-                                events=record.events, nets=record.nets)
+                                events=record.events, nets=record.nets,
+                                started=record.started,
+                                dispatched=record.dispatched,
+                                stalls=record.stalls)
         for name, delta in record.deltas.items():
             old = base.components.get(name)
             attrs = dict(old.attrs) if old is not None else {}

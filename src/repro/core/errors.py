@@ -124,6 +124,20 @@ class NodeFailure(PiaError):
         self.node = node
 
 
+class MigrationError(PiaError):
+    """A live subsystem migration or failover could not be performed.
+
+    Raised when a node's state cannot be made portable (e.g. a queued
+    event targets a live callable that has no by-name encoding), when no
+    restore point exists for a failed worker, or when the re-splice of a
+    channel endpoint fails.
+    """
+
+    def __init__(self, message: str, *, node: str | None = None) -> None:
+        super().__init__(message)
+        self.node = node
+
+
 class HardwareStubError(PiaError):
     """The hardware-in-the-loop stub contract was violated."""
 

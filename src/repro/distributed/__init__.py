@@ -15,7 +15,15 @@ from .conservative import (
     local_floor,
 )
 from .executor import FAILURE_POLICIES, CoSimulation
+from .migration import (
+    MigrationRecord,
+    NodeArchive,
+    PortableImage,
+    archive_node,
+    restore_node,
+)
 from .multiprocess import (
+    MP_FAILURE_POLICIES,
     ChannelSpec,
     MultiprocessCoSimulation,
     SubsystemSpec,
@@ -40,12 +48,14 @@ __all__ = [
     "Channel", "ChannelComponent", "ChannelEndpoint", "ChannelMode",
     "ChannelSpec", "CoSimulation", "Deployment", "Design",
     "FAILURE_POLICIES", "GlobalSnapshot", "LockedSafeTimeService",
-    "MultiprocessCoSimulation", "NetSpec",
-    "PiaNode", "RecoveryManager", "SafeTimeClient", "SafeTimeService",
+    "MP_FAILURE_POLICIES", "MigrationRecord",
+    "MultiprocessCoSimulation", "NetSpec", "NodeArchive",
+    "PiaNode", "PortableImage", "RecoveryManager", "SafeTimeClient",
+    "SafeTimeService",
     "SnapshotManager", "SnapshotRegistry", "Socket", "StragglerError",
     "SubsystemCut", "SubsystemSpec", "ThreadedCoSimulation", "UNBOUNDED",
-    "WorkerPool",
+    "WorkerPool", "archive_node",
     "communication_digraph", "compute_grant", "deploy", "local_floor",
     "new_snapshot_id", "offending_cycles", "register_factory",
-    "resolve_factory", "suggest_partition", "validate",
+    "resolve_factory", "restore_node", "suggest_partition", "validate",
 ]

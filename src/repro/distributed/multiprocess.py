@@ -36,6 +36,23 @@ Chaos stays reproducible: fault decisions are pure functions of the
 ``fault_plan.for_node(...)`` — same seed, crashes filtered — and the
 drop/duplicate/delay counters of a seeded run match the single-process
 executors bit for bit.
+
+With ``failure_policy="migrate"`` the coordinator becomes a supervisor:
+before the run starts it takes a baseline Chandy-Lamport cut (every
+worker archives portable images of its subsystems back to the
+coordinator — stable storage in the paper's terms), and the supervision
+loop feeds a heartbeat :class:`~repro.faults.FailureDetector`.  A worker
+that dies, partitions, or is killed by a scheduled
+:class:`~repro.faults.NodeCrash` is *replaced*: a fresh pool worker
+adopts the lost node, every channel endpoint is re-spliced (peer tables,
+shm rings, TCP connections), all workers roll back to the last completed
+global snapshot under a new migration epoch (stale pre-failover traffic
+is fenced at ingest), recorded in-flight messages are re-injected, and
+the run resumes — deterministically, because conservative execution from
+a consistent cut is a pure function of the virtual state.
+:meth:`MultiprocessCoSimulation.migrate` uses the same machinery to move
+a live node between workers on request: halt, drain the wire to
+quiescence, cut, re-splice, restore, resume.
 """
 
 from __future__ import annotations
@@ -57,12 +74,14 @@ import networkx as nx
 
 from ..core.errors import (
     ConfigurationError,
+    MigrationError,
     NodeFailure,
     SimulationError,
     TopologyError,
+    TransportError,
 )
 from ..core.subsystem import Subsystem
-from ..faults import FaultInjector, FaultPlan, RetryPolicy
+from ..faults import FailureDetector, FaultInjector, FaultPlan, RetryPolicy
 from ..observability import (
     RunReport,
     Telemetry,
@@ -85,8 +104,19 @@ from ..transport.shm import (
 from ..transport.tcp import TcpTransport
 from .channel import Channel, ChannelMode
 from .conservative import SafeTimeClient, compute_grant
+from .migration import (
+    MigrationRecord,
+    NodeArchive,
+    archive_node,
+    resent_counts,
+    restore_node,
+)
 from .node import PiaNode
+from .snapshot import SnapshotManager, SnapshotRegistry, new_snapshot_id
 from .threaded import LockedSafeTimeService
+
+#: Failure policies the multiprocess executor understands.
+MP_FAILURE_POLICIES = ("raise", "migrate")
 
 #: Factories registered by short name (an alternative to dotted paths).
 _FACTORIES: Dict[str, Callable[..., Subsystem]] = {}
@@ -197,6 +227,10 @@ class _WorkerSpec:
     trace_capacity: int = 4096
     transport: str = "tcp"
     ring_capacity: int = DEFAULT_RING_CAPACITY
+    #: True under ``failure_policy="migrate"``: a vanished peer is the
+    #: supervisor's problem, so transport failures wedge the worker
+    #: (no progress, await restore) instead of killing it.
+    supervised: bool = False
 
 
 class _ControlInbox:
@@ -290,6 +324,17 @@ class _Worker:
         LockedSafeTimeService(self.node, self.lock, self.clients.get)
         self.transport.set_piggyback_provider(self._piggyback_grants)
         self._attach_channels()
+        # Chandy-Lamport participation: the coordinator triggers cuts
+        # over the control pipe; marks cross between workers as ordinary
+        # channel traffic.  Completion is judged against the *local*
+        # subsystems — the coordinator assembles the global picture from
+        # the archives each worker pushes back.
+        self.registry = SnapshotRegistry()
+        self.snapshots = SnapshotManager(
+            self.node, self.registry, lambda: list(self.node.subsystems))
+        self.snapshots.telemetry = self.telemetry
+        #: Cut ids initiated here whose archive has not been pushed yet.
+        self._open_cuts: set = set()
         self.until = float("inf")
         self.dispatched = 0
         self.rounds = 0
@@ -400,6 +445,8 @@ class _Worker:
                 "wire_in": self.transport.wire_in,
                 "pending": pending,
                 "rounds": self.rounds,
+                "epoch": self.transport.epoch,
+                "stale_drops": self.transport.stale_epoch_drops,
                 "wall": _time.time(),
             }
 
@@ -434,12 +481,87 @@ class _Worker:
             }
 
     # ------------------------------------------------------------------
+    # migration plumbing (coordinator-triggered, over the control pipe)
+    # ------------------------------------------------------------------
+    def _drain_round(self) -> bool:
+        """Pump and flush without running subsystems — the halted worker's
+        round, so in-flight traffic (data, marks, fault-held deliveries)
+        keeps draining while the simulation itself is stopped."""
+        try:
+            with self.lock:
+                moved = self.node.pump() > 0
+            self.transport.flush_batches(src=self.node.name)
+        except TransportError:
+            if not self.spec.supervised:
+                raise
+            return False
+        return moved
+
+    def _initiate_cut(self, snapshot_id: str) -> None:
+        with self.lock:
+            for name in sorted(self.node.subsystems):
+                self.snapshots.initiate(self.node.subsystems[name],
+                                        snapshot_id)
+        self._open_cuts.add(snapshot_id)
+
+    def _cut_complete(self, snapshot_id: str) -> bool:
+        snap = self.registry.snapshots.get(snapshot_id)
+        if snap is None:
+            return False
+        return all(name in snap.cuts and snap.cuts[name].complete
+                   for name in self.node.subsystems)
+
+    def _announce_cuts(self) -> None:
+        """Push the archive for every locally completed cut — the paper's
+        'transmit the checkpoint to stable storage' step, so a restore
+        point survives the death of the worker that produced it."""
+        for snapshot_id in sorted(self._open_cuts):
+            if not self._cut_complete(snapshot_id):
+                continue
+            self._open_cuts.discard(snapshot_id)
+            with self.lock:
+                archive = archive_node(
+                    self.node, self.registry, snapshot_id,
+                    self.telemetry.spans.ordinals())
+            self.conn.send(("cut-data", archive))
+
+    def _restore(self, payload: dict) -> None:
+        """Roll this node back to a restore point under a new epoch."""
+        epoch = payload["epoch"]
+        with self.lock:
+            # Fence first: traffic minted in the discarded world must not
+            # leak into the restored one.  ``set_epoch`` also rebases the
+            # logical wire counters to a balanced zero on every worker.
+            self.transport.set_epoch(epoch)
+            self.transport.flush()
+            self.telemetry.spans.set_epoch(epoch)
+            minter = payload.get("minter_ordinals")
+            if minter:
+                self.telemetry.spans.load_ordinals(minter)
+            # In-progress cuts recorded state of the discarded world.
+            self.registry.snapshots.clear()
+            self._open_cuts.clear()
+            replayed = restore_node(self.node, payload["images"],
+                                    payload["resent"])
+            # run()'s contribution counter mirrors the restored schedulers
+            # so merged dispatch totals match an uninterrupted run.
+            self.dispatched = sum(ss.scheduler.dispatched
+                                  for ss in self.node.subsystems.values())
+        self.until = payload["until"]
+        if self.telemetry.enabled:
+            self.telemetry.count("migration.restores")
+            if replayed:
+                self.telemetry.count("migration.replayed_messages",
+                                     replayed)
+
+    # ------------------------------------------------------------------
     def serve(self) -> None:
         conn = self.conn
         inbox = self.inbox
         conn.send(("port", self.transport.local_port(self.node.name)))
         running = False
         crashed = False
+        halted = False
         idle_noted = False
         while True:
             message = inbox.pop()
@@ -448,14 +570,44 @@ class _Worker:
                 if tag == "peers":
                     for peer, (host, port) in sorted(message[1].items()):
                         self.transport.set_peer(peer, port, host)
+                elif tag == "repeer":
+                    # Re-splice after a migration: drop the stale address,
+                    # cached connections and (shm) retired rings before
+                    # learning the node's new home.
+                    for peer, (host, port) in sorted(message[1].items()):
+                        self.transport.forget_peer(peer)
+                        self.transport.set_peer(peer, port, host)
                 elif tag == "rings":
                     self._attach_rings(message[1])
+                elif tag == "detach-rings":
+                    if isinstance(self.transport, SharedMemoryTransport):
+                        self.transport.detach_node_rings(message[1])
                 elif tag == "start":
                     self.until = message[1]
                     with self.lock:
                         self.node.start()
                     running = True
+                    halted = False
                     idle_noted = False
+                elif tag == "halt":
+                    halted = True
+                    try:
+                        self.transport.flush_batches(src=self.node.name)
+                    except TransportError:
+                        if not self.spec.supervised:
+                            raise
+                    # Echo the token: the coordinator drops acks from
+                    # coordination rounds a cascading failure aborted.
+                    conn.send(("halted", message[1]))
+                elif tag == "cut":
+                    self._initiate_cut(message[1])
+                elif tag == "restore":
+                    self._restore(message[1])
+                    # Stay parked until the coordinator's start: running
+                    # ahead of peers still restoring would only mint
+                    # traffic their epoch fence discards.
+                    halted = True
+                    conn.send(("restored", message[1]["epoch"]))
                 elif tag == "status?":
                     conn.send(("status", self._status()))
                 elif tag == "crash":
@@ -470,11 +622,29 @@ class _Worker:
             if inbox.eof:
                 # Coordinator gone: exit rather than linger as an orphan.
                 return
-            if not running or crashed:
-                inbox.park(60.0)
+            if not running or crashed or halted:
+                if not crashed and (halted or self._open_cuts):
+                    # Halted (or parked with an open cut): keep the wire
+                    # draining so in-flight traffic and marks land, and
+                    # push archives as cuts complete.
+                    moved = self._drain_round()
+                    self._announce_cuts()
+                    inbox.park(0.01 if moved else 0.05)
+                else:
+                    inbox.park(60.0)
                 continue
-            self.progress = self._one_round()
+            try:
+                self.progress = self._one_round()
+            except TransportError:
+                if not self.spec.supervised:
+                    raise
+                # A peer vanished mid-send.  The supervisor is about to
+                # fail over and restore this worker — wedge (report no
+                # progress, keep serving control) instead of dying, so
+                # one dead node does not cascade into a dead cluster.
+                self.progress = False
             self.rounds += 1
+            self._announce_cuts()
             if self.progress:
                 idle_noted = False
                 continue
@@ -544,6 +714,7 @@ def status_snapshot(statuses: Dict[str, dict], *,
             "pending": st["pending"],
             "wire_out": st["wire_out"],
             "wire_in": st["wire_in"],
+            "epoch": st.get("epoch", 0),
             "heartbeat_age": max(0.0, wall - st.get("wall", wall)),
             "subsystems": rows,
         }
@@ -676,11 +847,19 @@ class WorkerPool:
             return workers
 
     def release(self, worker: _PoolWorker, *, healthy: bool = True) -> None:
-        """Return a worker; unhealthy (or post-close) workers are killed."""
+        """Return a worker; unhealthy (or post-close) workers are killed.
+
+        A worker that died (or misbehaved) mid-job must not poison its
+        pool slot: unless the pool is closed, a replacement is spawned
+        into the idle set so capacity stays constant across failures.
+        """
         with self._lock:
-            if healthy and not self._closed and worker.is_alive():
-                self._idle.append(worker)
-                return
+            if not self._closed:
+                if healthy and worker.is_alive():
+                    self._idle.append(worker)
+                    return
+                self._idle.append(_PoolWorker(self.ctx, next(self._seq)))
+                self.spawned += 1
         worker.kill()
 
     def idle_count(self) -> int:
@@ -741,7 +920,9 @@ class MultiprocessCoSimulation:
                  trace_capacity: int = 4096,
                  transport: str = "tcp",
                  ring_capacity: int = DEFAULT_RING_CAPACITY,
-                 pool: Optional[WorkerPool] = None) -> None:
+                 pool: Optional[WorkerPool] = None,
+                 failure_policy: str = "raise",
+                 heartbeat_timeout: float = 5.0) -> None:
         if start_method not in multiprocessing.get_all_start_methods():
             raise ConfigurationError(
                 f"start method {start_method!r} not available on this "
@@ -750,6 +931,13 @@ class MultiprocessCoSimulation:
             raise ConfigurationError(
                 f"unknown transport {transport!r}: expected 'tcp' (works "
                 "across machines) or 'shm' (same-host shared-memory rings)")
+        if failure_policy not in MP_FAILURE_POLICIES:
+            raise ConfigurationError(
+                f"unknown failure policy {failure_policy!r}: expected one "
+                f"of {MP_FAILURE_POLICIES}")
+        if heartbeat_timeout <= 0:
+            raise ConfigurationError(
+                f"heartbeat timeout must be positive: {heartbeat_timeout}")
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
@@ -774,6 +962,27 @@ class MultiprocessCoSimulation:
         self._status_listener: Optional[Callable[[dict], None]] = None
         self._status_published = 0.0
         self._last_statuses: Dict[str, dict] = {}
+        # --- supervised failover / live migration state -----------------
+        self.failure_policy = failure_policy
+        self.heartbeat_timeout = heartbeat_timeout
+        #: Heartbeat detector for the last/current supervised run.
+        self.detector: Optional[FailureDetector] = None
+        #: Completed migrations/failovers of the last/current run.
+        self.migrations: List[MigrationRecord] = []
+        #: Placement timeline: (wall, node, worker process name, event).
+        self.placement_log: List[dict] = []
+        self._migrate_lock = threading.Lock()
+        self._migrate_requests: List[Tuple[str, float]] = []
+        self._archives: Dict[str, NodeArchive] = {}
+        self._restore_point: Optional[str] = None
+        self._run_epoch = 0
+        self._carryover: List[Tuple[str, dict]] = []
+        #: Tokens for coordination acks (see ``_expect``'s ``match``).
+        self._ctl_seq = itertools.count(1)
+        # Live per-run control-plane context (set by run(), mutated by
+        # failover/migration while the run is in flight).
+        self._ports: Dict[str, int] = {}
+        self._segments: Dict[Tuple[str, str], object] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -830,6 +1039,7 @@ class MultiprocessCoSimulation:
             trace_capacity=self.trace_capacity,
             transport=self.transport,
             ring_capacity=self.ring_capacity,
+            supervised=self.failure_policy == "migrate",
         )
 
     def _ring_links(self) -> List[Tuple[str, str]]:
@@ -887,6 +1097,43 @@ class MultiprocessCoSimulation:
                 "(tree-shaped) channel graph.")
 
     # ------------------------------------------------------------------
+    # live migration requests
+    # ------------------------------------------------------------------
+    def migrate(self, node: str) -> None:
+        """Request a live migration of ``node`` to a fresh pool worker.
+
+        Thread-safe: callable from a ``status_listener`` (or any other
+        thread) while :meth:`run` is in flight.  The supervision loop
+        picks the request up on its next sweep — requires
+        ``failure_policy="migrate"``.
+        """
+        self.migrate_at(node, float("-inf"))
+
+    def migrate_at(self, node: str, at_time: float) -> None:
+        """Request a migration of ``node`` once global virtual time
+        reaches ``at_time`` (deterministic trigger point)."""
+        if node not in self._nodes:
+            raise ConfigurationError(f"no node named {node!r}")
+        if self.failure_policy != "migrate":
+            raise ConfigurationError(
+                "live migration requires failure_policy='migrate'")
+        with self._migrate_lock:
+            self._migrate_requests.append((node, at_time))
+
+    def _due_migrations(self, global_now: float) -> List[str]:
+        due: List[str] = []
+        with self._migrate_lock:
+            keep = []
+            for node, at_time in self._migrate_requests:
+                if at_time <= global_now:
+                    if node not in due:
+                        due.append(node)
+                else:
+                    keep.append((node, at_time))
+            self._migrate_requests = keep
+        return due
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, until: float = float("inf"), *,
@@ -912,6 +1159,14 @@ class MultiprocessCoSimulation:
         self._status_listener = status_listener
         self._status_published = 0.0
         self._last_statuses: Dict[str, dict] = {}
+        self.migrations = []
+        self.placement_log = []
+        self._archives = {}
+        self._restore_point = None
+        self._run_epoch = 0
+        self._carryover = []
+        self.detector = FailureDetector(timeout=self.heartbeat_timeout) \
+            if self.failure_policy == "migrate" else None
         started_at = _time.perf_counter()
         pool = self._acquire_pool()
         names = sorted(self._nodes)
@@ -920,28 +1175,38 @@ class MultiprocessCoSimulation:
         procs: Dict[str, _PoolWorker] = assigned
         pipes: Dict[str, object] = {name: worker.conn
                                     for name, worker in assigned.items()}
-        segments: Dict[Tuple[str, str], object] = {}
+        self._segments = {}
         deadline = _time.monotonic() + timeout
+        for name in names:
+            self._log_placement(name, assigned[name], "assigned")
         try:
             for name in names:
                 pipes[name].send(("job", self.worker_spec(name)))
-            ports = {name: self._expect(pipes, procs, name, "port", deadline)
-                     for name in names}
+            self._ports = {name: self._expect(pipes, procs, name, "port",
+                                              deadline)
+                           for name in names}
             if self.transport == "shm":
                 # One SPSC ring per directed link, created here so the
                 # coordinator owns (and can always unlink) the segments.
                 for link in self._ring_links():
-                    segments[link] = create_ring_segment(self.ring_capacity)
+                    self._segments[link] = \
+                        create_ring_segment(self.ring_capacity)
                 ring_names = {link: seg.name
-                              for link, seg in segments.items()}
+                              for link, seg in self._segments.items()}
                 for name in names:
                     mine = {link: ring for link, ring in ring_names.items()
                             if name in link}
                     pipes[name].send(("rings", mine))
             for name in names:
                 peers = {peer: ("127.0.0.1", port)
-                         for peer, port in ports.items() if peer != name}
+                         for peer, port in self._ports.items()
+                         if peer != name}
                 pipes[name].send(("peers", peers))
+            if self.failure_policy == "migrate":
+                # Baseline restore point: a pre-start Chandy-Lamport cut,
+                # archived coordinator-side before any event dispatches.
+                self._take_snapshot(pipes, procs, deadline)
+            for name in names:
                 pipes[name].send(("start", until))
             self._supervise(pipes, procs, until, deadline)
             bundles: Dict[str, dict] = {}
@@ -966,12 +1231,13 @@ class MultiprocessCoSimulation:
                 pool.release(worker, healthy=clean)
             # Workers have detached from their ring segments (job-done
             # comes after transport close), so unlink retires them.
-            for segment in segments.values():
+            for segment in self._segments.values():
                 try:
                     segment.close()
                     segment.unlink()
                 except OSError:
                     pass
+            self._segments = {}
         elapsed = _time.perf_counter() - started_at
         self.cpu_seconds += elapsed
         if self.telemetry.enabled:
@@ -1000,10 +1266,20 @@ class MultiprocessCoSimulation:
             if message[0] == "job-done":
                 return True
 
-    def _expect(self, pipes, procs, name: str, tag: str, deadline: float):
+    #: Reply tags a cascading failure can leave queued from an aborted
+    #: coordination round (plus status replies that outlive their sweep).
+    #: They are dropped when a different tag is expected; token-bearing
+    #: acks are additionally vetted by ``match``.
+    _STALE_OK = frozenset(("halted", "restored", "cut-data", "status"))
+
+    def _expect(self, pipes, procs, name: str, tag: str, deadline: float,
+                *, match=None):
         """Wait for one ``tag`` message from worker ``name``.
 
-        ``note`` messages (idle-edge wakeups) are advisory and skipped.
+        ``note`` messages (idle-edge wakeups) are advisory and skipped,
+        as are stale acks from aborted coordination rounds (see
+        ``_STALE_OK``); ``match`` vets the payload of a matching tag and
+        skips it when it returns False (an ack for an older token).
         A worker that died with a parting ``error`` still queued gets
         that error surfaced — its pipe reads succeed until drained —
         rather than a generic death message.
@@ -1031,9 +1307,13 @@ class MultiprocessCoSimulation:
                 raise NodeFailure(
                     f"node {name!r} worker failed: {message[1]}", node=name)
             if message[0] != tag:
+                if message[0] in self._STALE_OK:
+                    continue
                 raise SimulationError(
                     f"node {name!r}: expected {tag!r} from worker, got "
                     f"{message[0]!r}")
+            if match is not None and not match(message[1]):
+                continue
             return message[1]
 
     def _publish_status(self, statuses: Dict[str, dict], until: float, *,
@@ -1047,6 +1327,12 @@ class MultiprocessCoSimulation:
             return
         self._status_published = now
         snapshot = status_snapshot(statuses, until=until, phase=phase)
+        if self.failure_policy == "migrate":
+            snapshot["epoch"] = self._run_epoch
+            snapshot["placement"] = [dict(entry)
+                                     for entry in self.placement_log]
+            snapshot["migrations"] = [record.to_dict()
+                                      for record in self.migrations]
         if self._status_listener is not None:
             self._status_listener(snapshot)
         if self._status_path is not None:
@@ -1058,11 +1344,313 @@ class MultiprocessCoSimulation:
                 fh.write("\n")
             os.replace(tmp, self._status_path)
 
+    # ------------------------------------------------------------------
+    # supervised failover / live migration
+    # ------------------------------------------------------------------
+    def _log_placement(self, node: str, worker: _PoolWorker,
+                       event: str) -> None:
+        self.placement_log.append({
+            "wall": _time.time(), "node": node, "event": event,
+            "worker": getattr(worker.proc, "name", "?"),
+            "pid": getattr(worker.proc, "pid", None),
+            "epoch": self._run_epoch,
+        })
+
+    def _take_snapshot(self, pipes, procs, deadline: float) -> str:
+        """Coordinate a Chandy-Lamport cut and archive it here.
+
+        Every worker cuts its local subsystems, lets the marks cross,
+        and pushes a :class:`NodeArchive` back — the coordinator is the
+        run's stable storage, so the restore point survives any worker.
+        """
+        names = sorted(self._nodes)
+        snapshot_id = new_snapshot_id()
+        for name in names:
+            pipes[name].send(("cut", snapshot_id))
+        archives: Dict[str, NodeArchive] = {}
+        for name in names:
+            archives[name] = self._expect(
+                pipes, procs, name, "cut-data", deadline,
+                match=lambda a: a.snapshot_id == snapshot_id)
+        self._archives = archives
+        self._restore_point = snapshot_id
+        if self.telemetry.enabled:
+            self.telemetry.count("migration.snapshots")
+        return snapshot_id
+
+    def _drain_wire(self, pipes, procs, deadline: float) -> None:
+        """Wait until nothing is in flight anywhere: all queued batches
+        flushed, inboxes pumped dry, fault-held deliveries released, and
+        the global wire counters balanced across two consecutive probes.
+        Workers must already be halted (their drain rounds keep pumping)."""
+        previous = None
+        while True:
+            if _time.monotonic() > deadline:
+                raise SimulationError(
+                    "migration drain did not reach wire quiescence "
+                    "within the timeout")
+            for name in sorted(procs):
+                pipes[name].send(("status?",))
+            statuses = {name: self._expect(pipes, procs, name, "status",
+                                           deadline)
+                        for name in sorted(procs)}
+            wire_out = sum(st["wire_out"] for st in statuses.values())
+            wire_in = sum(st["wire_in"] for st in statuses.values())
+            pending = sum(st["pending"] for st in statuses.values())
+            balanced = pending == 0 and wire_out == wire_in
+            signature = (wire_out, wire_in)
+            if balanced and signature == previous:
+                return
+            previous = signature if balanced else None
+            _time.sleep(0.01)
+
+    def _resplice(self, moved, pipes, procs) -> None:
+        """Re-splice every channel endpoint that touches a moved node:
+        shm rings are recreated (a killed producer can leave a torn
+        frame), survivors drop cached connections and stale peer
+        addresses, and the moved nodes learn the full peer map."""
+        names = sorted(self._nodes)
+        moved_set = set(moved)
+        fresh: Dict[Tuple[str, str], str] = {}
+        if self.transport == "shm":
+            for link in self._ring_links():
+                if not (set(link) & moved_set):
+                    continue
+                old = self._segments.pop(link, None)
+                if old is not None:
+                    try:
+                        old.close()
+                        old.unlink()
+                    except OSError:
+                        pass
+                segment = create_ring_segment(self.ring_capacity)
+                self._segments[link] = segment
+                fresh[link] = segment.name
+        repeer = {name: ("127.0.0.1", self._ports[name])
+                  for name in sorted(moved_set)}
+        for name in names:
+            if name in moved_set:
+                continue
+            # ``repeer`` first: it retires the survivor's rings to the
+            # moved nodes (shm) and closes cached connections, so the
+            # fresh ring attach below cannot be clobbered.
+            pipes[name].send(("repeer", repeer))
+            touched = {link: ring for link, ring in fresh.items()
+                       if name in link}
+            if touched:
+                pipes[name].send(("rings", touched))
+        for name in sorted(moved_set):
+            if self.transport == "shm":
+                mine = {link: seg.name
+                        for link, seg in self._segments.items()
+                        if name in link}
+                pipes[name].send(("rings", mine))
+            peers = {peer: ("127.0.0.1", port)
+                     for peer, port in self._ports.items() if peer != name}
+            pipes[name].send(("peers", peers))
+
+    def _restore_all(self, pipes, procs, until: float,
+                     deadline: float) -> Tuple[int, int]:
+        """Roll every worker back to the current restore point under a
+        new migration epoch.  Returns (archived bytes, replayed count)."""
+        names = sorted(self._nodes)
+        self._run_epoch += 1
+        resent = resent_counts(self._archives.values())
+        snapshot_bytes = 0
+        for name in names:
+            archive = self._archives[name]
+            snapshot_bytes += archive.storage_bytes()
+            pipes[name].send(("restore", {
+                "epoch": self._run_epoch,
+                "until": until,
+                "images": archive.images,
+                "resent": resent,
+                "minter_ordinals": archive.minter_ordinals,
+            }))
+        epoch = self._run_epoch
+        for name in names:
+            self._expect(pipes, procs, name, "restored", deadline,
+                         match=lambda e: e == epoch)
+        return snapshot_bytes, sum(resent.values())
+
+    def _failover(self, dead_nodes, pipes, procs, until: float,
+                  deadline: float, global_now: float, *,
+                  reason: str) -> None:
+        """Replace dead workers and roll the run back to the last
+        completed global snapshot (tolerating cascading deaths)."""
+        if self._restore_point is None:
+            raise NodeFailure(
+                f"node {dead_nodes[0]!r} failed before a restore point "
+                "existed — cannot fail over", node=dead_nodes[0])
+        names = sorted(self._nodes)
+        wall_started = _time.perf_counter()
+        if self.telemetry.enabled:
+            for name in dead_nodes:
+                self.telemetry.count("migration.failovers")
+                self.telemetry.trace(TraceKind.MIGRATION, time=global_now,
+                                     subject=name, reason=reason,
+                                     epoch=self._run_epoch + 1)
+        pool = self._acquire_pool()
+        dead = sorted(set(dead_nodes))
+        token = f"halt-{next(self._ctl_seq)}"
+        halt_sent: set = set()
+        halt_acked: set = set()
+        job_sent: set = set()
+        ported: set = set()
+        adopted: Dict[str, _PoolWorker] = {}
+        attempts = 0
+        while True:
+            fresh = sorted(name for name in dead if name not in adopted)
+            for name in fresh:
+                old = procs[name]
+                old.kill()
+                pool.release(old, healthy=False)   # respawns the slot
+                self._log_placement(name, old, "lost")
+                if self.detector is not None:
+                    self.detector.forget(name)
+            replacements = pool.acquire(len(fresh))
+            for name, worker in zip(fresh, replacements):
+                procs[name] = worker
+                pipes[name] = worker.conn
+                adopted[name] = worker
+                self._log_placement(name, worker, "adopted")
+            try:
+                for name in names:
+                    if name not in dead and name not in halt_sent:
+                        pipes[name].send(("halt", token))
+                        halt_sent.add(name)
+                for name in names:
+                    if name not in dead and name not in halt_acked:
+                        self._expect(pipes, procs, name, "halted", deadline,
+                                     match=lambda t: t == token)
+                        halt_acked.add(name)
+                for name in sorted(dead):
+                    if name not in job_sent:
+                        pipes[name].send(("job", self.worker_spec(name)))
+                        job_sent.add(name)
+                for name in sorted(dead):
+                    if name not in ported:
+                        self._ports[name] = self._expect(pipes, procs, name,
+                                                         "port", deadline)
+                        ported.add(name)
+                self._resplice(dead, pipes, procs)
+                snapshot_bytes, replayed = self._restore_all(
+                    pipes, procs, until, deadline)
+                for name in names:
+                    pipes[name].send(("start", until))
+            except NodeFailure as exc:
+                # Another worker (survivor or replacement) died during
+                # the splice: fold it in and restart the round.  Stale
+                # acks the aborted round left queued are token-vetted,
+                # so the retry cannot misread them.
+                attempts += 1
+                if exc.node is None or attempts > 2 * len(names) + 4:
+                    raise
+                dead = sorted(set(dead) | {exc.node})
+                for tracker in (adopted, ):
+                    tracker.pop(exc.node, None)
+                for tracker in (halt_sent, halt_acked, job_sent, ported):
+                    tracker.discard(exc.node)
+                continue
+            break
+        if self.detector is not None:
+            now = _time.monotonic()
+            for name in names:
+                self.detector.beat(name, now)
+        wall_pause = _time.perf_counter() - wall_started
+        for name in dead:
+            self.migrations.append(MigrationRecord(
+                kind="failover", node=name, reason=reason,
+                epoch=self._run_epoch, snapshot_id=self._restore_point,
+                at_global_time=global_now, wall_pause=wall_pause,
+                snapshot_bytes=snapshot_bytes,
+                replayed_messages=replayed))
+
+    def _do_migrate(self, nodes, pipes, procs, until: float,
+                    deadline: float, global_now: float) -> None:
+        """Move live nodes to fresh workers: halt, drain the wire, cut,
+        re-splice, restore under a new epoch, resume."""
+        names = sorted(self._nodes)
+        moved = sorted(set(name for name in nodes if name in procs))
+        if not moved:
+            return
+        wall_started = _time.perf_counter()
+        if self.telemetry.enabled:
+            for name in moved:
+                self.telemetry.count("migration.migrations")
+                self.telemetry.trace(TraceKind.MIGRATION, time=global_now,
+                                     subject=name, reason="requested",
+                                     epoch=self._run_epoch + 1)
+        # 1. Stop the world; halted workers keep pumping the wire dry.
+        token = f"halt-{next(self._ctl_seq)}"
+        for name in names:
+            pipes[name].send(("halt", token))
+        for name in names:
+            self._expect(pipes, procs, name, "halted", deadline,
+                         match=lambda t: t == token)
+        # 2. Nothing in flight may be dropped (or duplicated) by the
+        #    re-splice, so the cut happens on a provably empty wire.
+        self._drain_wire(pipes, procs, deadline)
+        # 3. Cut at the drained state: this *advances* the restore point
+        #    (a later failover resumes from here, not from t=0).
+        snapshot_id = self._take_snapshot(pipes, procs, deadline)
+        pool = self._acquire_pool()
+        # Acquire every replacement *before* releasing the old workers:
+        # a released worker goes straight back into the idle set, and a
+        # "migration" that re-adopts the process it just left would move
+        # nothing.
+        replacements = dict(zip(moved, pool.acquire(len(moved))))
+        for name in moved:
+            # 4. Carry the old worker's telemetry home before releasing
+            #    it: pre-migrate spans must stay in the merged trace so
+            #    post-migrate receives still chain to their sends.
+            pipes[name].send(("report?",))
+            self._carryover.append(
+                (name, self._expect(pipes, procs, name, "report", deadline)))
+            old = procs[name]
+            try:
+                pipes[name].send(("stop",))
+            except OSError:
+                pass
+            clean = self._drain_job_done(old, timeout=2.5)
+            pool.release(old, healthy=clean)
+            self._log_placement(name, old, "released")
+            replacement = replacements[name]
+            procs[name] = replacement
+            pipes[name] = replacement.conn
+            self._log_placement(name, replacement, "adopted")
+            pipes[name].send(("job", self.worker_spec(name)))
+            self._ports[name] = self._expect(pipes, procs, name, "port",
+                                             deadline)
+        # 5. Re-splice every affected endpoint, restore, resume.
+        self._resplice(moved, pipes, procs)
+        snapshot_bytes, replayed = self._restore_all(pipes, procs, until,
+                                                     deadline)
+        for name in names:
+            pipes[name].send(("start", until))
+        if self.detector is not None:
+            now = _time.monotonic()
+            for name in names:
+                self.detector.beat(name, now)
+        wall_pause = _time.perf_counter() - wall_started
+        for name in moved:
+            self.migrations.append(MigrationRecord(
+                kind="migrate", node=name, reason="requested",
+                epoch=self._run_epoch, snapshot_id=snapshot_id,
+                at_global_time=global_now, wall_pause=wall_pause,
+                snapshot_bytes=snapshot_bytes,
+                replayed_messages=replayed))
+
     def _supervise(self, pipes, procs, until: float,
                    deadline: float) -> None:
         """Probe workers until distributed quiescence (double probe over
         idle flags, event horizons and wire-counter sums), firing
-        scheduled crashes when global virtual time reaches them."""
+        scheduled crashes when global virtual time reaches them.
+
+        Under ``failure_policy="migrate"`` this is the supervisor: every
+        status reply feeds the heartbeat detector, and a dead, silent or
+        crashed worker triggers :meth:`_failover` instead of a raised
+        :class:`NodeFailure`."""
         pending_crashes = sorted(
             self.fault_plan.crashes, key=lambda c: (c.at_time, c.node)) \
             if self.fault_plan is not None else []
@@ -1070,13 +1658,23 @@ class MultiprocessCoSimulation:
             if crash.node not in procs:
                 raise ConfigurationError(
                     f"scheduled crash for unknown node {crash.node!r}")
+        supervised = self.failure_policy == "migrate"
+        detector = self.detector
+        if detector is not None:
+            now = _time.monotonic()
+            for name in sorted(procs):
+                detector.beat(name, now)
         previous = None
         while True:
             if _time.monotonic() > deadline:
                 raise SimulationError(
                     "multiprocess run did not quiesce within the timeout")
+            dead: List[str] = []
             for name in sorted(procs):
                 if not procs[name].is_alive():
+                    if supervised:
+                        dead.append(name)
+                        continue
                     # Give a parting "error" message precedence over the
                     # bare death, if one is queued.  A dead worker's pipe
                     # never blocks (EOF is readable), so the real run
@@ -1084,28 +1682,95 @@ class MultiprocessCoSimulation:
                     # cannot race past a queued error into the generic
                     # "unresponsive" path.
                     self._expect(pipes, procs, name, "status", deadline)
-                pipes[name].send(("status?",))
-            statuses = {name: self._expect(pipes, procs, name, "status",
-                                           deadline)
-                        for name in sorted(procs)}
-            self._publish_status(statuses, until, phase="running")
+                try:
+                    pipes[name].send(("status?",))
+                except OSError:
+                    if not supervised:
+                        raise NodeFailure(
+                            f"node {name!r}: control pipe closed mid-run",
+                            node=name)
+                    dead.append(name)
+            statuses: Dict[str, dict] = {}
+            for name in sorted(procs):
+                if name in dead:
+                    continue
+                probe_deadline = deadline if not supervised else min(
+                    deadline, _time.monotonic() + self.heartbeat_timeout)
+                try:
+                    statuses[name] = self._expect(pipes, procs, name,
+                                                  "status", probe_deadline)
+                except NodeFailure:
+                    if not supervised:
+                        raise
+                    dead.append(name)
+                    continue
+                except SimulationError:
+                    if not supervised:
+                        raise
+                    # Silent within the heartbeat window: no beat this
+                    # sweep — the detector decides when silence becomes
+                    # a confirmed failure.
+                    continue
+                if detector is not None:
+                    detector.beat(name, _time.monotonic())
+            if detector is not None:
+                for name in detector.suspects(_time.monotonic()):
+                    if name not in dead:
+                        dead.append(name)
             times = [row["time"] for st in statuses.values()
                      for row in st["subsystems"]]
             global_now = min(times, default=0.0)
+            if dead:
+                self._failover(sorted(set(dead)), pipes, procs, until,
+                               deadline, global_now, reason="worker-death")
+                previous = None
+                continue
+            self._publish_status(statuses, until, phase="running")
+            fired = False
             while pending_crashes and pending_crashes[0].at_time <= global_now:
                 crash = pending_crashes.pop(0)
-                pipes[crash.node].send(("crash",))
                 if self.telemetry.enabled:
                     self.telemetry.count("fault.node_crashes")
                     self.telemetry.trace(TraceKind.NODE_CRASH,
                                          time=global_now, subject=crash.node)
-                raise NodeFailure(
-                    f"node {crash.node!r} crashed at global time "
-                    f"{global_now:g} — the multiprocess executor cannot "
-                    "roll back; rerun under CoSimulation with "
-                    "failure_policy='recover' for crash recovery",
-                    node=crash.node)
-            quiet = True
+                if not supervised:
+                    pipes[crash.node].send(("crash",))
+                    raise NodeFailure(
+                        f"node {crash.node!r} crashed at global time "
+                        f"{global_now:g} — the multiprocess executor cannot "
+                        "roll back; rerun under CoSimulation with "
+                        "failure_policy='recover' for crash recovery, or "
+                        "use failure_policy='migrate' here for supervised "
+                        "failover",
+                        node=crash.node)
+                # Supervised: a scheduled NodeCrash models the whole
+                # machine dying — kill the worker process and fail over.
+                procs[crash.node].kill()
+                self._failover([crash.node], pipes, procs, until, deadline,
+                               global_now, reason="scheduled-crash")
+                fired = True
+            if fired:
+                previous = None
+                continue
+            if supervised:
+                requested = self._due_migrations(global_now)
+                if requested:
+                    try:
+                        self._do_migrate(requested, pipes, procs, until,
+                                         deadline, global_now)
+                    except NodeFailure as exc:
+                        # A worker died mid-migration.  The migration is
+                        # abandoned; every node it had in flight (plus
+                        # the dead one) fails over to a fresh worker so
+                        # none is left half-adopted.
+                        if exc.node is None:
+                            raise
+                        self._failover(sorted(set(requested) | {exc.node}),
+                                       pipes, procs, until, deadline,
+                                       global_now, reason="worker-death")
+                    previous = None
+                    continue
+            quiet = len(statuses) == len(procs)
             signature = []
             wire_out = wire_in = 0
             for name in sorted(statuses):
@@ -1194,6 +1859,25 @@ class MultiprocessCoSimulation:
             trace_dropped += bundle["trace_dropped"]
             dropped_by_node[name] = bundle["trace_dropped"]
             trace_by_node[name] = bundle.get("trace", [])
+        for name, bundle in self._carryover:
+            # A migrated-away worker's parting telemetry: the activity it
+            # hosted before the move.  Its placement rows (subsystems,
+            # links, gauges, dispatched) are superseded by the adopting
+            # worker's final bundle, but its counters and — critically —
+            # its trace records are not: post-migrate receives chain to
+            # spans only this bundle recorded.
+            merge_counters(counters, bundle["counters"])
+            merge_histograms(histograms, bundle["histograms"])
+            merge_counters(faults, bundle["faults"])
+            merge_counters(trace_counts, bundle["trace_counts"])
+            merge_timings(timings, bundle["timings"])
+            trace_dropped += bundle["trace_dropped"]
+            dropped_by_node[name] = dropped_by_node.get(name, 0) \
+                + bundle["trace_dropped"]
+            trace_by_node[name] = bundle.get("trace", []) \
+                + trace_by_node.get(name, [])
+        if self.detector is not None:
+            gauges["mp.suspicions"] = self.detector.suspicions
         report.subsystems = sorted(subsystem_rows, key=lambda r: r["name"])
         report.links = merge_link_rows(link_rows)
         report.counters = dict(sorted(counters.items()))
@@ -1207,4 +1891,5 @@ class MultiprocessCoSimulation:
         report.stall_attribution = stall_attribution(
             report.trace_records, nodes=subject_nodes(report))
         report.timings = dict(sorted(timings.items()))
+        report.migrations = [record.to_dict() for record in self.migrations]
         return report

@@ -34,6 +34,11 @@ class RunReport:
     histograms: dict = field(default_factory=dict)
     #: (straggler_time, snapshot_id, restored_time) per recovery.
     rollbacks: List[dict] = field(default_factory=list)
+    #: One :class:`~repro.distributed.migration.MigrationRecord` dict per
+    #: live migration or supervised failover (multiprocess runs under
+    #: ``failure_policy="migrate"``; empty otherwise).  ``wall_pause`` and
+    #: ``snapshot_bytes`` are measurements, not simulation state.
+    migrations: List[dict] = field(default_factory=list)
     #: Exact fault/retry counters from the fault injector, when one is
     #: attached — deterministic for a given plan seed, unlike
     #: :attr:`counters` which may lose ticks under thread contention.
@@ -65,6 +70,7 @@ class RunReport:
             "gauges": self.gauges,
             "histograms": self.histograms,
             "rollbacks": self.rollbacks,
+            "migrations": self.migrations,
             "faults": self.faults,
             "trace": {"counts": self.trace_counts,
                       "dropped": self.trace_dropped,
@@ -131,6 +137,16 @@ class RunReport:
                 [[str(i + 1), f"{row['straggler_time']:g}",
                   row["snapshot_id"], f"{row['restored_time']:g}"]
                  for i, row in enumerate(self.rollbacks)]))
+        if self.migrations:
+            out.append("")
+            out.append(_table(
+                ["move", "node", "reason", "t", "epoch", "pause",
+                 "bytes", "replayed"],
+                [[row["kind"], row["node"], row["reason"],
+                  f"{row['at_global_time']:g}", str(row["epoch"]),
+                  f"{row['wall_pause']:.3f}s", str(row["snapshot_bytes"]),
+                  str(row["replayed_messages"])]
+                 for row in self.migrations]))
         if self.faults:
             out.append("")
             out.append(_table(

@@ -59,6 +59,11 @@ class SpanMinter:
 
     def __init__(self) -> None:
         self._ordinals: Dict[str, int] = {}
+        #: Migration epoch.  Epoch 0 keeps the legacy ``origin:ordinal``
+        #: span format; after a failover bumps the epoch, spans are
+        #: namespaced ``origin@eN:ordinal`` so a restarted ordinal stream
+        #: can never collide with spans minted before the rollback.
+        self.epoch = 0
 
     def mint(self, origin: str,
              cause: Optional[TraceContext] = None) -> TraceContext:
@@ -69,13 +74,26 @@ class SpanMinter:
         """
         ordinal = self._ordinals.get(origin, 0) + 1
         self._ordinals[origin] = ordinal
-        span = f"{origin}:{ordinal}"
+        stem = origin if self.epoch == 0 else f"{origin}@e{self.epoch}"
+        span = f"{stem}:{ordinal}"
         if cause is None:
             return (span, span, None, 0)
         return (cause[0], span, cause[1], cause[3] + 1)
 
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def ordinals(self) -> Dict[str, int]:
+        """Current per-origin counters (transferred on migration so the
+        moved node's ordinal stream continues where it left off)."""
+        return dict(self._ordinals)
+
+    def load_ordinals(self, ordinals: Dict[str, int]) -> None:
+        self._ordinals.update(ordinals)
+
     def reset(self) -> None:
         self._ordinals.clear()
+        self.epoch = 0
 
 
 def ensure_context(telemetry, message: Message) -> Optional[TraceContext]:
@@ -99,8 +117,10 @@ def span_details(context: Optional[TraceContext]) -> dict:
 
 
 def span_origin(span: str) -> str:
-    """The node that minted ``span`` (the prefix of its id)."""
-    return span.rsplit(":", 1)[0]
+    """The node that minted ``span`` (the prefix of its id, minus any
+    post-failover ``@eN`` epoch namespace)."""
+    stem = span.rsplit(":", 1)[0]
+    return stem.rsplit("@e", 1)[0]
 
 
 def _as_dict(record) -> dict:

@@ -45,6 +45,8 @@ class TraceKind:
     NODE_RECOVER = "node-recover"
     #: A failed node was dropped from the run (graceful degradation).
     NODE_DROP = "node-drop"
+    #: A node moved to a fresh worker (live migration or failover).
+    MIGRATION = "migration"
 
 
 #: Core field names details must never shadow (see TraceRecord.to_dict).

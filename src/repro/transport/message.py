@@ -64,6 +64,11 @@ class Message:
     #: the sending transport when telemetry is enabled (see
     #: :mod:`repro.observability.spans`); ``None`` when tracing is off.
     trace: Optional[tuple] = None
+    #: Migration epoch stamped by the sending transport.  Receivers drop
+    #: frames from an older epoch: after a failover rolls the run back,
+    #: stale traffic from the pre-failover world must not leak into the
+    #: restored state (see :mod:`repro.distributed.migration`).
+    epoch: int = 0
 
     def reply(self, kind: MessageKind, *, time: float = 0.0,
               payload: Any = None) -> "Message":
@@ -111,6 +116,9 @@ class BatchFrame:
     dst: str
     messages: list
     grants: list = field(default_factory=list)
+    #: Migration epoch of the sending transport at flush time (stale
+    #: frames are dropped whole — every member shares the sender's world).
+    epoch: int = 0
 
     def __len__(self) -> int:
         return len(self.messages) + len(self.grants)

@@ -230,6 +230,12 @@ class SharedMemoryTransport(TcpTransport):
         self._spill_cond = threading.Condition()
         self._pump_threads: Dict[str, threading.Thread] = {}
         self._pump_running = True
+        #: Rings detached by a migration re-splice.  They stay mapped
+        #: (closed only at transport close) because a pump thread may
+        #: hold a just-detached ring for one more sweep — reading from a
+        #: retired ring is harmless (its traffic is from a fenced epoch),
+        #: reading from an unmapped one would crash.
+        self._retired_rings: list = []
 
     # ------------------------------------------------------------------
     # ring wiring
@@ -260,6 +266,27 @@ class SharedMemoryTransport(TcpTransport):
         """Directed links with an outbound ring (introspection/tests)."""
         with self._ring_lock:
             return tuple(sorted(self._out_rings))
+
+    def detach_node_rings(self, name: str) -> None:
+        """Detach every ring on a link touching node ``name`` plus its
+        spill bookkeeping (migration re-splice: the coordinator hands out
+        fresh segments for the node's new placement).  Pump threads
+        re-list their rings each sweep, so they simply stop seeing the
+        detached ones."""
+        with self._ring_lock:
+            for cache in (self._out_rings, self._in_rings):
+                for key in [k for k in cache if name in k]:
+                    self._retired_rings.append(cache.pop(key))
+            for key in [k for k in self._spill_seq if name in k]:
+                del self._spill_seq[key]
+        with self._spill_cond:
+            for key in [k for k in self._spills if name in k[:2]]:
+                del self._spills[key]
+            self._spill_cond.notify_all()
+
+    def forget_peer(self, name: str) -> None:
+        self.detach_node_rings(name)
+        super().forget_peer(name)
 
     # ------------------------------------------------------------------
     # producer fast path
@@ -406,9 +433,10 @@ class SharedMemoryTransport(TcpTransport):
         self._pump_threads.clear()
         with self._ring_lock:
             for ring in list(self._out_rings.values()) \
-                    + list(self._in_rings.values()):
+                    + list(self._in_rings.values()) + self._retired_rings:
                 ring.close()
             self._out_rings.clear()
             self._in_rings.clear()
+            self._retired_rings.clear()
         self._spills.clear()
         super().close()

@@ -85,7 +85,8 @@ def _open_call_error(message: Message):
 def _fault_envelope(tag: str, message: Message, ticks: int = 0) -> Message:
     return Message(kind=MessageKind.CONTROL, src=message.src,
                    dst=message.dst, channel=message.channel,
-                   time=message.time, payload=(tag, ticks, message))
+                   time=message.time, payload=(tag, ticks, message),
+                   epoch=message.epoch)
 
 
 def _open_fault_envelope(message: Message):
@@ -176,13 +177,25 @@ class _NodeEndpoint:
         :class:`Message` or a whole :class:`BatchFrame` — shared by the
         TCP receiver threads and the shared-memory ring pump."""
         if isinstance(message, BatchFrame):
+            transport = self.transport
+            if message.epoch != transport.epoch:
+                # A whole frame from a pre-failover world: every member
+                # shares the sender's epoch, so the frame drops whole.
+                transport._count_stale(len(message))
+                return
             for member in message.messages:
+                # Members were stamped at enqueue time; the frame's epoch
+                # is authoritative (enqueue and flush straddle no bump —
+                # rollback clears the batcher first).
+                member.epoch = message.epoch
                 self._ingest(member)
             if message.grants:
+                for grant in message.grants:
+                    grant.epoch = message.epoch
                 with self.lock:
                     self.inbox.extend(message.grants)
-                with self.transport.wire_lock:
-                    self.transport.wire_in += len(message.grants)
+                    with self.transport.wire_lock:
+                        self.transport.wire_in += len(message.grants)
                 self.transport._wake()
         else:
             self._ingest(message)
@@ -198,41 +211,45 @@ class _NodeEndpoint:
             return
         injector = transport.fault_injector
         opened = _open_fault_envelope(message)
-        if opened is not None:
-            tag, ticks, inner = opened
-            if injector is None:
-                # No fault plane on this side: deliver the inner message
-                # plainly rather than losing it.
-                with self.lock:
-                    self.inbox.append(inner)
-            elif tag == _FAULT_HOLD:
-                injector.hold(self.name, inner, ticks)
-            elif tag == _FAULT_SWAP:
-                injector.hold_swap(inner.src, self.name, inner)
-            else:   # _FAULT_DUP: the redundant copy of a duplicated send
-                injector.expect_duplicate(self.name, inner.msg_id,
-                                          src=inner.src)
-                with self.lock:
-                    self.inbox.append(inner)
-            # Counted only after the message is filed somewhere visible
-            # (inbox or injector queue): the quiescence balance check must
-            # never see wire_in caught up while a delivery is in limbo.
-            with transport.wire_lock:
-                transport.wire_in += 1
-            transport._wake()
-            return
         with self.lock:
-            self.inbox.append(message)
-        with transport.wire_lock:
-            transport.wire_in += 1
-        if injector is not None:
-            # A swap-parked message is released right behind the link's
-            # next arrival — the cross-process mirror of the sender-side
-            # take_swaps() call.
-            late = injector.take_swaps(message.src, self.name)
-            if late:
-                with self.lock:
-                    self.inbox.extend(late)
+            # Epoch check, filing and wire-count happen under one lock so
+            # a concurrent ``set_epoch`` (which takes every endpoint lock)
+            # can never zero the counters between a stale frame passing
+            # the check and being counted.
+            if message.epoch != transport.epoch:
+                transport._count_stale(1)
+                return
+            if opened is not None:
+                tag, ticks, inner = opened
+                if injector is None:
+                    # No fault plane on this side: deliver the inner
+                    # message plainly rather than losing it.
+                    self.inbox.append(inner)
+                elif tag == _FAULT_HOLD:
+                    injector.hold(self.name, inner, ticks)
+                elif tag == _FAULT_SWAP:
+                    injector.hold_swap(inner.src, self.name, inner)
+                else:   # _FAULT_DUP: redundant copy of a duplicated send
+                    injector.expect_duplicate(self.name, inner.msg_id,
+                                              src=inner.src)
+                    self.inbox.append(inner)
+                # Counted only after the message is filed somewhere
+                # visible (inbox or injector queue): the quiescence
+                # balance check must never see wire_in caught up while a
+                # delivery is in limbo.
+                with transport.wire_lock:
+                    transport.wire_in += 1
+            else:
+                self.inbox.append(message)
+                with transport.wire_lock:
+                    transport.wire_in += 1
+                if injector is not None:
+                    # A swap-parked message is released right behind the
+                    # link's next arrival — the cross-process mirror of
+                    # the sender-side take_swaps() call.
+                    late = injector.take_swaps(message.src, self.name)
+                    if late:
+                        self.inbox.extend(late)
         transport._wake()
 
     def close(self) -> None:
@@ -300,6 +317,13 @@ class TcpTransport:
         #: bumps can lose updates and the quiescence balance check would
         #: then spin until its timeout.
         self.wire_lock = threading.Lock()
+        #: Migration epoch (see :meth:`set_epoch`).  Outgoing traffic is
+        #: stamped with it; arrivals stamped with an older epoch are
+        #: dropped at ingest so a rolled-back run never sees ghosts from
+        #: the world it left.
+        self.epoch = 0
+        #: Frames dropped by the epoch fence (diagnostic).
+        self.stale_epoch_drops = 0
         #: The process that owns the live sockets.  A transport that
         #: crosses a ``fork``/``spawn`` must not reuse inherited FDs —
         #: the first touch from another PID drops them (see
@@ -328,6 +352,32 @@ class TcpTransport:
     def _accept_spill(self, message: Message) -> bool:
         """Intercept an shm spill envelope (shared-memory subclass only)."""
         return False
+
+    def _count_stale(self, n: int) -> None:
+        self.stale_epoch_drops += n
+        if self.telemetry.enabled:
+            self.telemetry.count("transport.stale_epoch_drops", n)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Enter migration epoch ``epoch`` and zero the wire counters.
+
+        Called at a failover/migration barrier while local senders are
+        parked.  Every endpoint lock is held across the switch so no
+        receiver thread can file a stale frame between the epoch bump and
+        the counter reset — afterwards the balance starts clean (0 == 0)
+        and any late frame from the old world drops at ingest.
+        """
+        endpoints = sorted(self._endpoints.values(), key=lambda e: e.name)
+        for endpoint in endpoints:
+            endpoint.lock.acquire()
+        try:
+            self.epoch = epoch
+            with self.wire_lock:
+                self.wire_out = 0
+                self.wire_in = 0
+        finally:
+            for endpoint in reversed(endpoints):
+                endpoint.lock.release()
 
     def attach_telemetry(self, telemetry) -> None:
         """Feed message traces and per-link counters to ``telemetry``."""
@@ -389,6 +439,21 @@ class TcpTransport:
         if name in self._endpoints:
             raise TransportError(f"node {name!r} is registered locally")
         self._peers[name] = (host, port)
+
+    def forget_peer(self, name: str) -> None:
+        """Drop a remote node's address plus every cached link and queued
+        batch touching it (the migration re-splice: the node is about to
+        be re-declared at its new home via :meth:`set_peer`)."""
+        self._peers.pop(name, None)
+        self.batcher.clear(name)
+        with self._conn_lock:
+            for cache in (self._conns, self._call_conns):
+                for key in [k for k in cache if name in k]:
+                    entry = cache.pop(key)
+                    try:
+                        entry.sock.close()
+                    except OSError:
+                        pass
 
     def local_port(self, name: str) -> int:
         """The TCP port node ``name``'s local endpoint listens on."""
@@ -469,6 +534,8 @@ class TcpTransport:
         with self.wire_lock:
             self.wire_out = 0
             self.wire_in = 0
+        self.epoch = 0
+        self.stale_epoch_drops = 0
 
     # ------------------------------------------------------------------
     def _connection(self, src: str, dst: str) -> _Connection:
@@ -573,6 +640,7 @@ class TcpTransport:
     # ------------------------------------------------------------------
     def send(self, message: Message) -> float:
         self._guard_process()
+        message.epoch = self.epoch
         if self.telemetry.enabled:
             # Mint before the fault plane decides the fate: duplicates,
             # delays and retries all re-encode this message, so every
@@ -689,7 +757,8 @@ class TcpTransport:
             if not self._known(d):
                 continue    # destination unregistered after enqueue
             grants = provider(s, d) if provider is not None else []
-            blob = encode_batch(BatchFrame(s, d, members, grants))
+            blob = encode_batch(BatchFrame(s, d, members, grants,
+                                           epoch=self.epoch))
             delay = self.accounting.record_frame(s, d, len(blob),
                                                  len(members))
             if self.delay_scale > 0:
@@ -710,7 +779,8 @@ class TcpTransport:
             return False
         if not self._known(dst):
             return False
-        blob = encode_batch(BatchFrame(src, dst, [], list(grants)))
+        blob = encode_batch(BatchFrame(src, dst, [], list(grants),
+                                       epoch=self.epoch))
         delay = self.accounting.record_frame(src, dst, len(blob), 0)
         if self.delay_scale > 0:
             _time.sleep(delay * self.delay_scale)

@@ -335,3 +335,19 @@ class TestWarmPool:
         pool.close()
         with pytest.raises(ConfigurationError):
             pool.acquire(1)
+
+    def test_unhealthy_release_respawns_replacement(self):
+        """A worker that died mid-job must not shrink the pool: an
+        unhealthy release spawns a replacement into the idle set, so
+        capacity stays constant across failovers (regression — the pool
+        used to silently lose a slot on every worker death)."""
+        with WorkerPool() as pool:
+            first, second = pool.acquire(2)
+            assert pool.spawned == 2
+            first.proc.terminate()
+            first.proc.join(timeout=5.0)
+            pool.release(first, healthy=False)
+            pool.release(second)
+            assert pool.spawned == 3
+            assert pool.idle_count() == 2
+            assert all(worker.is_alive() for worker in pool.acquire(2))

@@ -39,6 +39,7 @@ FAST_EXAMPLES = [
     "legacy_tool_wrapper.py",
     "real_sockets.py",
     "multiprocess_nodes.py",
+    "migrate_node.py",
 ]
 
 
