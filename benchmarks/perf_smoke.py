@@ -1,18 +1,28 @@
 #!/usr/bin/env python
-"""CI perf smoke: the batched fast path must actually save frames.
+"""CI perf smoke: fast paths must stay fast, and the gates say how fast.
 
-Runs the Fig. 4 safe-time scenario (three subsystems, conservative
-channels) twice — batching off, then on — and asserts the ISSUE 3
-invariants:
+Four sections, all recorded into the machine-readable results file
+(``BENCH_pr8.json`` / ``$PIA_BENCH_JSON``) and all gated — the script
+exits non-zero on any regression so CI can fail on it:
 
-* the batched run puts strictly fewer frames on the wire;
-* it sends no more safe-time request messages than the unbatched run;
-* the simulation itself is unchanged: identical per-subsystem virtual
-  times and dispatched-event counts.
-
-Both configurations are recorded into the machine-readable results file
-(``BENCH_pr4.json`` / ``$PIA_BENCH_JSON``).  Exits non-zero on any
-regression, so CI can gate on it.
+* **Batching** (ISSUE 3): the Fig. 4 safe-time scenario runs with
+  batching off then on; the batched run must put strictly fewer frames
+  on the wire, send no more safe-time requests, and leave the
+  simulation itself bit-identical.
+* **Telemetry pay-for-use** (ISSUE 8): the same scenario with telemetry
+  disabled must buffer zero trace records and leave the simulation
+  unchanged; a dedicated micro-bench additionally proves a disabled
+  scheduler run touches no counters, gauges, histograms or traces at
+  all.
+* **Dispatch hot path** (ISSUE 8): raw scheduler throughput is measured
+  at several event counts (the curve shows whether per-event overhead
+  is flat) and the best rate must clear ``$PIA_DISPATCH_FLOOR``
+  (default 146000 ev/s — the pre-codec seed's rate, i.e. "never again
+  slower than before the rewrite").
+* **Wire codec** (ISSUE 8): every hot message kind is encoded with the
+  binary codec and with pickle across a sweep of payload sizes;
+  SIGNAL and safe-time frames must be at least 3x smaller than their
+  pickles.
 
 Usage::
 
@@ -20,6 +30,7 @@ Usage::
 """
 
 import os
+import pickle
 import sys
 import time
 
@@ -31,7 +42,19 @@ from repro.bench import record_bench                      # noqa: E402
 from repro.core.events import Event, EventKind            # noqa: E402
 from repro.core.subsystem import Subsystem                # noqa: E402
 from repro.core.timestamp import Timestamp                # noqa: E402
+from repro.transport.codec import decode, encode          # noqa: E402
+from repro.transport.message import Message, MessageKind  # noqa: E402
 from bench_fig4_safe_time import _build                   # noqa: E402
+
+#: Floor for the dispatch micro-bench (events/second).  Defaults to the
+#: seed's measured rate before the ISSUE 8 hot-path work, so any commit
+#: that gives the win back fails CI.  Override for unusually slow or
+#: fast runners.
+DISPATCH_FLOOR = int(os.environ.get("PIA_DISPATCH_FLOOR", "146000"))
+
+#: SIGNAL / safe-time frames must be at least this many times smaller
+#: than the pickle of the same message.
+CODEC_RATIO_FLOOR = 3.0
 
 
 def run(batching, telemetry=True):
@@ -81,6 +104,109 @@ def dispatch_rate(events=200_000):
     return dispatched, wall
 
 
+def dispatch_curve(counts=(20_000, 50_000, 100_000, 200_000)):
+    """``dispatch_rate`` at several event counts.
+
+    A flat curve means per-event cost dominates (the figure is honest);
+    a rate that climbs steeply with size would mean fixed setup cost is
+    polluting the small points.
+    """
+    curve = []
+    for events in counts:
+        dispatched, wall = dispatch_rate(events)
+        rate = dispatched / wall if wall else float("inf")
+        curve.append({"events": dispatched, "wall_seconds": round(wall, 6),
+                      "events_per_second": round(rate)})
+    return curve
+
+
+def telemetry_noop_probe(events=50_000):
+    """Prove a telemetry-disabled scheduler run touches nothing.
+
+    Returns the number of metric instruments plus buffered trace records
+    observed after dispatching ``events`` events with telemetry off —
+    the gate requires exactly zero.
+    """
+    subsystem = Subsystem("silent")
+    scheduler = subsystem.scheduler
+    telemetry = subsystem.telemetry
+    telemetry.disable()
+    remaining = events
+
+    def tick(event):
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            scheduler.schedule(Event(Timestamp(event.ts.time + 1.0),
+                                     EventKind.CONTROL, tick))
+
+    scheduler.schedule(Event(Timestamp(0.0), EventKind.CONTROL, tick))
+    scheduler.run()
+    snapshot = telemetry.registry.snapshot()
+    touches = (len(snapshot["counters"]) + len(snapshot["gauges"])
+               + len(snapshot["histograms"])
+               + len(telemetry.trace_buffer.records()))
+    return touches
+
+
+#: kind -> payload sweep for the codec micro-bench.  SIGNAL sweeps the
+#: carried value from a scalar to 16 KiB blobs; the safe-time kinds and
+#: MARK are single-shape protocol messages; CONTROL with a set payload
+#: exercises the pickle fallback (the worst case for the ratio).
+_CODEC_CASES = [
+    ("signal_scalar", Message(MessageKind.SIGNAL, "alpha", "beta",
+                              channel="bus", time=1.25, msg_id=12, epoch=1,
+                              payload=("engine", "clk", 1))),
+    ("signal_str_64", Message(MessageKind.SIGNAL, "alpha", "beta",
+                              channel="bus", time=1.25, msg_id=12, epoch=1,
+                              payload=("engine", "bus", "x" * 64))),
+    ("signal_bytes_1k", Message(MessageKind.SIGNAL, "alpha", "beta",
+                                channel="bus", time=1.25, msg_id=12, epoch=1,
+                                payload=("engine", "bus", b"x" * 1024))),
+    ("signal_bytes_16k", Message(MessageKind.SIGNAL, "alpha", "beta",
+                                 channel="bus", time=1.25, msg_id=12, epoch=1,
+                                 payload=("engine", "bus", b"x" * 16384))),
+    ("safe_time_request", Message(MessageKind.SAFE_TIME_REQUEST,
+                                  "alpha", "beta", time=4.0, request_id=7,
+                                  payload=("alpha", "gamma",
+                                           ("alpha", "beta", "gamma")))),
+    ("safe_time_reply", Message(MessageKind.SAFE_TIME_REPLY, "beta", "alpha",
+                                time=4.0, request_id=7, payload=(3, 7))),
+    ("safe_time_grant", Message(MessageKind.SAFE_TIME_GRANT, "beta", "alpha",
+                                time=5.0, payload=(0, 0))),
+    ("mark", Message(MessageKind.MARK, "alpha", "beta", time=2.0,
+                     payload={"snapshot": "s1", "cut": 4.0})),
+    ("control_fallback", Message(MessageKind.CONTROL, "alpha", "beta",
+                                 time=0.0, payload={"targets", "as-a-set"})),
+]
+
+
+def codec_bench(iterations=3000):
+    """Codec vs pickle: bytes on the wire and round-trip throughput."""
+    rows = {}
+    for name, message in _CODEC_CASES:
+        codec_blob = encode(message)
+        pickle_blob = pickle.dumps(message, pickle.HIGHEST_PROTOCOL)
+        start = time.perf_counter()
+        for _ in range(iterations):
+            decode(encode(message))
+        codec_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(iterations):
+            pickle.loads(pickle.dumps(message, pickle.HIGHEST_PROTOCOL))
+        pickle_wall = time.perf_counter() - start
+        rows[name] = {
+            "codec_bytes": len(codec_blob),
+            "pickle_bytes": len(pickle_blob),
+            "size_ratio": round(len(pickle_blob) / len(codec_blob), 2),
+            "codec_roundtrips_per_second":
+                round(iterations / codec_wall) if codec_wall else None,
+            "pickle_roundtrips_per_second":
+                round(iterations / pickle_wall) if pickle_wall else None,
+        }
+    return rows
+
+
 def main():
     base = run(batching=False)
     batched = run(batching=True)
@@ -90,13 +216,31 @@ def main():
         record_bench("perf_smoke", case, report=r["report"],
                      wall_seconds=r["wall"])
 
-    events, wall = dispatch_rate()
-    rate = events / wall if wall else float("inf")
-    record_bench("perf_smoke", "dispatch_rate", wall_seconds=wall,
-                 extra={"events": events,
-                        "events_per_second": round(rate)})
-    print(f"dispatch rate : {events} events in {wall:.3f}s "
-          f"({rate:,.0f} ev/s)")
+    curve = dispatch_curve()
+    best_rate = max(point["events_per_second"] for point in curve)
+    for point in curve:
+        record_bench("dispatch_rate", f"events_{point['events']}",
+                     wall_seconds=point["wall_seconds"],
+                     extra={"events": point["events"],
+                            "events_per_second": point["events_per_second"]})
+    print("dispatch curve:")
+    for point in curve:
+        print(f"  {point['events']:>7} events : "
+              f"{point['events_per_second']:>9,} ev/s")
+
+    codec_rows = codec_bench()
+    for case, row in codec_rows.items():
+        record_bench("codec", case, extra=row)
+    print("codec vs pickle (bytes, ratio, round-trips/s):")
+    for case, row in codec_rows.items():
+        print(f"  {case:<18} {row['codec_bytes']:>6}B vs "
+              f"{row['pickle_bytes']:>6}B  ({row['size_ratio']:>5.2f}x)  "
+              f"{row['codec_roundtrips_per_second']:>8,}/s vs "
+              f"{row['pickle_roundtrips_per_second']:>8,}/s")
+
+    telemetry_touches = telemetry_noop_probe()
+    record_bench("perf_smoke", "telemetry_noop",
+                 extra={"instrument_touches": telemetry_touches})
 
     print(f"frames        : {base['frames']} -> {batched['frames']} "
           f"({base['frames'] / batched['frames']:.2f}x)")
@@ -107,11 +251,16 @@ def main():
 
     failures = []
     # The disabled path must stay a true no-op: no spans minted, no
-    # records buffered, and an identical simulation.
+    # records buffered, no instruments touched, an identical simulation.
     if silent["trace_records"] != 0:
         failures.append(
             f"telemetry-disabled run still buffered "
             f"{silent['trace_records']} trace records")
+    if telemetry_touches != 0:
+        failures.append(
+            f"telemetry-disabled scheduler touched {telemetry_touches} "
+            f"instruments/records — the disabled path is paying for "
+            f"telemetry it does not emit")
     if silent["progress"] != batched["progress"]:
         failures.append(
             "simulation state diverged with telemetry disabled:\n"
@@ -128,11 +277,23 @@ def main():
         failures.append(
             "simulation state diverged between batching modes:\n"
             f"  off: {base['progress']}\n  on : {batched['progress']}")
+    if best_rate < DISPATCH_FLOOR:
+        failures.append(
+            f"dispatch rate regressed: best {best_rate:,} ev/s is below "
+            f"the floor {DISPATCH_FLOOR:,} ev/s (PIA_DISPATCH_FLOOR)")
+    for case in ("signal_scalar", "safe_time_request", "safe_time_reply",
+                 "safe_time_grant"):
+        ratio = codec_rows[case]["size_ratio"]
+        if ratio < CODEC_RATIO_FLOOR:
+            failures.append(
+                f"codec frame for {case} is only {ratio:.2f}x smaller "
+                f"than pickle (floor {CODEC_RATIO_FLOOR}x)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:
         return 1
-    print("perf smoke OK")
+    print(f"perf smoke OK (best dispatch {best_rate:,} ev/s, "
+          f"floor {DISPATCH_FLOOR:,})")
     return 0
 
 

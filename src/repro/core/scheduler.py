@@ -11,11 +11,20 @@ The paper implements this on the Java VM by making sure its thread
 scheduler only ever sees one runnable thread (section 3.1).  Here the same
 effect — total control over execution order — falls out of running
 component generators inline from a single dispatch loop.
+
+The dispatch loop is the hottest code in the tree (every signal, wake
+and control callback in every subsystem flows through it), so it is
+written flat: a precomputed per-kind handler table instead of an
+``if``/``elif`` chain, loop-invariant attribute lookups hoisted into
+locals, the heap drained directly (the queue mutates it in place, so
+the local binding stays valid across mid-run rollbacks), and the traced
+path split out so a telemetry-off run touches no telemetry state at
+all.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from heapq import heappop
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..observability import NULL_TELEMETRY, TraceKind
@@ -30,6 +39,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class Scheduler:
     """Dispatches events for one subsystem in deterministic time order."""
+
+    __slots__ = ("subsystem", "queue", "now", "dispatched", "stalls",
+                 "post_step_hooks", "telemetry", "_handlers")
 
     def __init__(self, subsystem: "Subsystem") -> None:
         self.subsystem = subsystem
@@ -46,6 +58,16 @@ class Scheduler:
         #: Telemetry sink; the owning Simulator/CoSimulation attaches a
         #: live one via Subsystem.attach_telemetry.
         self.telemetry = NULL_TELEMETRY
+        #: Per-kind dispatch table, indexed by ``EventKind.code``: one
+        #: tuple index replaces the old ``if``/``elif`` kind chain (and
+        #: avoids hashing an enum member) on every event.
+        table = {
+            EventKind.SIGNAL: self._dispatch_signal,
+            EventKind.INTERRUPT: self._dispatch_signal,
+            EventKind.WAKE: self._dispatch_wake,
+            EventKind.CONTROL: self._dispatch_control,
+        }
+        self._handlers = tuple(table[kind] for kind in EventKind)
 
     # ------------------------------------------------------------------
     def schedule(self, event: Event) -> Event:
@@ -59,7 +81,7 @@ class Scheduler:
         if telemetry.enabled and event.cause is None:
             cause = telemetry.cause
             if cause is not None:
-                event = replace(event, cause=cause)
+                event = event.with_cause(cause)
         return self.queue.push(event, now=self.now)
 
     def next_event_time(self) -> float:
@@ -69,40 +91,46 @@ class Scheduler:
     # ------------------------------------------------------------------
     def step(self) -> Optional[Event]:
         """Dispatch the earliest event; returns it, or ``None`` when idle."""
-        if not self.queue:
+        queue = self.queue
+        if not queue:
             return None
-        event = self.queue.pop()
-        if event.ts.time < self.now:
+        event = queue.pop()
+        time = event.ts.time
+        if time < self.now:
             raise CausalityError(
-                f"{self.subsystem.name}: event at {event.ts.time:g} popped "
+                f"{self.subsystem.name}: event at {time:g} popped "
                 f"after subsystem time reached {self.now:g}")
-        self.now = event.ts.time
-        telemetry = self.telemetry
-        traced = telemetry.enabled
-        if traced:
-            # Sends triggered by this dispatch mint child spans of the
-            # event's cause; cleared even on a straggler abort.
-            telemetry.cause = event.cause
-        try:
-            self._dispatch(event)
-        finally:
-            if traced:
-                telemetry.cause = None
-        self.dispatched += 1
-        if traced:
-            telemetry.count("scheduler.dispatched")
-            if event.cause is not None:
-                telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
-                                subject=self.subsystem.name,
-                                event=event.kind.value,
-                                cause=event.cause[1], hop=event.cause[3])
-            else:
-                telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
-                                subject=self.subsystem.name,
-                                event=event.kind.value)
+        self.now = time
+        if self.telemetry.enabled:
+            self._dispatch_traced(event)
+        else:
+            self._handlers[event.kind.code](event)
+            self.dispatched += 1
         for hook in self.post_step_hooks:
             hook(event)
         return event
+
+    def _dispatch_traced(self, event: Event) -> None:
+        """The telemetry-on dispatch path (split out of the hot loop)."""
+        telemetry = self.telemetry
+        # Sends triggered by this dispatch mint child spans of the
+        # event's cause; cleared even on a straggler abort.
+        telemetry.cause = event.cause
+        try:
+            self._handlers[event.kind.code](event)
+        finally:
+            telemetry.cause = None
+        self.dispatched += 1
+        telemetry.count("scheduler.dispatched")
+        if event.cause is not None:
+            telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
+                            subject=self.subsystem.name,
+                            event=event.kind.value,
+                            cause=event.cause[1], hop=event.cause[3])
+        else:
+            telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
+                            subject=self.subsystem.name,
+                            event=event.kind.value)
 
     def run(self, until: float = float("inf"), *,
             horizon=float("inf"),
@@ -119,24 +147,32 @@ class Scheduler:
         """
         horizon_fn = horizon if callable(horizon) else None
         count = 0
-        # Hot loop: hoist the attribute lookups that are loop-invariant
-        # (the queue and step bindings never change mid-run; telemetry is
-        # only consulted on the cold stall path).
-        queue = self.queue
-        peek = queue.next_time
-        step = self.step
-        while queue:
-            limit = horizon_fn() if horizon_fn is not None else horizon
-            bound = until if until < limit else limit
-            next_time = peek()
+        # Hot loop: every loop-invariant attribute access is hoisted.
+        # ``heap`` is the queue's own list — EventQueue mutates it in
+        # place, so the binding survives a rollback triggered from a
+        # CONTROL dispatch mid-run.  ``hooks`` is likewise the live list.
+        heap = self.queue._heap
+        handlers = self._handlers
+        hooks = self.post_step_hooks
+        telemetry = self.telemetry
+        traced = telemetry.enabled
+        static_bound = (until if horizon_fn is not None
+                        else until if until < horizon else horizon)
+        while heap:
+            if horizon_fn is not None:
+                limit = horizon_fn()
+                bound = until if until < limit else limit
+            else:
+                limit = horizon
+                bound = static_bound
+            next_time = heap[0][0].time
             if next_time > bound:
                 if next_time <= until and limit < until:
                     self.stalls += 1
-                    telemetry = self.telemetry
-                    if telemetry.enabled:
+                    if traced:
                         telemetry.count("scheduler.stalls")
-                        head = queue.peek()
-                        cause = head.cause if head is not None else None
+                        head = heap[0][1]
+                        cause = head.cause
                         if cause is not None:
                             # Link the stall to the chain of the event it
                             # is parked behind.
@@ -154,27 +190,50 @@ class Scheduler:
                 break
             if max_events is not None and count >= max_events:
                 break
-            step()
+            # Inlined step(): pop, advance time, dispatch.
+            event = heappop(heap)[1]
+            if next_time < self.now:
+                raise CausalityError(
+                    f"{self.subsystem.name}: event at {next_time:g} popped "
+                    f"after subsystem time reached {self.now:g}")
+            self.now = next_time
+            if traced:
+                self._dispatch_traced(event)
+            else:
+                handlers[event.kind.code](event)
+                self.dispatched += 1
+            if hooks:
+                for hook in hooks:
+                    hook(event)
             count += 1
         return count
 
     # ------------------------------------------------------------------
+    def _dispatch_signal(self, event: Event) -> None:
+        port: "Port" = event.target
+        owner = port.owner
+        if owner is None:
+            raise SimulationError(
+                f"signal delivered to orphan port {port.name!r}")
+        self._check_local_time(owner, event)
+        owner.deliver(event)
+
+    def _dispatch_wake(self, event: Event) -> None:
+        component: "Component" = event.target
+        component.deliver(event)
+
+    def _dispatch_control(self, event: Event) -> None:
+        event.target(event)
+
     def _dispatch(self, event: Event) -> None:
-        if event.kind in (EventKind.SIGNAL, EventKind.INTERRUPT):
-            port: "Port" = event.target
-            owner = port.owner
-            if owner is None:
-                raise SimulationError(
-                    f"signal delivered to orphan port {port.name!r}")
-            self._check_local_time(owner, event)
-            owner.deliver(event)
-        elif event.kind is EventKind.WAKE:
-            component: "Component" = event.target
-            component.deliver(event)
-        elif event.kind is EventKind.CONTROL:
-            event.target(event)
-        else:  # pragma: no cover - enum is closed
-            raise SimulationError(f"unknown event kind {event.kind!r}")
+        """Route one event to its per-kind handler (kept for callers and
+        tests that dispatch outside the run loop)."""
+        try:
+            handler = self._handlers[event.kind.code]
+        except (AttributeError, IndexError):  # pragma: no cover
+            raise SimulationError(
+                f"unknown event kind {event.kind!r}") from None
+        handler(event)
 
     def _check_local_time(self, component: "Component", event: Event) -> None:
         """Invariant check: delivery never outruns the receiver's receive point.

@@ -40,6 +40,9 @@ class SyncTable:
     violation forever.
     """
 
+    __slots__ = ("synchronous", "policy", "owner", "access_log",
+                 "violations", "dynamic_marks")
+
     def __init__(self, synchronous: Iterable[int] = (),
                  policy: SyncPolicy = SyncPolicy.STATIC,
                  *, owner: Optional[str] = None) -> None:
@@ -68,11 +71,17 @@ class SyncTable:
 
     # ------------------------------------------------------------------
     def record_access(self, addr: int, local_time: float) -> None:
-        """Log a component (CPU) access for later violation checks."""
-        if self.policy is SyncPolicy.OPTIMISTIC and addr not in self.synchronous:
-            previous = self.access_log.get(addr, float("-inf"))
-            if local_time > previous:
-                self.access_log[addr] = local_time
+        """Log a component (CPU) access for later violation checks.
+
+        Called on every guarded memory access, so the common STATIC case
+        must cost exactly one identity check.
+        """
+        if self.policy is not SyncPolicy.OPTIMISTIC:
+            return
+        if addr not in self.synchronous:
+            log = self.access_log
+            if local_time > log.get(addr, float("-inf")):
+                log[addr] = local_time
 
     def check_external_write(self, addr: int, write_time: float) -> None:
         """Validate an asynchronous (interrupt handler) write at ``write_time``.

@@ -81,7 +81,18 @@ class ChannelComponent(Component):
 
 
 class ChannelEndpoint:
-    """One subsystem's half of a channel."""
+    """One subsystem's half of a channel.
+
+    Slotted: endpoints sit on the per-message receive path (every remote
+    signal flows through :meth:`receive_signal`/:meth:`inject`), so the
+    fixed attribute layout keeps those paths free of dict lookups.
+    """
+
+    __slots__ = ("channel", "subsystem", "peer_subsystem", "peer_node",
+                 "component", "_nets", "peer_grant", "granted",
+                 "pending_echoes", "forwarded", "injected",
+                 "injected_reported", "granted_reported", "passive_skips",
+                 "stragglers", "safe_time_requests", "peer_want", "severed")
 
     def __init__(self, channel: "Channel", subsystem: "Subsystem",
                  peer_subsystem: str, peer_node: str) -> None:
@@ -170,13 +181,15 @@ class ChannelEndpoint:
         """Ship a local net change to the peer subsystem."""
         if self.severed:
             return
-        stamp = time + self.delay_out
+        channel = self.channel
+        node = self.node
+        stamp = time + channel.delay
         self.forwarded += 1
-        self.node.send_channel_message(Message(
+        node.send_channel_message(Message(
             kind=MessageKind.SIGNAL,
-            src=self.node.name,
+            src=node.name,
             dst=self.peer_node,
-            channel=self.channel.channel_id,
+            channel=channel.channel_id,
             time=stamp,
             payload=(self.subsystem.name, net_name, value),
         ))
@@ -186,7 +199,7 @@ class ChannelEndpoint:
         # the message — at which point echoes are reflected in the peer's
         # own floor (its queue and its own echo ledgers).
         self.pending_echoes.append((self.forwarded,
-                                    stamp + self.channel.delay))
+                                    stamp + channel.delay))
 
     def echo_floor(self) -> float:
         """Earliest possible arrival of an unconfirmed echo."""
@@ -288,16 +301,16 @@ class ChannelEndpoint:
         net.last_change = time
         for observer in net.observers:
             observer(net, time, value)
-        scheduler = self.subsystem.scheduler
+        schedule = self.subsystem.scheduler.schedule
         hidden = self.component.ports.get(net.name)
+        ts = Timestamp(time, PRIORITY_SIGNAL)
+        signal = EventKind.SIGNAL
         for port in net.ports:
             if port is hidden:
                 continue
             if not port.direction.can_receive and not port.hidden:
                 continue
-            scheduler.schedule(Event(Timestamp(time, PRIORITY_SIGNAL),
-                                     EventKind.SIGNAL, target=port,
-                                     payload=value))
+            schedule(Event(ts, signal, port, value))
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

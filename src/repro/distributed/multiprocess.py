@@ -95,6 +95,7 @@ from ..observability import (
 )
 from ..observability.export import stall_attribution, subject_nodes
 from ..observability.report import _link_rows, _subsystem_row
+from ..transport.codec import VERSION as CODEC_VERSION
 from ..transport.message import Message, MessageKind
 from ..transport.shm import (
     DEFAULT_RING_CAPACITY,
@@ -558,7 +559,12 @@ class _Worker:
     def serve(self) -> None:
         conn = self.conn
         inbox = self.inbox
-        conn.send(("port", self.transport.local_port(self.node.name)))
+        # Hello carries the wire-codec version: every process must speak
+        # the same frame layout, and a mixed deployment (a stale worker
+        # importing an old tree) must die at startup, not mid-run with a
+        # cryptic decode error.
+        conn.send(("port", (self.transport.local_port(self.node.name),
+                            CODEC_VERSION)))
         running = False
         crashed = False
         halted = False
@@ -1182,8 +1188,8 @@ class MultiprocessCoSimulation:
         try:
             for name in names:
                 pipes[name].send(("job", self.worker_spec(name)))
-            self._ports = {name: self._expect(pipes, procs, name, "port",
-                                              deadline)
+            self._ports = {name: self._hello_port(pipes, procs, name,
+                                                  deadline)
                            for name in names}
             if self.transport == "shm":
                 # One SPSC ring per directed link, created here so the
@@ -1271,6 +1277,22 @@ class MultiprocessCoSimulation:
     #: They are dropped when a different tag is expected; token-bearing
     #: acks are additionally vetted by ``match``.
     _STALE_OK = frozenset(("halted", "restored", "cut-data", "status"))
+
+    def _hello_port(self, pipes, procs, name: str, deadline: float) -> int:
+        """Receive a worker's ``port`` hello and vet its codec version.
+
+        The wire format is only compatible between processes importing
+        the same codec layout; a stale worker must fail the deployment
+        loudly here instead of poisoning peers with undecodable frames.
+        """
+        payload = self._expect(pipes, procs, name, "port", deadline)
+        port, version = payload
+        if version != CODEC_VERSION:
+            raise ConfigurationError(
+                f"worker {name!r} speaks wire codec v{version}, "
+                f"coordinator speaks v{CODEC_VERSION} — all processes "
+                "must run the same build")
+        return port
 
     def _expect(self, pipes, procs, name: str, tag: str, deadline: float,
                 *, match=None):
@@ -1530,8 +1552,8 @@ class MultiprocessCoSimulation:
                         job_sent.add(name)
                 for name in sorted(dead):
                     if name not in ported:
-                        self._ports[name] = self._expect(pipes, procs, name,
-                                                         "port", deadline)
+                        self._ports[name] = self._hello_port(
+                            pipes, procs, name, deadline)
                         ported.add(name)
                 self._resplice(dead, pipes, procs)
                 snapshot_bytes, replayed = self._restore_all(
@@ -1620,8 +1642,8 @@ class MultiprocessCoSimulation:
             pipes[name] = replacement.conn
             self._log_placement(name, replacement, "adopted")
             pipes[name].send(("job", self.worker_spec(name)))
-            self._ports[name] = self._expect(pipes, procs, name, "port",
-                                             deadline)
+            self._ports[name] = self._hello_port(pipes, procs, name,
+                                                 deadline)
         # 5. Re-splice every affected endpoint, restore, resume.
         self._resplice(moved, pipes, procs)
         snapshot_bytes, replayed = self._restore_all(pipes, procs, until,

@@ -124,16 +124,22 @@ class PiaNode:
         return len(messages)
 
     def dispatch(self, message: Message) -> None:
-        hook = self.handlers.get(message.kind)
-        if hook is not None:
-            hook(message)
-            return
-        if message.kind is MessageKind.SAFE_TIME_GRANT:
+        kind = message.kind
+        handlers = self.handlers
+        # Extension hooks are rare (a snapshot layer registering MARK);
+        # skip the enum-keyed lookup entirely when none are installed so
+        # the signal fast path below stays identity checks only.
+        if handlers:
+            hook = handlers.get(kind)
+            if hook is not None:
+                hook(message)
+                return
+        if kind is MessageKind.SAFE_TIME_GRANT:
             peer_injected, peer_forwarded = message.payload
             self._endpoint_for(message.channel).apply_grant(
                 message.time, peer_injected, peer_forwarded)
             return
-        if message.kind is MessageKind.SIGNAL:
+        if kind is MessageKind.SIGNAL:
             endpoint = self._endpoint_for(message.channel)
             telemetry = endpoint.subsystem.scheduler.telemetry
             traced = telemetry.enabled and message.trace is not None

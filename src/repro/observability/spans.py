@@ -103,7 +103,11 @@ def ensure_context(telemetry, message: Message) -> Optional[TraceContext]:
     duplicate or retry re-entering the transport) keeps it, so every copy
     of a message shares the original send's span.
     """
-    if message.trace is None and message.kind.value not in UNTRACED_KINDS:
+    # ``kind.untraced`` is precomputed from UNTRACED_KINDS where the
+    # enum is defined (transport.message): reading one attribute beats
+    # the Python-level ``Enum.value`` descriptor plus a set probe on
+    # every send.
+    if message.trace is None and not message.kind.untraced:
         message.trace = telemetry.spans.mint(message.src, telemetry.cause)
     return message.trace
 

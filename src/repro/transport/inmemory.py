@@ -14,6 +14,7 @@ cost while the whole simulation runs deterministically in one process.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -23,15 +24,9 @@ from ..observability import NULL_TELEMETRY, TraceKind
 from ..observability.spans import ensure_context, span_details
 from .accounting import NetworkAccounting
 from .batch import SendBatcher
+from .codec import decode, encode, encode_batch
 from .latency import SAME_HOST, LatencyModel
-from .message import (
-    BatchFrame,
-    Message,
-    MessageKind,
-    decode,
-    encode,
-    encode_batch,
-)
+from .message import BatchFrame, Message, MessageKind
 
 #: Handles an asynchronous message.
 InboxHandler = Callable[[Message], None]
@@ -54,6 +49,12 @@ class InMemoryTransport:
         #: ``(src, dst) -> [Message]`` hook filled by an executor: extra
         #: safe-time grants to piggyback on an outgoing batch frame.
         self.piggyback_provider = None
+        #: Per-transport-instance message id stream (stamped at the send
+        #: boundary).  Instance-local rather than module-global so a
+        #: forked child — which inherits a *copy* of this transport —
+        #: cannot interleave with the parent's stream, matching the PID
+        #: guard discipline of the TCP transport.
+        self._msg_ids = itertools.count(1)
         self._inboxes: Dict[str, deque] = {}
         self._call_handlers: Dict[str, CallHandler] = {}
         #: Telemetry sink (attach via :meth:`attach_telemetry`).
@@ -120,6 +121,8 @@ class InMemoryTransport:
         deduplicated at the poll boundary, and traffic touching a
         crashed node is swallowed (``lost``).
         """
+        if message.msg_id == 0:
+            message.msg_id = next(self._msg_ids)
         telemetry = self.telemetry
         if telemetry.enabled:
             # Mint before the fault plane decides the message's fate, so
@@ -243,6 +246,8 @@ class InMemoryTransport:
         The destination's call handler runs inline; both directions are
         charged to accounting.  Calls cannot reach a crashed node.
         """
+        if message.msg_id == 0:
+            message.msg_id = next(self._msg_ids)
         telemetry = self.telemetry
         if telemetry.enabled:
             ensure_context(telemetry, message)

@@ -5,21 +5,28 @@ properties Pia actually relies on are FIFO ordering per channel,
 request/response calls (the safe-time protocol) and serialisation.  These
 message types are the protocol-neutral representation both transports
 (in-memory and TCP) carry.
+
+Serialisation itself lives in :mod:`repro.transport.codec` (a compact
+binary format; see that module for the frame layout).  The ``encode`` /
+``decode`` / ``encode_batch`` / ``decode_any`` names are re-exported
+here for callers that predate the codec split — the transports import
+the codec directly.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
-import pickle
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..core.errors import TransportError
-
 
 class MessageKind(enum.Enum):
-    """What a message means to the receiving node."""
+    """What a message means to the receiving node.
+
+    The binary codec carries a kind as its index in definition order, so
+    new kinds must be appended (reordering is a wire-format break that
+    requires bumping :data:`repro.transport.codec.VERSION`).
+    """
 
     #: A timestamped signal crossing a split net (channel traffic).
     SIGNAL = "signal"
@@ -43,12 +50,35 @@ class MessageKind(enum.Enum):
     CONTROL = "control"
 
 
-_msg_ids = itertools.count(1)
+# Dense per-member index: the codec carries ``kind.code`` as a single
+# header byte, and reading it back as an attribute skips the Python-level
+# ``Enum.__hash__`` a dict lookup would pay on every encoded message.
+# ``untraced`` is likewise precomputed here because the span minter sits
+# on the send hot path and ``Enum.value`` is a Python-level descriptor —
+# the observability package defines the *set* (it cannot import the
+# transports) and reads the flag back through the member.
+from ..observability.spans import UNTRACED_KINDS as _UNTRACED_KINDS
+
+for _index, _kind in enumerate(MessageKind):
+    _kind.code = _index
+    _kind.untraced = _kind.value in _UNTRACED_KINDS
+del _index, _kind
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One unit of inter-node communication."""
+    """One unit of inter-node communication.
+
+    Slotted: every signal crossing a channel allocates one of these, so
+    dropping the per-instance ``__dict__`` measurably shrinks both the
+    footprint and the construction cost of the messaging hot path.
+
+    ``msg_id`` is 0 (unstamped) at construction; the sending transport
+    stamps a per-transport-instance id at its send boundary.  Ids exist
+    only to key duplicate suppression as ``(src, msg_id)``, so replies
+    and piggybacked grants — which never enter the duplicate plane —
+    legitimately travel unstamped.
+    """
 
     kind: MessageKind
     src: str                       # source node name
@@ -59,7 +89,8 @@ class Message:
     payload: Any = None
     #: Correlates requests with replies.
     request_id: Optional[int] = None
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: Per-transport send ordinal; 0 until the transport stamps it.
+    msg_id: int = 0
     #: Causal trace context ``(trace_id, span, parent, hop)`` minted by
     #: the sending transport when telemetry is enabled (see
     #: :mod:`repro.observability.spans`); ``None`` when tracing is off.
@@ -82,30 +113,7 @@ class Message:
                        request_id=self.request_id, trace=self.trace)
 
 
-def encode(message: Message) -> bytes:
-    """Serialise for the TCP transport (and for byte accounting)."""
-    try:
-        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
-        raise TransportError(f"cannot serialise {message.kind}: {exc}") from exc
-
-
-def decode(blob: bytes) -> Message:
-    try:
-        message = pickle.loads(blob)
-    except Exception as exc:
-        raise TransportError(f"cannot deserialise message: {exc}") from exc
-    if not isinstance(message, Message):
-        raise TransportError(f"decoded object is {type(message).__name__}")
-    return message
-
-
-def wire_size(message: Message) -> int:
-    """Bytes this message occupies on the wire."""
-    return len(encode(message))
-
-
-@dataclass
+@dataclass(slots=True)
 class BatchFrame:
     """One coalesced wire frame: every message a source queued for one
     destination during a scheduler round, in send order, plus any
@@ -124,23 +132,41 @@ class BatchFrame:
         return len(self.messages) + len(self.grants)
 
 
+# --- serialisation façade -------------------------------------------------
+# The codec module imports the classes above, so it cannot be imported at
+# the top of this module; bind lazily on first use instead.  Hot callers
+# (the transports) import repro.transport.codec directly.
+
+_codec = None
+
+
+def _load_codec():
+    global _codec
+    from . import codec
+    _codec = codec
+    return codec
+
+
+def encode(message: Message) -> bytes:
+    """Serialise for the wire (and for byte accounting)."""
+    return (_codec or _load_codec()).encode(message)
+
+
+def decode(blob: bytes) -> Message:
+    return (_codec or _load_codec()).decode(blob)
+
+
+def wire_size(message: Message) -> int:
+    """Bytes this message occupies on the wire."""
+    return len((_codec or _load_codec()).encode(message))
+
+
 def encode_batch(frame: BatchFrame) -> bytes:
-    """Serialise a whole batch frame with a single pickle pass."""
-    try:
-        return pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
-        raise TransportError(
-            f"cannot serialise batch {frame.src}->{frame.dst}: {exc}"
-        ) from exc
+    """Serialise a whole batch frame with a single codec pass."""
+    return (_codec or _load_codec()).encode_batch(frame)
 
 
 def decode_any(blob: bytes):
     """Decode a wire frame: a single :class:`Message` or a
     :class:`BatchFrame`."""
-    try:
-        decoded = pickle.loads(blob)
-    except Exception as exc:
-        raise TransportError(f"cannot deserialise frame: {exc}") from exc
-    if not isinstance(decoded, (Message, BatchFrame)):
-        raise TransportError(f"decoded object is {type(decoded).__name__}")
-    return decoded
+    return (_codec or _load_codec()).decode_any(blob)

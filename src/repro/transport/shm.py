@@ -39,7 +39,8 @@ import time as _time
 from typing import Dict, Optional, Tuple
 
 from ..core.errors import LinkDown, TransportError
-from ..transport.message import Message, MessageKind, decode_any, encode
+from ..transport.codec import decode_any, encode
+from ..transport.message import Message, MessageKind
 from .tcp import TcpTransport, _Connection  # noqa: F401  (re-export shape)
 
 try:

@@ -3,8 +3,8 @@
 The paper's Pia nodes are separate JVM processes joined by RMI over the
 Internet; this transport mirrors that deployment shape inside one machine:
 each registered node owns a listening socket and a receiver thread, frames
-are length-prefixed pickles, and synchronous calls block on a correlation
-table.  An optional ``delay_scale`` injects a real ``sleep`` proportional
+are length-prefixed binary codec frames (:mod:`repro.transport.codec`),
+and synchronous calls block on a correlation table.  An optional ``delay_scale`` injects a real ``sleep`` proportional
 to the link's modelled latency so wall-clock behaviour can be observed,
 scaled down to keep experiments tractable.
 
@@ -23,6 +23,7 @@ exists to exercise the genuinely concurrent, multi-threaded deployment.
 
 from __future__ import annotations
 
+import itertools
 import os
 import socket
 import struct
@@ -38,16 +39,9 @@ from ..observability import NULL_TELEMETRY, TraceKind
 from ..observability.spans import ensure_context, span_details
 from .accounting import NetworkAccounting
 from .batch import SendBatcher
+from .codec import decode, decode_any, encode, encode_batch
 from .latency import SAME_HOST, LatencyModel
-from .message import (
-    BatchFrame,
-    Message,
-    MessageKind,
-    decode,
-    decode_any,
-    encode,
-    encode_batch,
-)
+from .message import BatchFrame, Message, MessageKind
 
 _LENGTH = struct.Struct("!I")
 
@@ -286,6 +280,12 @@ class TcpTransport:
         #: ``(src, dst) -> [Message]`` hook filled by an executor: extra
         #: safe-time grants to piggyback on an outgoing batch frame.
         self.piggyback_provider = None
+        #: Per-transport-instance message id stream (stamped at the send
+        #: boundary).  Instance-local so two transports in one process —
+        #: or a forked child's inherited copy — never interleave one
+        #: global stream; ids only need to be unique per ``(src, id)``
+        #: within the duplicate-suppression window, which this gives.
+        self._msg_ids = itertools.count(1)
         #: Governs reconnect attempts for dead sockets *and* retries of
         #: injected drops when a fault plane is attached.
         self.retry_policy = retry_policy or RetryPolicy()
@@ -640,6 +640,8 @@ class TcpTransport:
     # ------------------------------------------------------------------
     def send(self, message: Message) -> float:
         self._guard_process()
+        if message.msg_id == 0:
+            message.msg_id = next(self._msg_ids)
         message.epoch = self.epoch
         if self.telemetry.enabled:
             # Mint before the fault plane decides the fate: duplicates,
@@ -800,6 +802,8 @@ class TcpTransport:
         retries are burned on it.
         """
         self._guard_process()
+        if message.msg_id == 0:
+            message.msg_id = next(self._msg_ids)
         telemetry = self.telemetry
         if telemetry.enabled:
             ensure_context(telemetry, message)

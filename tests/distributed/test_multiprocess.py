@@ -290,8 +290,10 @@ class TestSharedMemoryBackend:
         reference = compute_star(2, 3, words=50, executor="cosim")
         ref_events = reference.run(until=100.0)
 
+        # 64 bytes: far below a 50-word batch frame even in the compact
+        # binary codec, so the TCP fallback is genuinely exercised.
         cosim = compute_star_multiprocess(2, 3, words=50, transport="shm",
-                                          ring_capacity=256)
+                                          ring_capacity=64)
         events = cosim.run(until=100.0, timeout=60.0)
         report = cosim.report()
         cosim.close()
