@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """CI perf smoke: fast paths must stay fast, and the gates say how fast.
 
-Four sections, all recorded into the machine-readable results file
-(``BENCH_pr8.json`` / ``$PIA_BENCH_JSON``) and all gated — the script
+Five sections, all recorded into the machine-readable results file
+(``BENCH_pr9.json`` / ``$PIA_BENCH_JSON``) and all gated — the script
 exits non-zero on any regression so CI can fail on it:
 
 * **Batching** (ISSUE 3): the Fig. 4 safe-time scenario runs with
@@ -14,11 +14,20 @@ exits non-zero on any regression so CI can fail on it:
   unchanged; a dedicated micro-bench additionally proves a disabled
   scheduler run touches no counters, gauges, histograms or traces at
   all.
-* **Dispatch hot path** (ISSUE 8): raw scheduler throughput is measured
-  at several event counts (the curve shows whether per-event overhead
-  is flat) and the best rate must clear ``$PIA_DISPATCH_FLOOR``
-  (default 146000 ev/s — the pre-codec seed's rate, i.e. "never again
-  slower than before the rewrite").
+* **Dispatch hot path** (ISSUES 8 + 9): raw scheduler throughput is
+  measured at several event counts (the curve shows whether per-event
+  overhead is flat) and the best rate must clear the backend's floor:
+  ``$PIA_DISPATCH_FLOOR``, defaulting to 800000 ev/s when the native
+  hot core is live and 146000 ev/s (the pre-codec seed's rate) on the
+  pure-python fallback.
+* **Native/pure parity** (ISSUE 9): when the compiled backend is live,
+  the whole smoke re-runs itself in a ``PIA_PURE=1`` subprocess — the
+  pure curve must clear ``$PIA_PURE_DISPATCH_FLOOR`` and the Fig. 4
+  simulations must finish *bit-identical* across backends (same
+  per-subsystem progress, frames, bytes and safe-time requests, both
+  batching modes).  Both curves land in the bench JSON, labelled by
+  backend, so the trajectory never conflates compiled and fallback
+  numbers.
 * **Wire codec** (ISSUE 8): every hot message kind is encoded with the
   binary codec and with pickle across a sweep of payload sizes;
   SIGNAL and safe-time frames must be at least 3x smaller than their
@@ -29,8 +38,10 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_smoke.py
 """
 
+import json
 import os
 import pickle
+import subprocess
 import sys
 import time
 
@@ -38,6 +49,7 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(_HERE, os.pardir, "src"))
 sys.path.insert(0, _HERE)
 
+from repro._native import BACKEND                         # noqa: E402
 from repro.bench import record_bench                      # noqa: E402
 from repro.core.events import Event, EventKind            # noqa: E402
 from repro.core.subsystem import Subsystem                # noqa: E402
@@ -46,11 +58,17 @@ from repro.transport.codec import decode, encode          # noqa: E402
 from repro.transport.message import Message, MessageKind  # noqa: E402
 from bench_fig4_safe_time import _build                   # noqa: E402
 
-#: Floor for the dispatch micro-bench (events/second).  Defaults to the
-#: seed's measured rate before the ISSUE 8 hot-path work, so any commit
-#: that gives the win back fails CI.  Override for unusually slow or
-#: fast runners.
-DISPATCH_FLOOR = int(os.environ.get("PIA_DISPATCH_FLOOR", "146000"))
+#: Floor for the dispatch micro-bench (events/second), per backend: the
+#: native hot core must hold its compiled-speed win, and the pure path
+#: must never fall below the pre-codec seed's rate.  Override for
+#: unusually slow or fast runners.
+DISPATCH_FLOOR = int(os.environ.get(
+    "PIA_DISPATCH_FLOOR", "800000" if BACKEND == "c" else "146000"))
+
+#: Floor for the pure-python fallback curve measured by the parity
+#: subprocess (only exercised when the native backend is live here).
+PURE_DISPATCH_FLOOR = int(os.environ.get(
+    "PIA_PURE_DISPATCH_FLOOR", "146000"))
 
 #: SIGNAL / safe-time frames must be at least this many times smaller
 #: than the pickle of the same message.
@@ -82,10 +100,10 @@ def run(batching, telemetry=True):
 def dispatch_rate(events=200_000):
     """Raw scheduler throughput: a single self-rescheduling CONTROL event.
 
-    Exercises exactly the hot path the micro-optimisations target
-    (slotted :class:`Event` construction plus the hoisted
-    :meth:`Scheduler.run` inner loop); the events/second figure lands in
-    the bench JSON so the delta shows up across commits.
+    Exercises exactly the hot path the native core targets (Event
+    construction, queue push/pop, the :meth:`Scheduler.run` inner loop);
+    the events/second figure lands in the bench JSON, labelled with the
+    active backend, so the delta shows up across commits.
     """
     scheduler = Subsystem("ubench").scheduler
     remaining = events
@@ -94,7 +112,7 @@ def dispatch_rate(events=200_000):
         nonlocal remaining
         remaining -= 1
         if remaining > 0:
-            scheduler.schedule(Event(Timestamp(event.ts.time + 1.0),
+            scheduler.schedule(Event(event.time + 1.0,
                                      EventKind.CONTROL, tick))
 
     scheduler.schedule(Event(Timestamp(0.0), EventKind.CONTROL, tick))
@@ -137,7 +155,7 @@ def telemetry_noop_probe(events=50_000):
         nonlocal remaining
         remaining -= 1
         if remaining > 0:
-            scheduler.schedule(Event(Timestamp(event.ts.time + 1.0),
+            scheduler.schedule(Event(event.time + 1.0,
                                      EventKind.CONTROL, tick))
 
     scheduler.schedule(Event(Timestamp(0.0), EventKind.CONTROL, tick))
@@ -207,7 +225,61 @@ def codec_bench(iterations=3000):
     return rows
 
 
+def _parity_view(r):
+    """The deterministic projection of a :func:`run` result — everything
+    that must be bit-identical across backends (and across JSON, so
+    tuples are normalised to lists)."""
+    return json.loads(json.dumps({
+        "frames": r["frames"], "bytes": r["bytes"],
+        "requests": r["requests"], "progress": r["progress"],
+    }))
+
+
+def pure_probe():
+    """``--pure-probe`` entry point: re-run the deterministic sections in
+    this (pure-python) process and print them as JSON for the compiled
+    parent to diff and record.  Emits nothing else on stdout."""
+    payload = {
+        "backend": BACKEND,
+        "dispatch_curve": dispatch_curve(),
+        "runs": {
+            "batching_off": _parity_view(run(batching=False)),
+            "batching_on": _parity_view(run(batching=True)),
+        },
+    }
+    json.dump(payload, sys.stdout)
+    return 0
+
+
+def run_pure_probe():
+    """Re-exec this script under ``PIA_PURE=1`` and parse its JSON.
+
+    Returns the parsed payload, or an error string on any failure
+    (non-zero exit, no JSON, or the child somehow still binding the
+    compiled backend).
+    """
+    env = dict(os.environ, PIA_PURE="1")
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--pure-probe"],
+        env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return (f"pure-python probe exited {proc.returncode}:\n"
+                f"{proc.stderr.strip()}")
+    try:
+        payload = json.loads(proc.stdout)
+    except ValueError:
+        return f"pure-python probe printed no JSON: {proc.stdout!r}"
+    if payload.get("backend") != "python":
+        return (f"pure-python probe bound backend "
+                f"{payload.get('backend')!r} despite PIA_PURE=1")
+    return payload
+
+
 def main():
+    print(f"backend: {BACKEND}")
+    record_bench("perf_smoke", "backend",
+                 extra={"backend": BACKEND,
+                        "dispatch_floor": DISPATCH_FLOOR})
     base = run(batching=False)
     batched = run(batching=True)
     silent = run(batching=True, telemetry=False)
@@ -219,14 +291,37 @@ def main():
     curve = dispatch_curve()
     best_rate = max(point["events_per_second"] for point in curve)
     for point in curve:
-        record_bench("dispatch_rate", f"events_{point['events']}",
+        record_bench("dispatch_rate", f"{BACKEND}_events_{point['events']}",
                      wall_seconds=point["wall_seconds"],
-                     extra={"events": point["events"],
+                     extra={"backend": BACKEND,
+                            "events": point["events"],
                             "events_per_second": point["events_per_second"]})
-    print("dispatch curve:")
+    print(f"dispatch curve ({BACKEND}):")
     for point in curve:
         print(f"  {point['events']:>7} events : "
               f"{point['events_per_second']:>9,} ev/s")
+
+    pure = None
+    pure_error = None
+    pure_best = None
+    if BACKEND == "c":
+        pure = run_pure_probe()
+        if isinstance(pure, str):
+            pure_error, pure = pure, None
+        else:
+            pure_best = max(point["events_per_second"]
+                            for point in pure["dispatch_curve"])
+            for point in pure["dispatch_curve"]:
+                record_bench(
+                    "dispatch_rate", f"python_events_{point['events']}",
+                    wall_seconds=point["wall_seconds"],
+                    extra={"backend": "python",
+                           "events": point["events"],
+                           "events_per_second": point["events_per_second"]})
+            print("dispatch curve (python fallback):")
+            for point in pure["dispatch_curve"]:
+                print(f"  {point['events']:>7} events : "
+                      f"{point['events_per_second']:>9,} ev/s")
 
     codec_rows = codec_bench()
     for case, row in codec_rows.items():
@@ -280,7 +375,25 @@ def main():
     if best_rate < DISPATCH_FLOOR:
         failures.append(
             f"dispatch rate regressed: best {best_rate:,} ev/s is below "
-            f"the floor {DISPATCH_FLOOR:,} ev/s (PIA_DISPATCH_FLOOR)")
+            f"the {BACKEND} floor {DISPATCH_FLOOR:,} ev/s "
+            f"(PIA_DISPATCH_FLOOR)")
+    if pure_error is not None:
+        failures.append(pure_error)
+    if pure is not None:
+        if pure_best < PURE_DISPATCH_FLOOR:
+            failures.append(
+                f"pure-python dispatch rate regressed: best {pure_best:,} "
+                f"ev/s is below the floor {PURE_DISPATCH_FLOOR:,} ev/s "
+                f"(PIA_PURE_DISPATCH_FLOOR)")
+        for case, native_run in (("batching_off", base),
+                                 ("batching_on", batched)):
+            native_view = _parity_view(native_run)
+            pure_view = pure["runs"][case]
+            if native_view != pure_view:
+                failures.append(
+                    f"RunReport diverged between backends ({case}):\n"
+                    f"  c     : {native_view}\n"
+                    f"  python: {pure_view}")
     for case in ("signal_scalar", "safe_time_request", "safe_time_reply",
                  "safe_time_grant"):
         ratio = codec_rows[case]["size_ratio"]
@@ -292,10 +405,14 @@ def main():
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:
         return 1
-    print(f"perf smoke OK (best dispatch {best_rate:,} ev/s, "
-          f"floor {DISPATCH_FLOOR:,})")
+    parity = (f", pure fallback {pure_best:,} ev/s bit-identical"
+              if pure is not None else "")
+    print(f"perf smoke OK (backend {BACKEND}, best dispatch "
+          f"{best_rate:,} ev/s, floor {DISPATCH_FLOOR:,}{parity})")
     return 0
 
 
 if __name__ == "__main__":
+    if "--pure-probe" in sys.argv[1:]:
+        sys.exit(pure_probe())
     sys.exit(main())

@@ -1,5 +1,54 @@
-"""Setup shim for environments whose pip lacks PEP 660 editable support."""
+"""Setup shim for environments whose pip lacks PEP 660 editable support.
+
+Also builds the optional native hot core (``repro._native._core``).  The
+extension is a pure accelerator: any compile failure — missing compiler,
+missing CPython headers, exotic platform — degrades to the pure-python
+implementations with a warning instead of failing the install.  Set
+``PIA_PURE=1`` to skip the build entirely.
+"""
+
+import os
+import sys
 
 from setuptools import setup
+from setuptools.command.build_ext import build_ext
+from setuptools.extension import Extension
 
-setup()
+
+class OptionalBuildExt(build_ext):
+    """``build_ext`` that treats every compile failure as a warning."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # pragma: no cover - toolchain-dependent
+            self._fall_back(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - toolchain-dependent
+            self._fall_back(exc)
+
+    @staticmethod
+    def _fall_back(exc):
+        print(
+            f"WARNING: building the native hot core failed ({exc}); "
+            "repro will run on the pure-python implementations",
+            file=sys.stderr,
+        )
+
+
+ext_modules = []
+if not os.environ.get("PIA_PURE"):
+    ext_modules.append(
+        Extension(
+            "repro._native._core",
+            sources=["src/repro/_native/_core.c"],
+        )
+    )
+
+setup(
+    ext_modules=ext_modules,
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -1,0 +1,47 @@
+"""Loader shim for the optional native hot core.
+
+``repro._native._core`` is a hand-written C extension implementing the
+two measured hot paths — the event queue and the wire-codec primitives —
+with the exact semantics of their pure-python counterparts.  The build
+is strictly optional: when the compiled artefact is absent (no compiler,
+failed build, source checkout without ``build_ext``) or the user sets
+``PIA_PURE=1``, everything falls back silently to the pure
+implementations and every feature keeps working at pure-python speed.
+
+Backend selection happens once, at import time; ``BACKEND`` says which
+implementation is live (``"c"`` or ``"python"``).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: ``PIA_PURE=1`` forces the pure-python implementations even when the
+#: compiled extension is importable — the escape hatch for debugging and
+#: for differential testing of the two backends.
+PURE = os.environ.get("PIA_PURE", "") not in ("", "0")
+
+core = None
+if not PURE:
+    try:
+        from . import _core as core  # type: ignore[no-redef]
+    except ImportError:
+        core = None
+
+#: Which implementation the rest of the package binds at import time.
+BACKEND = "c" if core is not None else "python"
+
+
+def rebuild_event(*state):
+    """Unpickle entry point: rebuild an :class:`Event` on whatever
+    backend is live in *this* process.
+
+    Native events pickle through this function (instead of their class)
+    so a frame pickled by a compiled node still loads on a pure-python
+    one, and vice versa.
+    """
+    from ..core.events import Event
+
+    event = Event.__new__(Event)
+    event.__setstate__(state)
+    return event

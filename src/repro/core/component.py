@@ -279,7 +279,7 @@ class ReactiveComponent(Component):
         self.on_start()
 
     def deliver(self, event: Event) -> None:
-        time = event.ts.time
+        time = event.time
         if event.kind is EventKind.WAKE:
             self.local_time = max(self.local_time, time)
             self.on_wake(time, event.payload)
@@ -348,7 +348,7 @@ class ProcessComponent(Component):
         return self._block is not None and not self.finished
 
     def deliver(self, event: Event) -> None:
-        time = event.ts.time
+        time = event.time
         if event.kind is EventKind.WAKE:
             if (self._block is not None and self._block.kind == "wake"
                     and self._block.token == event.token):

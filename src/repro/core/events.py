@@ -4,6 +4,15 @@ The scheduler of every subsystem owns one :class:`EventQueue`.  Events are
 delivered in strict :class:`~repro.core.timestamp.Timestamp` order, which —
 together with the monotone sequence numbers the queue assigns — makes every
 simulation run deterministic.
+
+Both classes exist twice: the pure-python implementations defined here
+(always importable, and exported as :data:`PythonEvent` /
+:data:`PythonEventQueue` for differential testing) and a C twin in
+``repro._native._core`` with identical semantics.  When the compiled
+extension is present and ``PIA_PURE`` is unset, the module-level
+``Event`` / ``EventQueue`` names rebind to the native types at import
+time, so every consumer — scheduler, checkpoints, migration — picks up
+the fast backend without changing a line.
 """
 
 from __future__ import annotations
@@ -60,6 +69,10 @@ class Event:
     def __init__(self, ts: Timestamp, kind: EventKind, target: Any,
                  payload: Any = None, token: Optional[int] = None,
                  cause: Optional[tuple] = None) -> None:
+        if ts.__class__ is not Timestamp and isinstance(ts, (float, int)):
+            # A bare number means "this virtual time at default signal
+            # priority" — the common case for self-rescheduling ticks.
+            ts = Timestamp(float(ts))
         self.ts = ts
         self.kind = kind
         self.target = target
@@ -72,6 +85,26 @@ class Event:
         #: local / untraced work) — stamped by the scheduler when tracing
         #: is on.
         self.cause = cause
+
+    @property
+    def time(self) -> float:
+        """Virtual time of this event (``ts.time``)."""
+        return self.ts.time
+
+    @property
+    def priority(self) -> int:
+        """Tie-break band of this event (``ts.priority``)."""
+        return self.ts.priority
+
+    @property
+    def seq(self) -> int:
+        """Queue sequence number of this event (``ts.seq``)."""
+        return self.ts.seq
+
+    @property
+    def code(self) -> int:
+        """Dense :class:`EventKind` index used by the dispatch table."""
+        return self.kind.code
 
     def at(self, ts: Timestamp) -> "Event":
         """Return a copy of this event rescheduled to ``ts``."""
@@ -142,14 +175,20 @@ class EventQueue:
             raise CausalityError(
                 f"event at {ts.time:g} scheduled in the past of {now:g}"
             )
-        stamped = Event(Timestamp(ts.time, ts.priority, next(self._seq)),
-                        event.kind, event.target, event.payload,
-                        event.token, event.cause)
-        heappush(self._heap, (stamped.ts, stamped))
-        return stamped
+        # Stamp in place rather than re-allocating a whole Event just to
+        # change the sequence number: every push site constructs a fresh
+        # event (or deliberately hands ownership over, like ``at()``
+        # reschedules), so mutating ``ts`` here is unobservable — and it
+        # halves the allocations on the hottest call in the tree.
+        stamped = Timestamp(ts.time, ts.priority, next(self._seq))
+        event.ts = stamped
+        heappush(self._heap, (stamped, event))
+        return event
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
         return heapq.heappop(self._heap)[1]
 
     def peek(self) -> Optional[Event]:
@@ -191,3 +230,21 @@ class EventQueue:
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self.snapshot())
+
+
+#: The pure-python implementations, always importable under stable names
+#: so the differential test suite can compare them against the native
+#: twins regardless of which backend is live.
+PythonEvent = Event
+PythonEventQueue = EventQueue
+
+from .. import _native  # noqa: E402  (after the pure definitions — the
+#                         C module's init imports this package's siblings)
+
+#: True when the module-level ``Event``/``EventQueue`` are the compiled
+#: types; the scheduler selects its run loop on this flag.
+NATIVE_EVENTS = _native.core is not None
+
+if NATIVE_EVENTS:
+    Event = _native.core.Event          # type: ignore[misc, assignment]
+    EventQueue = _native.core.EventQueue  # type: ignore[misc, assignment]

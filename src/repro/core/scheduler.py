@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..observability import NULL_TELEMETRY, TraceKind
 from .errors import CausalityError, SimulationError
-from .events import Event, EventKind, EventQueue
+from .events import NATIVE_EVENTS, Event, EventKind, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover
     from .component import Component
@@ -95,7 +95,7 @@ class Scheduler:
         if not queue:
             return None
         event = queue.pop()
-        time = event.ts.time
+        time = event.time
         if time < self.now:
             raise CausalityError(
                 f"{self.subsystem.name}: event at {time:g} popped "
@@ -123,18 +123,41 @@ class Scheduler:
         self.dispatched += 1
         telemetry.count("scheduler.dispatched")
         if event.cause is not None:
-            telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
+            telemetry.trace(TraceKind.DISPATCH, time=event.time,
                             subject=self.subsystem.name,
                             event=event.kind.value,
                             cause=event.cause[1], hop=event.cause[3])
         else:
-            telemetry.trace(TraceKind.DISPATCH, time=event.ts.time,
+            telemetry.trace(TraceKind.DISPATCH, time=event.time,
                             subject=self.subsystem.name,
                             event=event.kind.value)
 
-    def run(self, until: float = float("inf"), *,
-            horizon=float("inf"),
-            max_events: Optional[int] = None) -> int:
+    def _record_stall(self, next_time: float, limit: float) -> None:
+        """Account one horizon stall (shared by both run-loop backends)."""
+        self.stalls += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("scheduler.stalls")
+            head = self.queue.peek()
+            cause = head.cause if head is not None else None
+            if cause is not None:
+                # Link the stall to the chain of the event it is parked
+                # behind.
+                telemetry.trace(
+                    TraceKind.STALL, time=self.now,
+                    subject=self.subsystem.name,
+                    horizon=limit, next_event=next_time,
+                    cause=cause[1], hop=cause[3])
+            else:
+                telemetry.trace(
+                    TraceKind.STALL, time=self.now,
+                    subject=self.subsystem.name,
+                    horizon=limit,
+                    next_event=next_time)
+
+    def _run_pure(self, until: float = float("inf"), *,
+                  horizon=float("inf"),
+                  max_events: Optional[int] = None) -> int:
         """Dispatch events while they fall at or before ``min(until, horizon)``.
 
         ``until`` is the caller's end-of-simulation bound; ``horizon`` is a
@@ -168,25 +191,7 @@ class Scheduler:
             next_time = heap[0][0].time
             if next_time > bound:
                 if next_time <= until and limit < until:
-                    self.stalls += 1
-                    if traced:
-                        telemetry.count("scheduler.stalls")
-                        head = heap[0][1]
-                        cause = head.cause
-                        if cause is not None:
-                            # Link the stall to the chain of the event it
-                            # is parked behind.
-                            telemetry.trace(
-                                TraceKind.STALL, time=self.now,
-                                subject=self.subsystem.name,
-                                horizon=limit, next_event=next_time,
-                                cause=cause[1], hop=cause[3])
-                        else:
-                            telemetry.trace(
-                                TraceKind.STALL, time=self.now,
-                                subject=self.subsystem.name,
-                                horizon=limit,
-                                next_event=next_time)
+                    self._record_stall(next_time, limit)
                 break
             if max_events is not None and count >= max_events:
                 break
@@ -207,6 +212,95 @@ class Scheduler:
                     hook(event)
             count += 1
         return count
+
+    def _run_native(self, until: float = float("inf"), *,
+                    horizon=float("inf"),
+                    max_events: Optional[int] = None) -> int:
+        """The run loop over the native :class:`EventQueue`.
+
+        Same contract and same observable behaviour as :meth:`_run_pure`
+        (stall accounting included), but built around the queue's
+        combined ``pop_ready(bound)`` C call — one native call per event
+        replaces the peek/compare/pop triple.  The pure loop's direct
+        ``_heap`` access does not exist on the C type, hence the split;
+        which implementation backs :meth:`run` is decided once, at
+        import time, by ``NATIVE_EVENTS``.
+        """
+        horizon_fn = horizon if callable(horizon) else None
+        count = 0
+        queue = self.queue
+        pop_ready = queue.pop_ready
+        handlers = self._handlers
+        hooks = self.post_step_hooks
+        telemetry = self.telemetry
+        traced = telemetry.enabled
+        name = self.subsystem.name
+        if max_events is None and horizon_fn is None:
+            # Hot path: static bound, no event cap — one C call decides
+            # "done or next event" per iteration.
+            bound = until if until < horizon else horizon
+            while True:
+                event = pop_ready(bound)
+                if event is None:
+                    if queue:
+                        next_time = queue.next_time()
+                        if next_time <= until and horizon < until:
+                            self._record_stall(next_time, horizon)
+                    break
+                time = event.time
+                if time < self.now:
+                    raise CausalityError(
+                        f"{name}: event at {time:g} popped after "
+                        f"subsystem time reached {self.now:g}")
+                self.now = time
+                if traced:
+                    self._dispatch_traced(event)
+                else:
+                    handlers[event.code](event)
+                    self.dispatched += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
+                count += 1
+            return count
+        # General path: a callable horizon is re-evaluated before every
+        # dispatch, and the bound check must stay *ahead* of the
+        # max_events cut (a capped run parked at its horizon still
+        # counts the stall) — the exact ordering of the pure loop.
+        while queue:
+            if horizon_fn is not None:
+                limit = horizon_fn()
+                bound = until if until < limit else limit
+            else:
+                limit = horizon
+                bound = until if until < horizon else horizon
+            next_time = queue.next_time()
+            if next_time > bound:
+                if next_time <= until and limit < until:
+                    self._record_stall(next_time, limit)
+                break
+            if max_events is not None and count >= max_events:
+                break
+            event = queue.pop()
+            if next_time < self.now:
+                raise CausalityError(
+                    f"{name}: event at {next_time:g} popped after "
+                    f"subsystem time reached {self.now:g}")
+            self.now = next_time
+            if traced:
+                self._dispatch_traced(event)
+            else:
+                handlers[event.code](event)
+                self.dispatched += 1
+            if hooks:
+                for hook in hooks:
+                    hook(event)
+            count += 1
+        return count
+
+    #: The public run loop — bound once at class-definition time to the
+    #: implementation matching the active event-queue backend.
+    run = _run_native if NATIVE_EVENTS else _run_pure
 
     # ------------------------------------------------------------------
     def _dispatch_signal(self, event: Event) -> None:

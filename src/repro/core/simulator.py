@@ -185,7 +185,7 @@ class Simulator:
             return
         self.checkpoint(label="auto")
         if self._auto_interval is not None:
-            self._schedule_auto(event.ts.time + self._auto_interval)
+            self._schedule_auto(event.time + self._auto_interval)
 
     # ------------------------------------------------------------------
     # observability

@@ -177,7 +177,7 @@ class Debugger:
         target = getattr(event.target, "full_name",
                          getattr(event.target, "name", repr(event.target)))
         self.trace_log.append(
-            f"t={event.ts.time:g} {event.kind.value} -> {target} "
+            f"t={event.time:g} {event.kind.value} -> {target} "
             f"payload={event.payload!r}")
         if len(self.trace_log) > self._trace_limit:
             del self.trace_log[: len(self.trace_log) - self._trace_limit]

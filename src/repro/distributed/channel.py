@@ -72,8 +72,9 @@ class ChannelComponent(Component):
         if event.kind not in (EventKind.SIGNAL, EventKind.INTERRUPT):
             return
         port: Port = event.target
-        self.local_time = max(self.local_time, event.ts.time)
-        self.endpoint.forward(port.name, event.ts.time, event.payload)
+        time = event.time
+        self.local_time = max(self.local_time, time)
+        self.endpoint.forward(port.name, time, event.payload)
 
     # Channel components save/restore with the subsystem like any other
     # component; the endpoint's safe-time bookkeeping is reset separately

@@ -120,29 +120,36 @@ _SAFE_TIME_GRANT = MessageKind.SAFE_TIME_GRANT
 # encoding
 # ------------------------------------------------------------------------
 
-def _put_uvarint(out: bytearray, value: int) -> None:
-    """LEB128 unsigned varint."""
+def _put_uvarint_py(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint, capped at 64 bits.
+
+    The cap is part of the wire contract: the decoder (both backends)
+    rejects varints past 64 bits, so the encoder must never emit one —
+    anything wider takes the pickle leaf instead.
+    """
     if value < 0:
         raise TransportError(f"negative varint field: {value}")
+    if value >> 64:
+        raise TransportError(f"varint field exceeds 64 bits: {value}")
     while value > 0x7F:
         out.append((value & 0x7F) | 0x80)
         value >>= 7
     out.append(value)
 
 
-def _put_str(out: bytearray, s: str, strings: Dict[str, int]) -> None:
+def _put_str_py(out: bytearray, s: str, strings: Dict[str, int]) -> None:
     """Interned string: back-reference or first-occurrence definition."""
     index = strings.get(s)
     if index is not None:
-        _put_uvarint(out, index << 1)
+        _put_uvarint_py(out, index << 1)
         return
     data = s.encode("utf-8", "surrogatepass")
-    _put_uvarint(out, (len(data) << 1) | 1)
+    _put_uvarint_py(out, (len(data) << 1) | 1)
     out += data
     strings[s] = len(strings)
 
 
-def _put_value(out: bytearray, value: Any, strings: Dict[str, int]) -> None:
+def _put_value_py(out: bytearray, value: Any, strings: Dict[str, int]) -> None:
     t = type(value)
     if value is None:
         out.append(_V_NONE)
@@ -152,33 +159,34 @@ def _put_value(out: bytearray, value: Any, strings: Dict[str, int]) -> None:
         out.append(_V_INT)
         # zigzag so small negatives stay small; ints beyond 64 bits take
         # the pickle leaf so the decoder can keep a strict varint cap
-        _put_uvarint(out, (value << 1) if value >= 0 else ((-value) << 1) - 1)
+        _put_uvarint_py(out, (value << 1) if value >= 0
+                        else ((-value) << 1) - 1)
     elif t is float:
         out.append(_V_FLOAT)
         out += _pack_f64(value)
     elif t is str:
         out.append(_V_STR)
-        _put_str(out, value, strings)
+        _put_str_py(out, value, strings)
     elif t is bytes:
         out.append(_V_BYTES)
-        _put_uvarint(out, len(value))
+        _put_uvarint_py(out, len(value))
         out += value
     elif t is tuple:
         out.append(_V_TUPLE)
-        _put_uvarint(out, len(value))
+        _put_uvarint_py(out, len(value))
         for item in value:
-            _put_value(out, item, strings)
+            _put_value_py(out, item, strings)
     elif t is list:
         out.append(_V_LIST)
-        _put_uvarint(out, len(value))
+        _put_uvarint_py(out, len(value))
         for item in value:
-            _put_value(out, item, strings)
+            _put_value_py(out, item, strings)
     elif t is dict:
         out.append(_V_DICT)
-        _put_uvarint(out, len(value))
+        _put_uvarint_py(out, len(value))
         for key, item in value.items():
-            _put_value(out, key, strings)
-            _put_value(out, item, strings)
+            _put_value_py(out, key, strings)
+            _put_value_py(out, item, strings)
     elif t is Message:
         out.append(_V_MESSAGE)
         _put_message(out, value, strings)
@@ -187,7 +195,7 @@ def _put_value(out: bytearray, value: Any, strings: Dict[str, int]) -> None:
         # round-trips type-faithful (a bool-valued IntEnum stays itself).
         out.append(_V_PICKLE)
         blob = _dumps(value, protocol=_PICKLE_PROTO)
-        _put_uvarint(out, len(blob))
+        _put_uvarint_py(out, len(blob))
         out += blob
 
 
@@ -318,13 +326,13 @@ def wire_size(message: Message) -> int:
 # decoding
 # ------------------------------------------------------------------------
 
-class _Reader:
+class _PyReader:
     """Cursor over one frame; every read is bounds-checked so a
     truncated or corrupt frame surfaces as :class:`TransportError`."""
 
     __slots__ = ("buf", "pos", "end", "strings")
 
-    def __init__(self, blob: bytes, pos: int) -> None:
+    def __init__(self, blob: bytes, pos: int = 0) -> None:
         self.buf = blob
         self.pos = pos
         self.end = len(blob)
@@ -333,6 +341,13 @@ class _Reader:
     def fail(self, what: str) -> "TransportError":
         return TransportError(
             f"corrupt codec frame: {what} at offset {self.pos}")
+
+    def u8(self) -> int:
+        pos = self.pos
+        if pos >= self.end:
+            raise self.fail("truncated field (1 bytes wanted)")
+        self.pos = pos + 1
+        return self.buf[pos]
 
     def uvarint(self) -> int:
         buf, pos, end = self.buf, self.pos, self.end
@@ -343,6 +358,11 @@ class _Reader:
                 raise self.fail("truncated varint")
             byte = buf[pos]
             pos += 1
+            # Strict 64-bit cap (the native decoder works in uint64):
+            # at shift 63 only the low payload bit may be set, and no
+            # continuation may follow.
+            if shift == 63 and byte & 0x7E:
+                raise self.fail("varint overflow")
             result |= (byte & 0x7F) << shift
             if not byte & 0x80:
                 break
@@ -393,7 +413,7 @@ class _Reader:
         return strings[index]
 
     def value(self) -> Any:
-        tag = self.take(1)[0]
+        tag = self.u8()
         if tag == _V_NONE:
             return None
         if tag == _V_TRUE:
@@ -417,7 +437,7 @@ class _Reader:
             return {self.value(): self.value()
                     for _ in range(self.count())}
         if tag == _V_MESSAGE:
-            return self.message()
+            return _read_message(self)
         if tag == _V_PICKLE:
             return self.pickled()
         raise self.fail(f"unknown value tag {tag}")
@@ -430,63 +450,96 @@ class _Reader:
             raise TransportError(
                 f"cannot deserialise fallback payload: {exc}") from exc
 
-    def payload(self, kind: MessageKind) -> Any:
-        tag = self.take(1)[0]
-        if tag == PAYLOAD_NONE:
-            return None
-        if tag == PAYLOAD_SIGNAL:
-            return (self.strref(), self.strref(), self.value())
-        if tag == PAYLOAD_COUNTS:
-            return (self.uvarint(), self.uvarint())
-        if tag == PAYLOAD_PATH:
-            requester = self.strref()
-            target = self.strref()
-            path = tuple(self.strref() for _ in range(self.count()))
-            return (requester, target, path)
-        if tag == PAYLOAD_VALUE:
-            return self.value()
-        if tag == PAYLOAD_FALLBACK:
-            return self.pickled()
-        raise self.fail(f"unknown payload tag {tag} for {kind.value}")
-
-    def message(self) -> Message:
-        code = self.take(1)[0]
-        if code >= len(_KINDS):
-            raise self.fail(f"unknown message kind code {code}")
-        kind = _KINDS[code]
-        flags = self.take(1)[0]
-        src = self.strref()
-        dst = self.strref()
-        channel = self.strref() if flags & 1 else None
-        time = self.f64()
-        epoch = self.uvarint()
-        msg_id = self.uvarint()
-        request_id = self.uvarint() if flags & 2 else None
-        trace: Optional[tuple] = None
-        if flags & 4:
-            trace_id = self.strref()
-            span = self.strref()
-            parent = self.strref() if flags & 8 else None
-            trace = (trace_id, span, parent, self.uvarint())
-        payload = self.payload(kind)
-        return Message(kind, src, dst, channel, time, payload,
-                       request_id, msg_id, trace, epoch)
-
-    def batch(self) -> BatchFrame:
-        src = self.strref()
-        dst = self.strref()
-        epoch = self.uvarint()
-        messages = [self.message() for _ in range(self.count())]
-        grants = [self.message() for _ in range(self.count())]
-        return BatchFrame(src, dst, messages, grants, epoch)
-
     def done(self) -> None:
         if self.pos != self.end:
             raise TransportError(
                 f"corrupt codec frame: {self.end - self.pos} trailing bytes")
 
 
-def _open(blob: bytes) -> _Reader:
+# Message/payload/batch assembly lives at module level, shared verbatim
+# by both reader backends: the native Reader implements only the
+# primitives (u8/uvarint/count/take/f64/strref/value/pickled), and its
+# ``value()`` re-enters :func:`_read_message` for nested messages via
+# the ``codec_bind`` hook.
+
+def _read_payload(r, kind: MessageKind) -> Any:
+    tag = r.u8()
+    if tag == PAYLOAD_NONE:
+        return None
+    if tag == PAYLOAD_SIGNAL:
+        return (r.strref(), r.strref(), r.value())
+    if tag == PAYLOAD_COUNTS:
+        return (r.uvarint(), r.uvarint())
+    if tag == PAYLOAD_PATH:
+        requester = r.strref()
+        target = r.strref()
+        path = tuple(r.strref() for _ in range(r.count()))
+        return (requester, target, path)
+    if tag == PAYLOAD_VALUE:
+        return r.value()
+    if tag == PAYLOAD_FALLBACK:
+        return r.pickled()
+    raise r.fail(f"unknown payload tag {tag} for {kind.value}")
+
+
+def _read_message(r) -> Message:
+    code = r.u8()
+    if code >= len(_KINDS):
+        raise r.fail(f"unknown message kind code {code}")
+    kind = _KINDS[code]
+    flags = r.u8()
+    src = r.strref()
+    dst = r.strref()
+    channel = r.strref() if flags & 1 else None
+    time = r.f64()
+    epoch = r.uvarint()
+    msg_id = r.uvarint()
+    request_id = r.uvarint() if flags & 2 else None
+    trace: Optional[tuple] = None
+    if flags & 4:
+        trace_id = r.strref()
+        span = r.strref()
+        parent = r.strref() if flags & 8 else None
+        trace = (trace_id, span, parent, r.uvarint())
+    payload = _read_payload(r, kind)
+    return Message(kind, src, dst, channel, time, payload,
+                   request_id, msg_id, trace, epoch)
+
+
+def _read_batch(r) -> BatchFrame:
+    src = r.strref()
+    dst = r.strref()
+    epoch = r.uvarint()
+    messages = [_read_message(r) for _ in range(r.count())]
+    grants = [_read_message(r) for _ in range(r.count())]
+    return BatchFrame(src, dst, messages, grants, epoch)
+
+
+# ------------------------------------------------------------------------
+# backend selection
+# ------------------------------------------------------------------------
+# The unsuffixed names below are what the encode/decode paths actually
+# call; they bind to the C primitives when the native hot core is
+# importable (and ``PIA_PURE`` is unset), and to the pure definitions
+# otherwise.  The ``_py`` names always stay importable so the
+# differential test suite can compare backends byte for byte.
+
+from .. import _native  # noqa: E402
+
+if _native.core is not None:
+    _put_uvarint = _native.core.put_uvarint
+    _put_str = _native.core.put_str
+    _put_value = _native.core.put_value
+    _Reader = _native.core.Reader
+    _native.core.codec_bind(Message, _put_message, _read_message)
+else:
+    _put_uvarint = _put_uvarint_py
+    _put_str = _put_str_py
+    _put_value = _put_value_py
+    _Reader = _PyReader
+
+
+def _open(blob: bytes) -> "_Reader":
     if not blob:
         raise TransportError("cannot deserialise frame: empty")
     lead = blob[0]
@@ -513,7 +566,7 @@ def decode(blob: bytes) -> Message:
     if blob[2] != FRAME_MESSAGE:
         raise TransportError(
             f"expected a message frame, got frame type {blob[2]}")
-    message = reader.message()
+    message = _read_message(reader)
     reader.done()
     return message
 
@@ -524,9 +577,9 @@ def decode_any(blob: bytes):
     reader = _open(blob)
     frame_type = blob[2]
     if frame_type == FRAME_MESSAGE:
-        decoded: Any = reader.message()
+        decoded: Any = _read_message(reader)
     elif frame_type == FRAME_BATCH:
-        decoded = reader.batch()
+        decoded = _read_batch(reader)
     else:
         raise TransportError(f"unknown frame type {frame_type}")
     reader.done()
