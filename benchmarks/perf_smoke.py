@@ -2,7 +2,7 @@
 """CI perf smoke: fast paths must stay fast, and the gates say how fast.
 
 Five sections, all recorded into the machine-readable results file
-(``BENCH_pr9.json`` / ``$PIA_BENCH_JSON``) and all gated — the script
+(``BENCH_pr10.json`` / ``$PIA_BENCH_JSON``) and all gated — the script
 exits non-zero on any regression so CI can fail on it:
 
 * **Batching** (ISSUE 3): the Fig. 4 safe-time scenario runs with
@@ -32,6 +32,12 @@ exits non-zero on any regression so CI can fail on it:
   binary codec and with pickle across a sweep of payload sizes;
   SIGNAL and safe-time frames must be at least 3x smaller than their
   pickles.
+* **Continuous telemetry overhead** (ISSUE 10): the dispatch
+  micro-bench re-runs with the always-on plane attached (flight
+  recorder live, a time-series recorder on the telemetry) and must stay
+  within ``$PIA_TELEMETRY_OVERHEAD_FLOOR`` (default 0.90, i.e. <=10%
+  overhead) of the telemetry-off rate — on both backends, since the
+  pure probe repeats the measurement.
 
 Usage::
 
@@ -54,6 +60,10 @@ from repro.bench import record_bench                      # noqa: E402
 from repro.core.events import Event, EventKind            # noqa: E402
 from repro.core.subsystem import Subsystem                # noqa: E402
 from repro.core.timestamp import Timestamp                # noqa: E402
+from repro.observability import (                         # noqa: E402
+    Telemetry,
+    TimeSeriesRecorder,
+)
 from repro.transport.codec import decode, encode          # noqa: E402
 from repro.transport.message import Message, MessageKind  # noqa: E402
 from bench_fig4_safe_time import _build                   # noqa: E402
@@ -73,6 +83,13 @@ PURE_DISPATCH_FLOOR = int(os.environ.get(
 #: SIGNAL / safe-time frames must be at least this many times smaller
 #: than the pickle of the same message.
 CODEC_RATIO_FLOOR = 3.0
+
+#: Dispatch with the continuous telemetry plane on (flight recorder +
+#: time-series recorder) must hold at least this fraction of the
+#: telemetry-off rate: the black box only earns "always on" by costing
+#: at most the last 10%.
+TELEMETRY_OVERHEAD_FLOOR = float(os.environ.get(
+    "PIA_TELEMETRY_OVERHEAD_FLOOR", "0.90"))
 
 
 def run(batching, telemetry=True):
@@ -167,6 +184,49 @@ def telemetry_noop_probe(events=50_000):
     return touches
 
 
+def telemetry_overhead_probe(events=200_000, rounds=3):
+    """Dispatch rate with the continuous telemetry plane on vs off.
+
+    "On" is the always-on production configuration: the metrics gate is
+    disabled (counters, traces and histograms cost nothing) but the
+    flight recorder rides along stride-sampling the run loop, and a
+    :class:`TimeSeriesRecorder` is attached — exactly what every
+    default-constructed :class:`Telemetry` carries.  "Off" is the NULL
+    telemetry the raw dispatch bench runs under.  Interleaved best-of-N
+    damps scheduler jitter; the gate compares the two best rates.
+    """
+    def measure(telemetry):
+        subsystem = Subsystem("overhead")
+        if telemetry is not None:
+            subsystem.attach_telemetry(telemetry)
+        scheduler = subsystem.scheduler
+        remaining = events
+
+        def tick(event):
+            nonlocal remaining
+            remaining -= 1
+            if remaining > 0:
+                scheduler.schedule(Event(event.time + 1.0,
+                                         EventKind.CONTROL, tick))
+
+        scheduler.schedule(Event(Timestamp(0.0), EventKind.CONTROL, tick))
+        start = time.perf_counter()
+        dispatched = scheduler.run()
+        wall = time.perf_counter() - start
+        return dispatched / wall if wall else float("inf")
+
+    plane = Telemetry()
+    plane.disable()              # metrics gate off; the flight ring stays on
+    plane.attach_series(TimeSeriesRecorder(virtual_interval=1000.0))
+    best_off = best_on = 0.0
+    for _ in range(rounds):
+        best_off = max(best_off, measure(None))
+        best_on = max(best_on, measure(plane))
+    return {"off_events_per_second": round(best_off),
+            "on_events_per_second": round(best_on),
+            "ratio": round(best_on / best_off, 4)}
+
+
 #: kind -> payload sweep for the codec micro-bench.  SIGNAL sweeps the
 #: carried value from a scalar to 16 KiB blobs; the safe-time kinds and
 #: MARK are single-shape protocol messages; CONTROL with a set payload
@@ -242,6 +302,7 @@ def pure_probe():
     payload = {
         "backend": BACKEND,
         "dispatch_curve": dispatch_curve(),
+        "telemetry_overhead": telemetry_overhead_probe(),
         "runs": {
             "batching_off": _parity_view(run(batching=False)),
             "batching_on": _parity_view(run(batching=True)),
@@ -304,6 +365,7 @@ def main():
     pure = None
     pure_error = None
     pure_best = None
+    pure_overhead = None
     if BACKEND == "c":
         pure = run_pure_probe()
         if isinstance(pure, str):
@@ -322,6 +384,15 @@ def main():
             for point in pure["dispatch_curve"]:
                 print(f"  {point['events']:>7} events : "
                       f"{point['events_per_second']:>9,} ev/s")
+            pure_overhead = pure.get("telemetry_overhead")
+            if pure_overhead is not None:
+                record_bench("telemetry_overhead", "python",
+                             extra=dict(pure_overhead, backend="python",
+                                        floor=TELEMETRY_OVERHEAD_FLOOR))
+                print(f"telemetry plane (python fallback): "
+                      f"{pure_overhead['off_events_per_second']:,} ev/s "
+                      f"off -> {pure_overhead['on_events_per_second']:,} "
+                      f"ev/s on (ratio {pure_overhead['ratio']:.3f})")
 
     codec_rows = codec_bench()
     for case, row in codec_rows.items():
@@ -336,6 +407,15 @@ def main():
     telemetry_touches = telemetry_noop_probe()
     record_bench("perf_smoke", "telemetry_noop",
                  extra={"instrument_touches": telemetry_touches})
+
+    overhead = telemetry_overhead_probe()
+    record_bench("telemetry_overhead", BACKEND,
+                 extra=dict(overhead, backend=BACKEND,
+                            floor=TELEMETRY_OVERHEAD_FLOOR))
+    print(f"telemetry plane ({BACKEND}): "
+          f"{overhead['off_events_per_second']:,} ev/s off -> "
+          f"{overhead['on_events_per_second']:,} ev/s on "
+          f"(ratio {overhead['ratio']:.3f})")
 
     print(f"frames        : {base['frames']} -> {batched['frames']} "
           f"({base['frames'] / batched['frames']:.2f}x)")
@@ -401,6 +481,18 @@ def main():
             failures.append(
                 f"codec frame for {case} is only {ratio:.2f}x smaller "
                 f"than pickle (floor {CODEC_RATIO_FLOOR}x)")
+    if overhead["ratio"] < TELEMETRY_OVERHEAD_FLOOR:
+        failures.append(
+            f"continuous telemetry plane costs too much on {BACKEND}: "
+            f"dispatch with flight+series on is {overhead['ratio']:.3f} "
+            f"of the off rate (floor {TELEMETRY_OVERHEAD_FLOOR} — "
+            f"PIA_TELEMETRY_OVERHEAD_FLOOR)")
+    if pure_overhead is not None \
+            and pure_overhead["ratio"] < TELEMETRY_OVERHEAD_FLOOR:
+        failures.append(
+            f"continuous telemetry plane costs too much on the pure "
+            f"fallback: ratio {pure_overhead['ratio']:.3f} is below the "
+            f"floor {TELEMETRY_OVERHEAD_FLOOR}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:

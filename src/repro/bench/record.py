@@ -3,7 +3,7 @@
 Every benchmark module records its headline numbers — wall time plus the
 message/frame/byte counters of the run's
 :class:`~repro.observability.RunReport` — into one JSON file at the repo
-root (``BENCH_pr9.json``, overridable via ``PIA_BENCH_JSON``).  The file
+root (``BENCH_pr10.json``, overridable via ``PIA_BENCH_JSON``).  The file
 is a two-level map ``bench -> case -> entry`` and is merged on every
 write, so a partial re-run updates only its own entries and the artefact
 can be diffed across commits like the rendered tables.
@@ -23,7 +23,7 @@ from typing import Optional
 #: Environment override for the output path (absolute, or relative to
 #: the repository root).
 ENV_PATH = "PIA_BENCH_JSON"
-DEFAULT_FILENAME = "BENCH_pr9.json"
+DEFAULT_FILENAME = "BENCH_pr10.json"
 
 _lock = threading.Lock()
 

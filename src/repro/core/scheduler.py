@@ -28,6 +28,7 @@ from heapq import heappop
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..observability import NULL_TELEMETRY, TraceKind
+from ..observability.flight import STRIDE_MASK as _FLIGHT_MASK
 from .errors import CausalityError, SimulationError
 from .events import NATIVE_EVENTS, Event, EventKind, EventQueue
 
@@ -106,6 +107,9 @@ class Scheduler:
         else:
             self._handlers[event.kind.code](event)
             self.dispatched += 1
+        flight = self.telemetry.flight
+        if flight.enabled:
+            flight.tick_dispatch(self.subsystem.name, time)
         for hook in self.post_step_hooks:
             hook(event)
         return event
@@ -136,6 +140,10 @@ class Scheduler:
         """Account one horizon stall (shared by both run-loop backends)."""
         self.stalls += 1
         telemetry = self.telemetry
+        flight = telemetry.flight
+        if flight.enabled:
+            flight.note("stall", self.subsystem.name, time=self.now,
+                        horizon=limit, next_event=next_time)
         if telemetry.enabled:
             telemetry.count("scheduler.stalls")
             head = self.queue.peek()
@@ -179,38 +187,54 @@ class Scheduler:
         hooks = self.post_step_hooks
         telemetry = self.telemetry
         traced = telemetry.enabled
+        # The flight recorder (always-on black box) samples every
+        # STRIDE-th dispatch: the hot loop only ticks a *local* counter
+        # and masks it — written back once, in the finally, so a
+        # CausalityError still leaves the count consistent.
+        flight = telemetry.flight
+        flight_on = flight.enabled
+        fseq = flight.dispatch_seq
         static_bound = (until if horizon_fn is not None
                         else until if until < horizon else horizon)
-        while heap:
-            if horizon_fn is not None:
-                limit = horizon_fn()
-                bound = until if until < limit else limit
-            else:
-                limit = horizon
-                bound = static_bound
-            next_time = heap[0][0].time
-            if next_time > bound:
-                if next_time <= until and limit < until:
-                    self._record_stall(next_time, limit)
-                break
-            if max_events is not None and count >= max_events:
-                break
-            # Inlined step(): pop, advance time, dispatch.
-            event = heappop(heap)[1]
-            if next_time < self.now:
-                raise CausalityError(
-                    f"{self.subsystem.name}: event at {next_time:g} popped "
-                    f"after subsystem time reached {self.now:g}")
-            self.now = next_time
-            if traced:
-                self._dispatch_traced(event)
-            else:
-                handlers[event.kind.code](event)
-                self.dispatched += 1
-            if hooks:
-                for hook in hooks:
-                    hook(event)
-            count += 1
+        try:
+            while heap:
+                if horizon_fn is not None:
+                    limit = horizon_fn()
+                    bound = until if until < limit else limit
+                else:
+                    limit = horizon
+                    bound = static_bound
+                next_time = heap[0][0].time
+                if next_time > bound:
+                    if next_time <= until and limit < until:
+                        self._record_stall(next_time, limit)
+                    break
+                if max_events is not None and count >= max_events:
+                    break
+                # Inlined step(): pop, advance time, dispatch.
+                event = heappop(heap)[1]
+                if next_time < self.now:
+                    raise CausalityError(
+                        f"{self.subsystem.name}: event at {next_time:g} "
+                        f"popped after subsystem time reached {self.now:g}")
+                self.now = next_time
+                if traced:
+                    self._dispatch_traced(event)
+                else:
+                    handlers[event.kind.code](event)
+                    self.dispatched += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
+                count += 1
+                if flight_on:
+                    fseq += 1
+                    if not (fseq & _FLIGHT_MASK):
+                        flight.note("dispatch", self.subsystem.name,
+                                    time=next_time, seq=fseq)
+        finally:
+            if flight_on:
+                flight.dispatch_seq = fseq
         return count
 
     def _run_native(self, until: float = float("inf"), *,
@@ -234,25 +258,74 @@ class Scheduler:
         hooks = self.post_step_hooks
         telemetry = self.telemetry
         traced = telemetry.enabled
+        # Flight recorder: same local-counter stride sampling as the
+        # pure loop — a masked integer test per event, one write-back.
+        flight = telemetry.flight
+        flight_on = flight.enabled
+        fseq = flight.dispatch_seq
         name = self.subsystem.name
         if max_events is None and horizon_fn is None:
             # Hot path: static bound, no event cap — one C call decides
             # "done or next event" per iteration.
             bound = until if until < horizon else horizon
-            while True:
-                event = pop_ready(bound)
-                if event is None:
-                    if queue:
-                        next_time = queue.next_time()
-                        if next_time <= until and horizon < until:
-                            self._record_stall(next_time, horizon)
+            try:
+                while True:
+                    event = pop_ready(bound)
+                    if event is None:
+                        if queue:
+                            next_time = queue.next_time()
+                            if next_time <= until and horizon < until:
+                                self._record_stall(next_time, horizon)
+                        break
+                    time = event.time
+                    if time < self.now:
+                        raise CausalityError(
+                            f"{name}: event at {time:g} popped after "
+                            f"subsystem time reached {self.now:g}")
+                    self.now = time
+                    if traced:
+                        self._dispatch_traced(event)
+                    else:
+                        handlers[event.code](event)
+                        self.dispatched += 1
+                    if hooks:
+                        for hook in hooks:
+                            hook(event)
+                    count += 1
+                    if flight_on:
+                        fseq += 1
+                        if not (fseq & _FLIGHT_MASK):
+                            flight.note("dispatch", name, time=time,
+                                        seq=fseq)
+            finally:
+                if flight_on:
+                    flight.dispatch_seq = fseq
+            return count
+        # General path: a callable horizon is re-evaluated before every
+        # dispatch, and the bound check must stay *ahead* of the
+        # max_events cut (a capped run parked at its horizon still
+        # counts the stall) — the exact ordering of the pure loop.
+        try:
+            while queue:
+                if horizon_fn is not None:
+                    limit = horizon_fn()
+                    bound = until if until < limit else limit
+                else:
+                    limit = horizon
+                    bound = until if until < horizon else horizon
+                next_time = queue.next_time()
+                if next_time > bound:
+                    if next_time <= until and limit < until:
+                        self._record_stall(next_time, limit)
                     break
-                time = event.time
-                if time < self.now:
+                if max_events is not None and count >= max_events:
+                    break
+                event = queue.pop()
+                if next_time < self.now:
                     raise CausalityError(
-                        f"{name}: event at {time:g} popped after "
+                        f"{name}: event at {next_time:g} popped after "
                         f"subsystem time reached {self.now:g}")
-                self.now = time
+                self.now = next_time
                 if traced:
                     self._dispatch_traced(event)
                 else:
@@ -262,40 +335,14 @@ class Scheduler:
                     for hook in hooks:
                         hook(event)
                 count += 1
-            return count
-        # General path: a callable horizon is re-evaluated before every
-        # dispatch, and the bound check must stay *ahead* of the
-        # max_events cut (a capped run parked at its horizon still
-        # counts the stall) — the exact ordering of the pure loop.
-        while queue:
-            if horizon_fn is not None:
-                limit = horizon_fn()
-                bound = until if until < limit else limit
-            else:
-                limit = horizon
-                bound = until if until < horizon else horizon
-            next_time = queue.next_time()
-            if next_time > bound:
-                if next_time <= until and limit < until:
-                    self._record_stall(next_time, limit)
-                break
-            if max_events is not None and count >= max_events:
-                break
-            event = queue.pop()
-            if next_time < self.now:
-                raise CausalityError(
-                    f"{name}: event at {next_time:g} popped after "
-                    f"subsystem time reached {self.now:g}")
-            self.now = next_time
-            if traced:
-                self._dispatch_traced(event)
-            else:
-                handlers[event.code](event)
-                self.dispatched += 1
-            if hooks:
-                for hook in hooks:
-                    hook(event)
-            count += 1
+                if flight_on:
+                    fseq += 1
+                    if not (fseq & _FLIGHT_MASK):
+                        flight.note("dispatch", name, time=next_time,
+                                    seq=fseq)
+        finally:
+            if flight_on:
+                flight.dispatch_seq = fseq
         return count
 
     #: The public run loop — bound once at class-definition time to the

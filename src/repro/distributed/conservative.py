@@ -37,8 +37,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.subsystem import Subsystem
     from .node import PiaNode
 
-_request_ids = itertools.count(1)
-
 #: Grants at or beyond this are treated as "unrestricted".
 UNBOUNDED = float("inf")
 
@@ -154,6 +152,12 @@ class SafeTimeClient:
         self.subsystem = subsystem
         self.conservative_override = conservative_override
         self.requests_sent = 0
+        # Request ids are purely diagnostic (calls are synchronous, so
+        # nothing correlates by id), but they are *encoded on the wire* —
+        # an instance-local counter keeps the byte accounting of
+        # identical runs identical regardless of what the process ran
+        # before.
+        self._request_ids = itertools.count(1)
 
     def _restricting_endpoints(self):
         for endpoint in self.subsystem.channels.values():
@@ -213,7 +217,7 @@ class SafeTimeClient:
                 channel=endpoint.channel.channel_id,
                 time=desired,
                 payload=(self.subsystem.name, endpoint.peer_subsystem, path),
-                request_id=next(_request_ids),
+                request_id=next(self._request_ids),
             ))
             peer_injected, peer_forwarded = reply.payload
             # Echoes of sends the peer has consumed are now reflected in

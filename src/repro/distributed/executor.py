@@ -46,8 +46,6 @@ from .optimistic import RecoveryManager
 from .snapshot import SnapshotManager, SnapshotRegistry, new_snapshot_id
 from . import topology
 
-_channel_ids = itertools.count(1)
-
 #: What the executor does once the failure detector confirms a node loss.
 FAILURE_POLICIES = ("recover", "raise", "drop-node")
 
@@ -138,6 +136,11 @@ class CoSimulation:
         #: subsystem name -> (desired, round of last request).
         self._refresh_throttle: Dict[str, tuple] = {}
         self._started = False
+        #: Channel-id allocator.  Instance-local, not module-global: ids
+        #: travel on the wire, so a process-global counter would make the
+        #: byte counts of otherwise identical runs depend on how many
+        #: systems the process built before this one.
+        self._channel_ids = itertools.count(1)
         #: Total rounds the run loop executed.
         self.rounds = 0
         #: Wall-clock seconds spent inside :meth:`run`.
@@ -191,7 +194,7 @@ class CoSimulation:
                 channel_id: Optional[str] = None) -> Channel:
         """Create the channel between two subsystems (one per pair)."""
         if channel_id is None:
-            channel_id = f"ch{next(_channel_ids)}-{a.name}-{b.name}"
+            channel_id = f"ch{next(self._channel_ids)}-{a.name}-{b.name}"
         if a.node is None or b.node is None:
             raise ConfigurationError(
                 "attach both subsystems to nodes before connecting them")
@@ -601,6 +604,12 @@ class CoSimulation:
             if self._batching():
                 progress = self._round_flush() or progress
             self._maybe_periodic_snapshot()
+            series = self.telemetry.series
+            if series is not None:
+                # Round boundary = the sampling point: virtual-cadence
+                # samples are deterministic here because the round
+                # structure is.
+                series.tick(self.global_time(), self.telemetry.registry)
             if not progress:
                 idle_rounds += 1
                 if self._down_nodes:

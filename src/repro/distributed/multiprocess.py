@@ -83,17 +83,23 @@ from ..core.errors import (
 from ..core.subsystem import Subsystem
 from ..faults import FailureDetector, FaultInjector, FaultPlan, RetryPolicy
 from ..observability import (
+    LinkHealthMonitor,
     RunReport,
     Telemetry,
+    TimeSeriesRecorder,
     TraceKind,
+    finalize_health,
     merge_counters,
     merge_gauges,
+    merge_health_rows,
     merge_histograms,
     merge_link_rows,
+    merge_series,
     merge_timings,
     merge_trace_records,
 )
 from ..observability.export import stall_attribution, subject_nodes
+from ..observability.timeseries import DEFAULT_CAPACITY as SERIES_CAPACITY
 from ..observability.report import _link_rows, _subsystem_row
 from ..transport.codec import VERSION as CODEC_VERSION
 from ..transport.message import Message, MessageKind
@@ -232,6 +238,13 @@ class _WorkerSpec:
     #: supervisor's problem, so transport failures wedge the worker
     #: (no progress, await restore) instead of killing it.
     supervised: bool = False
+    #: Telemetry plane: time-series cadences (either unset leaves that
+    #: cadence off), per-link health estimators, and whether ``status?``
+    #: replies carry streaming telemetry deltas.
+    series_interval: Optional[float] = None
+    series_wall_interval: Optional[float] = None
+    health: bool = False
+    stream: bool = False
 
 
 class _ControlInbox:
@@ -314,6 +327,19 @@ class _Worker:
             self.transport.attach_faults(self.injector)
         elif spec.retry_policy is not None:
             self.transport.retry_policy = spec.retry_policy
+        self.series: Optional[TimeSeriesRecorder] = None
+        if spec.series_interval is not None \
+                or spec.series_wall_interval is not None:
+            self.series = self.telemetry.attach_series(TimeSeriesRecorder(
+                virtual_interval=spec.series_interval,
+                wall_interval=spec.series_wall_interval))
+        self.health_monitor: Optional[LinkHealthMonitor] = None
+        if spec.health:
+            self.health_monitor = LinkHealthMonitor()
+            self.transport.attach_health(self.health_monitor)
+            self.telemetry.health = self.health_monitor
+        #: Counter values already shipped in streaming deltas.
+        self._streamed: Dict[str, int] = {}
         self.lock = threading.RLock()
         self.node = PiaNode(spec.node, self.transport)
         self.clients: Dict[str, SafeTimeClient] = {}
@@ -438,7 +464,7 @@ class _Worker:
                         f"{blocking.peer_subsystem}@{blocking.peer_node}",
                 })
             pending = self.transport.pending()
-            return {
+            status = {
                 "node": self.node.name,
                 "idle": not self.progress,
                 "subsystems": rows,
@@ -450,9 +476,38 @@ class _Worker:
                 "stale_drops": self.transport.stale_epoch_drops,
                 "wall": _time.time(),
             }
+            if self.spec.stream:
+                status["telemetry"] = self._stream_delta()
+            return status
+
+    def _stream_delta(self) -> dict:
+        """Incremental telemetry riding a streaming ``status?`` reply:
+        counter *deltas* since the last reply (payload proportional to
+        activity, not run length), absolute gauges, the unshipped tail of
+        every time-series, and the raw link-health rows.  Lossy by
+        design — a delta the coordinator drops as stale is simply absent
+        from the live view; the final report merges the workers'
+        absolute bundles, so accuracy is never at stake."""
+        snap = self.telemetry.registry.snapshot()
+        counters: Dict[str, int] = {}
+        for name, value in snap["counters"].items():
+            shipped = self._streamed.get(name, 0)
+            if value != shipped:
+                counters[name] = value - shipped
+                self._streamed[name] = value
+        delta = {"counters": counters, "gauges": snap["gauges"]}
+        if self.series is not None:
+            delta["series"] = self.series.take_delta()
+        if self.health_monitor is not None:
+            delta["health"] = self.health_monitor.rows()
+        return delta
 
     def _report_bundle(self) -> dict:
-        self.telemetry.gauge("executor.rounds", self.rounds)
+        # The serve-loop round count is wall-paced (how many control
+        # sweeps the OS scheduler let us run), so it must NOT enter the
+        # gauge registry — gauges land in the report's deterministic
+        # projection.  The bundle's own "rounds" field carries it for
+        # status views instead.
         with self.lock:
             subsystems = [_subsystem_row(subsystem)
                           for __, subsystem
@@ -479,6 +534,10 @@ class _Worker:
                           if self.injector is not None else {},
                 "wire_out": self.transport.wire_out,
                 "wire_in": self.transport.wire_in,
+                "series": self.series.to_dict()
+                          if self.series is not None else {},
+                "health": self.health_monitor.rows()
+                          if self.health_monitor is not None else [],
             }
 
     # ------------------------------------------------------------------
@@ -529,6 +588,12 @@ class _Worker:
     def _restore(self, payload: dict) -> None:
         """Roll this node back to a restore point under a new epoch."""
         epoch = payload["epoch"]
+        # Black box first: the discarded world's last moments are exactly
+        # what a restore post-mortem needs, and the rollback wipes them.
+        flight = self.telemetry.flight
+        if flight.enabled and len(flight):
+            flight.note("restore", self.node.name, epoch=epoch)
+            flight.dump(tag=self.node.name, reason="restore")
         with self.lock:
             # Fence first: traffic minted in the discarded world must not
             # leak into the restored one.  ``set_epoch`` also rebases the
@@ -650,6 +715,17 @@ class _Worker:
                 # one dead node does not cascade into a dead cluster.
                 self.progress = False
             self.rounds += 1
+            series = self.series
+            if series is not None:
+                # Sampled at the round boundary, never inside dispatch:
+                # the virtual cadence is deterministic for a given
+                # schedule, the wall cadence is a measurement.
+                with self.lock:
+                    now = min((ss.now
+                               for ss in self.node.subsystems.values()),
+                              default=0.0)
+                series.tick(now, self.telemetry.registry,
+                            wall=_time.monotonic())
             self._announce_cuts()
             if self.progress:
                 idle_noted = False
@@ -770,6 +846,12 @@ def _pool_main(conn) -> None:
             worker = _Worker(message[1], conn, inbox)
             worker.serve()
         except BaseException as exc:     # surface into the coordinator
+            if worker is not None:
+                # Crash post-mortem: dump the black box before the
+                # process (or the next job) loses it.
+                worker.telemetry.flight.dump(
+                    tag=worker.node.name,
+                    reason=f"{type(exc).__name__}: {exc}")
             try:
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
             except OSError:
@@ -928,7 +1010,11 @@ class MultiprocessCoSimulation:
                  ring_capacity: int = DEFAULT_RING_CAPACITY,
                  pool: Optional[WorkerPool] = None,
                  failure_policy: str = "raise",
-                 heartbeat_timeout: float = 5.0) -> None:
+                 heartbeat_timeout: float = 5.0,
+                 series_interval: Optional[float] = None,
+                 series_wall_interval: Optional[float] = None,
+                 health: bool = False,
+                 stream_telemetry: bool = False) -> None:
         if start_method not in multiprocessing.get_all_start_methods():
             raise ConfigurationError(
                 f"start method {start_method!r} not available on this "
@@ -944,6 +1030,12 @@ class MultiprocessCoSimulation:
         if heartbeat_timeout <= 0:
             raise ConfigurationError(
                 f"heartbeat timeout must be positive: {heartbeat_timeout}")
+        for label, interval in (("series_interval", series_interval),
+                                ("series_wall_interval",
+                                 series_wall_interval)):
+            if interval is not None and interval <= 0:
+                raise ConfigurationError(
+                    f"{label} must be positive: {interval}")
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
@@ -968,6 +1060,19 @@ class MultiprocessCoSimulation:
         self._status_listener: Optional[Callable[[dict], None]] = None
         self._status_published = 0.0
         self._last_statuses: Dict[str, dict] = {}
+        # --- continuous telemetry plane ---------------------------------
+        #: Per-worker time-series cadences and link-health switch,
+        #: forwarded verbatim in every :meth:`worker_spec`.
+        self.series_interval = series_interval
+        self.series_wall_interval = series_wall_interval
+        self.health = health
+        #: When on, workers attach streaming deltas to ``status?``
+        #: replies and the coordinator folds them into its live status
+        #: snapshots (the data :mod:`repro.observability.serve` exposes).
+        self.stream_telemetry = stream_telemetry
+        #: Folded streaming state: cumulative counters, latest gauges,
+        #: bounded per-series point tails, latest health row per link.
+        self._stream: Dict[str, dict] = {}
         # --- supervised failover / live migration state -----------------
         self.failure_policy = failure_policy
         self.heartbeat_timeout = heartbeat_timeout
@@ -1046,6 +1151,10 @@ class MultiprocessCoSimulation:
             transport=self.transport,
             ring_capacity=self.ring_capacity,
             supervised=self.failure_policy == "migrate",
+            series_interval=self.series_interval,
+            series_wall_interval=self.series_wall_interval,
+            health=self.health,
+            stream=self.stream_telemetry,
         )
 
     def _ring_links(self) -> List[Tuple[str, str]]:
@@ -1165,6 +1274,7 @@ class MultiprocessCoSimulation:
         self._status_listener = status_listener
         self._status_published = 0.0
         self._last_statuses: Dict[str, dict] = {}
+        self._stream = {}
         self.migrations = []
         self.placement_log = []
         self._archives = {}
@@ -1338,10 +1448,61 @@ class MultiprocessCoSimulation:
                 continue
             return message[1]
 
+    def _fold_stream(self, statuses: Dict[str, dict]) -> None:
+        """Fold workers' streaming telemetry deltas into the live view:
+        counters accumulate, gauges and health rows replace, series grow
+        bounded tails keyed ``node/metric``."""
+        for name in sorted(statuses):
+            delta = statuses[name].get("telemetry")
+            if not delta:
+                continue
+            counters = self._stream.setdefault("counters", {})
+            for key, value in delta.get("counters", {}).items():
+                counters[key] = counters.get(key, 0) + value
+            self._stream.setdefault("gauges", {}).update(
+                delta.get("gauges", {}))
+            series = self._stream.setdefault("series", {})
+            for sname, fresh in delta.get("series", {}).items():
+                points = series.setdefault(f"{name}/{sname}",
+                                           {"points": []})["points"]
+                points.extend(fresh)
+                del points[:-SERIES_CAPACITY]
+            health = self._stream.setdefault("health", {})
+            for row in delta.get("health", []):
+                health[(row["src"], row["dst"])] = row
+
+    def _stream_sections(self, snapshot: dict) -> None:
+        """Attach the folded streaming state to a status snapshot (the
+        sections :mod:`repro.observability.serve` renders)."""
+        if not self._stream:
+            return
+        snapshot["telemetry"] = {
+            "counters": dict(sorted(
+                self._stream.get("counters", {}).items())),
+            "gauges": {key: _json_safe(value) for key, value
+                       in sorted(self._stream.get("gauges", {}).items())},
+        }
+        series = self._stream.get("series")
+        if series:
+            snapshot["series"] = {
+                sname: {"points": [[t, _json_safe(v)]
+                                   for t, v in row["points"]]}
+                for sname, row in sorted(series.items())}
+        health = self._stream.get("health")
+        if health:
+            # Live advisory scoring: no stall attribution mid-run (that
+            # needs the merged trace), so stall fractions read 0 and the
+            # score reflects queue depth and delay only.  The final
+            # report re-scores against the real attribution.
+            snapshot["health"] = finalize_health(
+                [dict(health[key]) for key in sorted(health)])
+
     def _publish_status(self, statuses: Dict[str, dict], until: float, *,
                         phase: str = "running", force: bool = False) -> None:
         """Surface the latest worker statuses for live introspection."""
         self._last_statuses = statuses
+        if self.stream_telemetry:
+            self._fold_stream(statuses)
         if self._status_path is None and self._status_listener is None:
             return
         now = _time.monotonic()
@@ -1355,15 +1516,20 @@ class MultiprocessCoSimulation:
                                      for entry in self.placement_log]
             snapshot["migrations"] = [record.to_dict()
                                       for record in self.migrations]
+        self._stream_sections(snapshot)
         if self._status_listener is not None:
             self._status_listener(snapshot)
         if self._status_path is not None:
-            # Atomic replace: a concurrent reader always sees a complete
-            # JSON document, never a torn write.
+            # Atomic replace after an fsync: a concurrent reader always
+            # sees a complete JSON document, and a crash straddling the
+            # replace cannot leave a zero-length file where a monitor
+            # expected the last good snapshot.
             tmp = f"{self._status_path}.tmp"
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(snapshot, fh, indent=2, sort_keys=True)
                 fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self._status_path)
 
     # ------------------------------------------------------------------
@@ -1416,6 +1582,10 @@ class MultiprocessCoSimulation:
             statuses = {name: self._expect(pipes, procs, name, "status",
                                            deadline)
                         for name in sorted(procs)}
+            if self.stream_telemetry:
+                # Workers already consumed these deltas replying; fold
+                # them or the drain window goes dark in the live view.
+                self._fold_stream(statuses)
             wire_out = sum(st["wire_out"] for st in statuses.values())
             wire_in = sum(st["wire_in"] for st in statuses.values())
             pending = sum(st["pending"] for st in statuses.values())
@@ -1506,6 +1676,12 @@ class MultiprocessCoSimulation:
                 "existed — cannot fail over", node=dead_nodes[0])
         names = sorted(self._nodes)
         wall_started = _time.perf_counter()
+        flight = self.telemetry.flight
+        if flight.enabled:
+            flight.note("failover", ",".join(sorted(dead_nodes)),
+                        time=global_now, reason=reason,
+                        epoch=self._run_epoch + 1)
+            flight.dump(tag="coordinator", reason=f"failover: {reason}")
         if self.telemetry.enabled:
             for name in dead_nodes:
                 self.telemetry.count("migration.failovers")
@@ -1597,6 +1773,11 @@ class MultiprocessCoSimulation:
         if not moved:
             return
         wall_started = _time.perf_counter()
+        flight = self.telemetry.flight
+        if flight.enabled:
+            flight.note("migrate", ",".join(moved), time=global_now,
+                        epoch=self._run_epoch + 1)
+            flight.dump(tag="coordinator", reason="migrate")
         if self.telemetry.enabled:
             for name in moved:
                 self.telemetry.count("migration.migrations")
@@ -1689,6 +1870,9 @@ class MultiprocessCoSimulation:
         previous = None
         while True:
             if _time.monotonic() > deadline:
+                self.telemetry.flight.note("timeout", "supervise")
+                self.telemetry.flight.dump(tag="coordinator",
+                                           reason="quiesce-timeout")
                 raise SimulationError(
                     "multiprocess run did not quiesce within the timeout")
             dead: List[str] = []
@@ -1912,6 +2096,23 @@ class MultiprocessCoSimulation:
         report.trace_records = merge_trace_records(trace_by_node)
         report.stall_attribution = stall_attribution(
             report.trace_records, nodes=subject_nodes(report))
+        # Telemetry plane: per-node series keep their identity under a
+        # ``node/metric`` key (points at unaligned times cannot sum);
+        # health rows merge per directed link, then the finalize pass
+        # derives stall fractions and advisory scores from the merged
+        # stall attribution — same shape as a single-process report.
+        per_node_series = {name: self._bundles[name].get("series") or {}
+                           for name in sorted(self._bundles)}
+        if any(per_node_series.values()):
+            report.timeseries = merge_series(per_node_series)
+        health_rows: List[dict] = []
+        for name in sorted(self._bundles):
+            health_rows.extend(self._bundles[name].get("health") or [])
+        if health_rows:
+            report.link_health = finalize_health(
+                merge_health_rows(health_rows),
+                stall_attribution=report.stall_attribution,
+                subsystems=report.subsystems)
         report.timings = dict(sorted(timings.items()))
         report.migrations = [record.to_dict() for record in self.migrations]
         return report

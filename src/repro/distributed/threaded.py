@@ -38,8 +38,6 @@ from . import topology
 
 import itertools
 
-_channel_ids = itertools.count(1)
-
 
 class LockedSafeTimeService:
     """Safe-time server that serialises against the node's own loop.
@@ -196,6 +194,9 @@ class ThreadedCoSimulation:
                     "support fault injection (no attach_faults)")
             attach_faults(self.fault_injector)
             self.detector = FailureDetector(timeout=heartbeat_timeout)
+        # Instance-local for run-to-run bit identity: channel ids travel
+        # on the wire (see CoSimulation).
+        self._channel_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     def add_node(self, name: str) -> PiaNode:
@@ -232,7 +233,7 @@ class ThreadedCoSimulation:
             raise SimulationError(
                 "the threaded executor supports conservative channels only; "
                 "use CoSimulation for optimistic channels")
-        channel_id = f"tch{next(_channel_ids)}-{a.name}-{b.name}"
+        channel_id = f"tch{next(self._channel_ids)}-{a.name}-{b.name}"
         channel = Channel(channel_id, mode, delay=delay)
         assert a.node is not None and b.node is not None
         channel.attach(a, peer_subsystem=b.name, peer_node=b.node.name)
@@ -272,6 +273,12 @@ class ThreadedCoSimulation:
                 if self.stop_flag.is_set():
                     break
                 now = self.global_time()
+                series = self.telemetry.series
+                if series is not None:
+                    # Sampled from the coordinator sweep: node threads
+                    # advance concurrently, so the points are a
+                    # measurement, not part of the deterministic report.
+                    series.tick(now, self.telemetry.registry)
                 while pending_crashes and pending_crashes[0].at_time <= now:
                     crash = pending_crashes.pop(0)
                     self._crash_node(by_name[crash.node])

@@ -25,11 +25,15 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .flight import FlightRecorder, flight_path
+from .health import LinkHealthMonitor, attach_health, finalize_health
 from .merge import (
     merge_counters,
     merge_gauges,
+    merge_health_rows,
     merge_histograms,
     merge_link_rows,
+    merge_series,
     merge_timings,
     merge_trace_records,
 )
@@ -40,8 +44,10 @@ from .metrics import (
     MetricError,
     MetricsRegistry,
     Timer,
+    snapshot_quantile,
 )
 from .report import RunReport, run_report
+from .timeseries import TimeSeries, TimeSeriesRecorder
 from .spans import (
     SpanMinter,
     causal_chains,
@@ -54,14 +60,18 @@ from .trace import TraceBuffer, TraceKind, TraceRecord
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricError", "MetricsRegistry",
-    "Timer",
+    "Timer", "snapshot_quantile",
     "NULL_TELEMETRY", "Telemetry",
     "TraceBuffer", "TraceKind", "TraceRecord",
     "RunReport", "run_report",
+    "FlightRecorder", "flight_path",
+    "LinkHealthMonitor", "attach_health", "finalize_health",
+    "TimeSeries", "TimeSeriesRecorder",
     "SpanMinter", "causal_chains", "ensure_context", "span_details",
     "span_origin",
     "chrome_trace", "stall_attribution", "validate_chrome_trace",
     "write_chrome_trace",
-    "merge_counters", "merge_gauges", "merge_histograms",
-    "merge_link_rows", "merge_timings", "merge_trace_records",
+    "merge_counters", "merge_gauges", "merge_health_rows",
+    "merge_histograms", "merge_link_rows", "merge_series",
+    "merge_timings", "merge_trace_records",
 ]

@@ -208,7 +208,8 @@ class _Rows:
 
 
 def chrome_trace(source, *, view: str = "virtual",
-                 nodes: Optional[Dict[str, str]] = None) -> dict:
+                 nodes: Optional[Dict[str, str]] = None,
+                 series: Optional[dict] = None) -> dict:
     """Render ``source``'s trace as a Chrome-trace-event document.
 
     ``view`` selects the timebase: ``"virtual"`` (event virtual times;
@@ -216,10 +217,19 @@ def chrome_trace(source, *, view: str = "virtual",
     clocks, zero-based; shows real executor overlap).  ``nodes`` maps
     subsystem names to node names for process-row placement (derived
     automatically when ``source`` is a :class:`~.report.RunReport`).
+
+    ``series`` adds counter tracks: a map of series name to
+    ``{"points": [[t, value], ...]}`` (the shape of
+    :attr:`~.report.RunReport.timeseries`, which is picked up
+    automatically when ``source`` carries one).  Points are virtual-time
+    stamped, so counter tracks render in the ``virtual`` view only; a
+    ``node/metric`` key places the track on that node's process row.
     """
     if view not in ("virtual", "wall"):
         raise ValueError(f"view must be 'virtual' or 'wall': {view!r}")
     records = trace_records(source)
+    if series is None:
+        series = getattr(source, "timeseries", None) or {}
     nodes = dict(nodes or {})
     nodes.update(subject_nodes(source))
     rows = _Rows()
@@ -280,16 +290,30 @@ def chrome_trace(source, *, view: str = "virtual",
                            "name": kind or "trace", "s": "t",
                            "pid": pid, "tid": tid, "ts": ts,
                            "args": args})
+    if view == "virtual" and series:
+        for name in sorted(series):
+            node, sep, metric = name.partition("/")
+            pid = rows.pid(node if sep else None)
+            label = metric if sep else name
+            for point in series[name].get("points", []):
+                t, value = point[0], point[1]
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    continue
+                events.append({"ph": "C", "cat": "series", "name": label,
+                               "pid": pid, "tid": 0, "ts": t * _US,
+                               "args": {label: value}})
     return {"displayTimeUnit": "ms",
             "otherData": {"view": view},
             "traceEvents": events}
 
 
 def write_chrome_trace(path: str, source, *, view: str = "virtual",
-                       nodes: Optional[Dict[str, str]] = None) -> dict:
+                       nodes: Optional[Dict[str, str]] = None,
+                       series: Optional[dict] = None) -> dict:
     """Export ``source`` to ``path`` as Chrome-trace JSON; returns the
     document."""
-    document = chrome_trace(source, view=view, nodes=nodes)
+    document = chrome_trace(source, view=view, nodes=nodes, series=series)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(document, fh, indent=None, separators=(",", ":"))
         fh.write("\n")
@@ -337,6 +361,19 @@ def validate_chrome_trace(data) -> List[str]:
             duration = event.get("dur")
             if not isinstance(duration, (int, float)) or duration < 0:
                 problems.append(f"{where}: X event needs dur >= 0")
+        if phase == "C":
+            # Counter tracks: a named event whose args are the numeric
+            # sample(s) plotted at ts.
+            if not event.get("name"):
+                problems.append(f"{where}: counter event without name")
+            samples = event.get("args")
+            if not isinstance(samples, dict) or not samples:
+                problems.append(
+                    f"{where}: counter event needs non-empty args")
+            elif any(isinstance(v, bool) or not isinstance(v, (int, float))
+                     for v in samples.values()):
+                problems.append(
+                    f"{where}: counter args must be numeric")
         if phase in "sft":
             if "id" not in event:
                 problems.append(f"{where}: flow event without id")

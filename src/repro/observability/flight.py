@@ -1,0 +1,147 @@
+"""The flight recorder: an always-on bounded black box.
+
+Full tracing answers "what happened" only when it was switched on before
+the interesting run; production post-mortems rarely get that luxury.  The
+flight recorder is the other regime: a small ring of *recent* notable
+events — stride-sampled dispatches, horizon stalls, wire frames, control
+and migration decisions — cheap enough to leave on for every run, and
+dumped automatically (as JSONL, one file per process) when something goes
+wrong: a worker crash, a failover, a live migration, or a run that fails
+to quiesce before its timeout.
+
+Overhead discipline: the dispatch hot loops (see
+:mod:`repro.core.scheduler`) do not call into this module per event.
+They hoist ``flight.enabled`` once, tick a *local* counter, and only on
+every :data:`STRIDE`-th event pay for a :meth:`FlightRecorder.note` —
+a few integer ops per dispatch, amortising the append to noise.  The
+shared :data:`~repro.observability.telemetry.NULL_TELEMETRY` carries a
+disabled recorder, so code never attached to a real telemetry pays one
+attribute read, exactly like every other instrumentation site.
+
+Dump location: ``$PIA_FLIGHT_DIR`` when set, else the system temp dir;
+one ``pia-flight-<tag>-<pid>.jsonl`` per dumping process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time as _time
+from collections import deque
+from typing import List, Optional
+
+#: Environment override for where automatic dumps land.
+ENV_DIR = "PIA_FLIGHT_DIR"
+
+#: Ring capacity: enough to cover the seconds before a fault without
+#: holding a run's whole history.
+DEFAULT_CAPACITY = 512
+
+#: Dispatch sampling stride (power of two): the run loops record every
+#: STRIDE-th dispatched event.  ``seq & STRIDE_MASK == 0`` is the test
+#: the hot loops inline.
+STRIDE = 1024
+STRIDE_MASK = STRIDE - 1
+
+
+class FlightRecorder:
+    """A bounded ring of recent notable events, cheap enough to leave on."""
+
+    __slots__ = ("enabled", "capacity", "recorded", "dispatch_seq",
+                 "_events")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        #: Events ever noted (the ring may have evicted older ones).
+        self.recorded = 0
+        #: Dispatches ticked by the run loops (they own this counter in a
+        #: local and write it back once per run call).
+        self.dispatch_seq = 0
+        self._events: deque = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    def note(self, code: str, subject: str = "", *, time: float = 0.0,
+             **details) -> None:
+        """Append one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.recorded += 1
+        self._events.append(
+            (_time.time(), code, subject, time, details or None))
+
+    def tick_dispatch(self, subject: str, time: float) -> None:
+        """Stride-sampled dispatch tick for non-hot dispatch sites.
+
+        The hot run loops inline this logic with a local counter; single
+        :meth:`~repro.core.scheduler.Scheduler.step` calls go through
+        here."""
+        seq = self.dispatch_seq + 1
+        self.dispatch_seq = seq
+        if not (seq & STRIDE_MASK):
+            self.note("dispatch", subject, time=time, seq=seq)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def records(self) -> List[dict]:
+        """The ring's contents, oldest first, as dicts."""
+        out = []
+        for wall, code, subject, time, details in self._events:
+            record = {"wall": wall, "code": code, "subject": subject,
+                      "time": time}
+            if details:
+                record["details"] = details
+            out.append(record)
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.recorded = 0
+        self.dispatch_seq = 0
+
+    # ------------------------------------------------------------------
+    def dumps(self, *, tag: str = "run", reason: str = "") -> str:
+        """The black box as JSONL: a header line, then one line per event."""
+        header = {"flight": tag, "reason": reason, "wall": _time.time(),
+                  "pid": os.getpid(), "recorded": self.recorded,
+                  "capacity": self.capacity,
+                  "dispatches": self.dispatch_seq}
+        lines = [json.dumps(header, sort_keys=True, default=str)]
+        lines.extend(json.dumps(record, sort_keys=True, default=str)
+                     for record in self.records())
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: Optional[str] = None, *, tag: str = "run",
+             reason: str = "") -> Optional[str]:
+        """Best-effort dump to ``path`` (default :func:`flight_path`).
+
+        Returns the path written, or ``None`` when disabled or the write
+        fails — a post-mortem aid must never turn a crash into a second
+        crash."""
+        if not self.enabled:
+            return None
+        if path is None:
+            path = flight_path(tag)
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(self.dumps(tag=tag, reason=reason))
+        except OSError:
+            return None
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "on" if self.enabled else "off"
+        return (f"<FlightRecorder {state} {len(self._events)}/"
+                f"{self.capacity} recorded={self.recorded}>")
+
+
+def flight_path(tag: str) -> str:
+    """Where a dump for ``tag`` lands: ``$PIA_FLIGHT_DIR`` or temp dir."""
+    base = os.environ.get(ENV_DIR) or tempfile.gettempdir()
+    safe = "".join(c if (c.isalnum() or c in "-._") else "_"
+                   for c in str(tag)) or "run"
+    return os.path.join(base, f"pia-flight-{safe}-{os.getpid()}.jsonl")

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time as _time
 from typing import List, Optional
@@ -111,6 +112,38 @@ def follow(path: str, *, interval: float = 1.0,
     return snapshot
 
 
+def follow_ndjson(path: str, *, interval: float = 1.0,
+                  iterations: Optional[int] = None,
+                  out=None) -> Optional[dict]:
+    """The non-TTY tail: emit each *new* snapshot as one JSON line.
+
+    Meant for piping into ``jq``/log shippers: no tables, no redraws,
+    one line per distinct snapshot (deduplicated on the writer's
+    ``wall`` stamp), until the phase turns ``done`` (or ``iterations``
+    lines have been emitted).  Returns the last snapshot seen.
+    """
+    out = out if out is not None else sys.stdout
+    emitted = 0
+    snapshot = None
+    last_stamp = None
+    while iterations is None or emitted < iterations:
+        latest = read_snapshot(path)
+        if latest is not None:
+            stamp = (latest.get("wall"), latest.get("phase"))
+            if stamp != last_stamp:
+                last_stamp = stamp
+                snapshot = latest
+                print(json.dumps(latest, sort_keys=True,
+                                 separators=(",", ":")), file=out, flush=True)
+                emitted += 1
+                if latest.get("phase") == "done":
+                    break
+        if iterations is not None and emitted >= iterations:
+            break
+        _time.sleep(interval)
+    return snapshot
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.observability.live",
@@ -122,15 +155,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="seconds between refreshes (default 1.0)")
     parser.add_argument("--once", action="store_true",
                         help="print one view and exit")
+    parser.add_argument("--follow", action="store_true",
+                        help="non-TTY mode: tail snapshots as "
+                             "line-delimited JSON (one line per new "
+                             "snapshot) instead of rendered tables")
     args = parser.parse_args(argv)
-    if args.once:
-        snapshot = read_snapshot(args.path)
-        if snapshot is None:
-            print(f"no status snapshot at {args.path}", file=sys.stderr)
-            return 1
-        print(render_status(snapshot))
+    try:
+        if args.once:
+            snapshot = read_snapshot(args.path)
+            if snapshot is None:
+                print(f"no status snapshot at {args.path}",
+                      file=sys.stderr)
+                return 1
+            print(render_status(snapshot))
+            return 0
+        if args.follow:
+            snapshot = follow_ndjson(args.path, interval=args.interval)
+        else:
+            snapshot = follow(args.path, interval=args.interval)
+    except BrokenPipeError:
+        # Downstream (`| head`) closed the pipe; that is a normal way
+        # to stop tailing, not an error.  Detach stdout so the
+        # interpreter's shutdown flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
         return 0
-    snapshot = follow(args.path, interval=args.interval)
     return 0 if snapshot is not None else 1
 
 

@@ -86,6 +86,54 @@ def merge_link_rows(rows: Iterable[dict]) -> List[dict]:
     return [merged[key] for key in sorted(merged)]
 
 
+def merge_series(per_node: Dict[str, dict]) -> Dict[str, dict]:
+    """Fold per-node time-series dumps into one map keyed ``node/name``.
+
+    ``per_node`` maps node name to that worker's
+    :meth:`~.timeseries.TimeSeriesRecorder.to_dict` output.  Series from
+    different workers sample the same metric names at *their own* round
+    boundaries, so points cannot be summed at aligned times; instead
+    each series keeps its identity under a ``node/metric`` key — sorted,
+    so the merged map is deterministic given the inputs.
+    """
+    merged: Dict[str, dict] = {}
+    for node in sorted(per_node):
+        for name in sorted(per_node[node]):
+            series = per_node[node][name]
+            merged[f"{node}/{name}"] = {
+                "points": [list(point) for point in series["points"]]}
+    return merged
+
+
+def merge_health_rows(rows: Iterable[dict]) -> List[dict]:
+    """Combine raw link-health rows from several monitors.
+
+    Like :func:`merge_link_rows`, every worker only measures the traffic
+    it *sent*, so a directed link normally appears in exactly one input
+    row; on collision the additive fields sum, EWMAs take a
+    message-weighted average, and queue peaks take the max.  Output is
+    sorted by directed link.
+    """
+    merged: Dict[tuple, dict] = {}
+    for row in rows:
+        key = (row["src"], row["dst"])
+        have = merged.get(key)
+        if have is None:
+            merged[key] = dict(row)
+            continue
+        ours, theirs = have["messages"], row["messages"]
+        total = ours + theirs
+        for ewma in ("ewma_delay", "queue_depth"):
+            if total:
+                have[ewma] = (have.get(ewma, 0.0) * ours
+                              + row.get(ewma, 0.0) * theirs) / total
+        for field in ("messages", "frames", "bytes", "delay", "rate"):
+            have[field] = have.get(field, 0) + row.get(field, 0)
+        have["queue_peak"] = max(have.get("queue_peak", 0),
+                                 row.get("queue_peak", 0))
+    return [merged[key] for key in sorted(merged)]
+
+
 def merge_timings(into: Dict[str, dict], add: Dict[str, dict]) -> Dict[str, dict]:
     """Fold timer maps (``total_seconds``/``count``) by summing."""
     for name, row in add.items():

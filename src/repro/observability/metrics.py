@@ -13,8 +13,9 @@ update costs one tick of a statistic, never a wrong simulation result.
 
 from __future__ import annotations
 
+import math as _math
 import time as _time
-from bisect import bisect_right
+from bisect import bisect_left
 from typing import Dict, Optional
 
 
@@ -89,7 +90,10 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        self.buckets[bisect_right(self.BOUNDS, value)] += 1
+        # bisect_left keeps the documented *inclusive* upper bounds: a
+        # sample equal to a bound belongs in that bound's bucket (1 in
+        # "<=1", 1024 in "<=1024", not overflow).
+        self.buckets[bisect_left(self.BOUNDS, value)] += 1
 
     def snapshot(self) -> dict:
         buckets = {f"<={bound}": self.buckets[i]
@@ -104,8 +108,51 @@ class Histogram:
             "buckets": buckets,
         }
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Deterministic bucket-rank quantile estimate (see
+        :func:`snapshot_quantile`)."""
+        return snapshot_quantile(self.snapshot(), q)
+
+    def percentiles(self) -> dict:
+        """The report trio: ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {"p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Histogram {self.name} n={self.count} total={self.total:g}>"
+
+
+def snapshot_quantile(snapshot: dict, q: float) -> Optional[float]:
+    """Quantile estimate over a histogram *snapshot* dict.
+
+    Works on live :meth:`Histogram.snapshot` output and on cross-process
+    snapshots merged by :func:`~.merge.merge_histograms` alike.  The
+    estimate is the upper bound of the bucket holding the ``q``-th
+    sample rank, clamped into the observed ``[min, max]`` — coarse
+    (bucket-resolution) but a pure function of the deterministic bucket
+    tallies, so it belongs in diffable reports.  Returns ``None`` for an
+    empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError(f"quantile must be in [0, 1]: {q!r}")
+    count = snapshot.get("count", 0)
+    if not count:
+        return None
+    rank = max(1, _math.ceil(count * q))
+    buckets = snapshot.get("buckets", {})
+    low, high = snapshot.get("min"), snapshot.get("max")
+    seen = 0
+    for bound in Histogram.BOUNDS:
+        seen += buckets.get(f"<={bound}", 0)
+        if seen >= rank:
+            estimate = float(bound)
+            if low is not None:
+                estimate = max(estimate, float(low))
+            if high is not None:
+                estimate = min(estimate, float(high))
+            return estimate
+    # Rank lands in the overflow bucket: the max is the best bound.
+    return float(high) if high is not None else float(Histogram.BOUNDS[-1])
 
 
 class Timer:

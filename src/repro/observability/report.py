@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from . import export as _export
+from . import metrics as _metrics
+from .health import finalize_health
 from .telemetry import NULL_TELEMETRY, Telemetry
 
 
@@ -58,10 +60,23 @@ class RunReport:
     #: Wall-clock timers — nondeterministic, excluded from to_dict()
     #: unless asked for.
     timings: dict = field(default_factory=dict)
+    #: Scored per-directed-link health rows (see
+    #: :func:`~.health.finalize_health`), populated when a
+    #: :class:`~.health.LinkHealthMonitor` was attached.  Rates and
+    #: queue depths are wall-clock measurements, so the rows live
+    #: outside the deterministic projection, like :attr:`timings`.
+    link_health: List[dict] = field(default_factory=list)
+    #: ``{name: {"points": [[t, value], ...]}}`` from an attached
+    #: :class:`~.timeseries.TimeSeriesRecorder` (multiprocess runs merge
+    #: per-worker dumps under ``node/metric`` keys).  Sampling pace is
+    #: executor-dependent, so excluded from to_dict() unless asked for.
+    timeseries: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def to_dict(self, *, include_timings: bool = False,
-                include_trace: bool = False) -> dict:
+                include_trace: bool = False,
+                include_health: bool = False,
+                include_series: bool = False) -> dict:
         data = {
             "title": self.title,
             "subsystems": self.subsystems,
@@ -79,6 +94,10 @@ class RunReport:
         }
         if include_timings:
             data["timings"] = self.timings
+        if include_health:
+            data["link_health"] = self.link_health
+        if include_series:
+            data["timeseries"] = self.timeseries
         if include_trace:
             # Bulky and wall-clock-bearing; opt-in only.  The wall field
             # is stripped so the document stays diffable.
@@ -160,11 +179,16 @@ class RunReport:
                 [[name, str(value)]
                  for name, value in sorted(self.counters.items())]))
         if self.histograms:
+            def _q(row, q):
+                value = _metrics.snapshot_quantile(row, q)
+                return "-" if value is None else f"{value:g}"
             out.append("")
             out.append(_table(
-                ["histogram", "n", "mean", "min", "max"],
+                ["histogram", "n", "mean", "p50", "p95", "p99", "min",
+                 "max"],
                 [[name, str(row["count"]),
                   "-" if row["mean"] is None else f"{row['mean']:.4g}",
+                  _q(row, 0.50), _q(row, 0.95), _q(row, 0.99),
                   "-" if row["min"] is None else f"{row['min']:g}",
                   "-" if row["max"] is None else f"{row['max']:g}"]
                  for name, row in sorted(self.histograms.items())]))
@@ -177,6 +201,23 @@ class RunReport:
                   str(row["waits"]), f"{row['waited']:g}",
                   "*" if row["critical"] else ""]
                  for row in self.stall_attribution]))
+        if self.link_health:
+            out.append("")
+            out.append(_table(
+                ["link health", "msgs", "ewma delay", "rate", "queue",
+                 "stall%", "score", "advice"],
+                [[f"{row['src']}->{row['dst']}", str(row["messages"]),
+                  f"{row['ewma_delay']:.3g}s", f"{row['rate']:.4g}/s",
+                  f"{row['queue_depth']:.3g}",
+                  f"{100.0 * row['stall_fraction']:.1f}",
+                  f"{row['score']:.2f}", row["recommendation"]]
+                 for row in self.link_health]))
+        if self.timeseries:
+            points = sum(len(series["points"])
+                         for series in self.timeseries.values())
+            out.append("")
+            out.append(f"time-series: {len(self.timeseries)} series, "
+                       f"{points} points")
         if self.trace_counts:
             out.append("")
             dropped = f" (dropped {self.trace_dropped})" \
@@ -287,4 +328,12 @@ def run_report(target, *, title: Optional[str] = None) -> RunReport:
     report.stall_attribution = _export.stall_attribution(
         report.trace_records, nodes=_export.subject_nodes(report))
     report.timings = telemetry.registry.timings()
+    health = getattr(telemetry, "health", None)
+    if health is not None:
+        report.link_health = finalize_health(
+            health.rows(), stall_attribution=report.stall_attribution,
+            subsystems=report.subsystems)
+    series = getattr(telemetry, "series", None)
+    if series is not None:
+        report.timeseries = series.to_dict()
     return report

@@ -27,6 +27,7 @@ import time as _time
 from contextlib import nullcontext
 from typing import Optional
 
+from .flight import FlightRecorder
 from .metrics import MetricsRegistry, Timer
 from .spans import SpanMinter
 from .trace import TraceBuffer, TraceRecord
@@ -44,6 +45,18 @@ class Telemetry:
         self.trace_buffer = TraceBuffer(trace_capacity)
         #: Deterministic per-origin span ids for causal tracing.
         self.spans = SpanMinter()
+        #: Always-on black box (see :mod:`.flight`): stays enabled even
+        #: when the metrics/trace gate is off, so post-mortems do not
+        #: depend on full telemetry having been switched on.  Disable it
+        #: explicitly (``telemetry.flight.enabled = False``) to shed its
+        #: last few percent of dispatch cost.
+        self.flight = FlightRecorder()
+        #: Optional :class:`~.timeseries.TimeSeriesRecorder`, ticked by
+        #: the executors at round boundaries when attached.
+        self.series = None
+        #: Optional :class:`~.health.LinkHealthMonitor`, fed by the
+        #: transport send/poll boundary when attached.
+        self.health = None
         #: The trace context currently being dispatched, thread-local:
         #: under the threaded executor several node threads share one
         #: Telemetry, and each must see only its own dispatch's cause.
@@ -101,11 +114,22 @@ class Telemetry:
                         wall=_time.time()))
 
     # ------------------------------------------------------------------
+    def attach_series(self, recorder) -> "object":
+        """Attach a :class:`~.timeseries.TimeSeriesRecorder`; returns it."""
+        self.series = recorder
+        return recorder
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         """Forget everything recorded so far (the gate is untouched)."""
         self.registry.reset()
         self.trace_buffer.clear()
         self.spans.reset()
+        self.flight.clear()
+        if self.series is not None:
+            self.series.clear()
+        if self.health is not None:
+            self.health.reset()
         self._seq = itertools.count(1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -124,6 +148,9 @@ class _NullTelemetry(Telemetry):
 
     def __init__(self) -> None:
         super().__init__(enabled=False, trace_capacity=1)
+        # Shared sink: its flight recorder must stay off too, so code
+        # never attached to a real Telemetry pays one attribute read.
+        self.flight.enabled = False
 
     def enable(self) -> None:
         raise RuntimeError(

@@ -63,6 +63,12 @@ class NetworkAccounting:
         #: Telemetry sink; every recorded message also feeds the global
         #: and per-link counters of the observability registry.
         self.telemetry = NULL_TELEMETRY
+        #: Optional :class:`~repro.observability.health.LinkHealthMonitor`.
+        #: record()/record_frame() are the universal send boundary — every
+        #: transport and the batched path funnel through them — so one
+        #: hook here feeds the per-link estimators in every mode.  Pay
+        #: for use: ``None`` costs one attribute read per frame.
+        self.health = None
 
     def set_model(self, src: str, dst: str, model: LatencyModel,
                   *, both_ways: bool = True) -> None:
@@ -91,7 +97,11 @@ class NetworkAccounting:
             telemetry.count("transport.bytes_on_wire", size)
             telemetry.count(f"link.{src}->{dst}.messages")
             telemetry.count(f"link.{src}->{dst}.bytes", size)
-        return stats.record(size)
+        delay = stats.record(size)
+        health = self.health
+        if health is not None:
+            health.on_send(src, dst, size, 1, delay)
+        return delay
 
     def record_frame(self, src: str, dst: str, size: int,
                      messages: int) -> float:
@@ -109,7 +119,11 @@ class NetworkAccounting:
                 telemetry.observe("transport.batch_size", messages)
             telemetry.count(f"link.{src}->{dst}.messages", messages)
             telemetry.count(f"link.{src}->{dst}.bytes", size)
-        return stats.record_frame(size, messages)
+        delay = stats.record_frame(size, messages)
+        health = self.health
+        if health is not None:
+            health.on_send(src, dst, size, messages, delay)
+        return delay
 
     # ------------------------------------------------------------------
     @property

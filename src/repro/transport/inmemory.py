@@ -78,6 +78,10 @@ class InMemoryTransport:
         self.fault_injector = injector
         injector.telemetry = self.telemetry
 
+    def attach_health(self, monitor) -> None:
+        """Feed per-link health estimators from the send/poll boundary."""
+        self.accounting.health = monitor
+
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
@@ -306,6 +310,9 @@ class InMemoryTransport:
                     injector.suppress_duplicate(name, message):
                 continue
             drained.append(message)
+        health = self.accounting.health
+        if health is not None:
+            health.on_poll(name, len(drained))
         telemetry = self.telemetry
         if telemetry.enabled and drained:
             for message in drained:

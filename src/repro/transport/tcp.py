@@ -392,6 +392,10 @@ class TcpTransport:
         injector.telemetry = self.telemetry
         self.retry_policy = injector.retry_policy
 
+    def attach_health(self, monitor) -> None:
+        """Feed per-link health estimators from the send/poll boundary."""
+        self.accounting.health = monitor
+
     # ------------------------------------------------------------------
     # child-process safety
     # ------------------------------------------------------------------
@@ -882,6 +886,9 @@ class TcpTransport:
                         injector.suppress_duplicate(name, message):
                     continue
                 drained.append(message)
+        health = self.accounting.health
+        if health is not None:
+            health.on_poll(name, len(drained))
         telemetry = self.telemetry
         if telemetry.enabled and drained:
             for message in drained:

@@ -1,0 +1,91 @@
+"""Telemetry bit-identity: turning the continuous telemetry plane on —
+time-series sampling, per-link health and delta streaming — must leave a
+run's deterministic report projection byte for byte unchanged.
+
+Each case runs the same workload twice, dark and fully instrumented, and
+compares ``report.to_dict()`` (the default projection excludes the
+wall-clock-bearing sections: timings, health rows, series)."""
+
+import pytest
+
+from repro.bench.workloads import (
+    compute_star,
+    compute_star_multiprocess,
+    streaming_pair,
+)
+from repro.observability import TimeSeriesRecorder, attach_health
+
+
+def telemetry_kwargs():
+    return dict(series_interval=1.0, series_wall_interval=0.5,
+                health=True, stream_telemetry=True)
+
+
+class TestMultiprocess:
+    def _run(self, **kwargs):
+        cosim = compute_star_multiprocess(2, 3, words=50, **kwargs)
+        cosim.run(until=100.0, timeout=60.0)
+        return cosim.report()
+
+    def test_streaming_run_matches_dark_run(self):
+        dark = self._run()
+        lit = self._run(**telemetry_kwargs())
+        assert lit.to_dict() == dark.to_dict()
+        # ...and the instrumented run actually produced the sections.
+        assert lit.link_health
+        assert lit.timeseries
+        assert not dark.link_health
+        assert not dark.timeseries
+
+    def test_streaming_run_matches_dark_run_on_shm(self):
+        dark = self._run(transport="shm")
+        lit = self._run(transport="shm", **telemetry_kwargs())
+        assert lit.to_dict() == dark.to_dict()
+        assert lit.link_health
+
+    def test_streaming_run_matches_dark_run_unbatched(self):
+        dark = self._run(batching=False)
+        lit = self._run(batching=False, **telemetry_kwargs())
+        assert lit.to_dict() == dark.to_dict()
+
+    def test_opt_in_projections_carry_the_new_sections(self):
+        lit = self._run(**telemetry_kwargs())
+        document = lit.to_dict(include_health=True, include_series=True)
+        assert document["link_health"] == lit.link_health
+        assert document["timeseries"] == lit.timeseries
+        # series keys are node-qualified after the merge
+        assert all("/" in name for name in lit.timeseries)
+
+
+class TestSingleProcessExecutors:
+    def _instrument(self, cosim):
+        cosim.telemetry.attach_series(TimeSeriesRecorder())
+        attach_health(cosim.transport, cosim.telemetry)
+        return cosim
+
+    def test_cooperative_identity(self):
+        dark = streaming_pair(30, 1.0)
+        dark.run()
+        lit = self._instrument(streaming_pair(30, 1.0))
+        lit.run()
+        assert lit.report().to_dict() == dark.report().to_dict()
+        assert lit.report().link_health
+        assert lit.report().timeseries
+
+    def test_threaded_identity(self):
+        dark = compute_star(2, 3, words=50, executor="threaded")
+        dark.run(until=100.0)
+        lit = self._instrument(
+            compute_star(2, 3, words=50, executor="threaded"))
+        lit.run(until=100.0)
+        dark_doc, lit_doc = dark.report().to_dict(), lit.report().to_dict()
+        # Threaded runs interleave nondeterministically, so compare the
+        # deterministic core rather than whole documents.
+        assert [row["name"] for row in lit_doc["subsystems"]] \
+            == [row["name"] for row in dark_doc["subsystems"]]
+        assert sorted((row["name"], row["time"])
+                      for row in lit_doc["subsystems"]) \
+            == sorted((row["name"], row["time"])
+                      for row in dark_doc["subsystems"])
+        assert lit.report().link_health
+        assert lit.report().timeseries

@@ -216,3 +216,76 @@ class TestStallAttribution:
             [dispatch("mystery", 1.0, cause="n-w0:1", hop=1)], nodes={})
         assert rows[0]["node"] == "-"
         assert rows[0]["peer_node"] == "n-w0"
+
+
+class TestCounterTracks:
+    SERIES = {"n-hub/scheduler.dispatched": {"points": [[1.0, 10],
+                                                        [2.0, 25]]},
+              "wire.out": {"points": [[1.5, 3], [2.5, "oops"],
+                                      [3.0, True]]}}
+
+    def test_series_param_adds_counter_events(self):
+        document = chrome_trace([dispatch("hub", 1.0)],
+                                series=self.SERIES)
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 3  # non-numeric and bool points skipped
+        assert all(e["cat"] == "series" for e in counters)
+        assert validate_chrome_trace(document) == []
+
+    def test_node_prefixed_series_lands_on_that_process_row(self):
+        document = chrome_trace([dispatch("hub", 1.0)],
+                                series=self.SERIES)
+        events = document["traceEvents"]
+        by_label = {}
+        for event in events:
+            if event["ph"] == "C":
+                by_label.setdefault(event["name"], event)
+        assert by_label["scheduler.dispatched"]["args"] \
+            == {"scheduler.dispatched": 10}
+        hub_pid = next(e["pid"] for e in events
+                       if e.get("ph") == "M"
+                       and e.get("args", {}).get("name") == "n-hub")
+        assert by_label["scheduler.dispatched"]["pid"] == hub_pid
+        assert by_label["wire.out"]["ts"] == pytest.approx(1.5e6)
+
+    def test_report_timeseries_picked_up_automatically(self):
+        report = RunReport("r")
+        report.trace_records = [dispatch("hub", 1.0)]
+        report.timeseries = {"m": {"points": [[0.5, 7]]}}
+        document = chrome_trace(report)
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert counters and counters[0]["args"] == {"m": 7}
+
+    def test_wall_view_omits_counter_tracks(self):
+        document = chrome_trace([dispatch("hub", 1.0, wall=5.0)],
+                                view="wall", series=self.SERIES)
+        assert not [e for e in document["traceEvents"]
+                    if e["ph"] == "C"]
+
+
+class TestValidateCounters:
+    def _counter(self, **overrides):
+        event = {"ph": "C", "cat": "series", "name": "m", "pid": 1,
+                 "tid": 0, "ts": 0.0, "args": {"m": 1}}
+        event.update(overrides)
+        return event
+
+    def test_clean_counter_event_passes(self):
+        document = {"traceEvents": [self._counter()]}
+        assert validate_chrome_trace(document) == []
+
+    def test_counter_without_name_flagged(self):
+        document = {"traceEvents": [self._counter(name="")]}
+        assert any("without name" in p
+                   for p in validate_chrome_trace(document))
+
+    def test_counter_with_empty_args_flagged(self):
+        document = {"traceEvents": [self._counter(args={})]}
+        assert any("non-empty args" in p
+                   for p in validate_chrome_trace(document))
+
+    def test_counter_with_non_numeric_args_flagged(self):
+        for bad in ({"m": "high"}, {"m": True}, {"m": None}):
+            document = {"traceEvents": [self._counter(args=bad)]}
+            assert any("numeric" in p
+                       for p in validate_chrome_trace(document)), bad

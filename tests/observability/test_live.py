@@ -2,10 +2,13 @@
 
 import io
 import json
+import threading
+import time
 
 from repro.distributed.multiprocess import status_snapshot
 from repro.observability.live import (
     follow,
+    follow_ndjson,
     main,
     read_snapshot,
     render_status,
@@ -101,3 +104,59 @@ class TestFileTailing:
     def test_main_once_without_file_fails(self, tmp_path, capsys):
         assert main(["--once", str(tmp_path / "none.json")]) == 1
         assert "no status snapshot" in capsys.readouterr().err
+
+    def test_follow_ndjson_emits_compact_lines(self, tmp_path):
+        path = tmp_path / "status.json"
+        self.write(path, status_snapshot({"n-w0": WORKER_STATUS},
+                                         phase="done"))
+        out = io.StringIO()
+        last = follow_ndjson(str(path), interval=0.01, out=out)
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 1
+        document = json.loads(lines[0])
+        assert document == last
+        assert document["phase"] == "done"
+        assert "\n" not in lines[0].strip()
+        # compact separators, not the pretty renderer
+        assert ": " not in lines[0]
+
+    def test_follow_ndjson_dedups_unchanged_snapshots(self, tmp_path):
+        path = tmp_path / "status.json"
+        first = status_snapshot({"n-w0": WORKER_STATUS})
+        first["wall"] = 1.0
+        self.write(path, first)
+
+        def mutate():
+            # same wall stamp: must not re-emit; then a new done snapshot.
+            time.sleep(0.1)
+            done = status_snapshot({"n-w0": WORKER_STATUS}, phase="done")
+            done["wall"] = 2.0
+            self.write(path, done)
+
+        out = io.StringIO()
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        last = follow_ndjson(str(path), interval=0.01, out=out)
+        mutator.join()
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["phase"] == "running"
+        assert last["phase"] == "done"
+
+    def test_follow_ndjson_respects_iteration_budget(self, tmp_path):
+        path = tmp_path / "status.json"
+        self.write(path, status_snapshot({"n-w0": WORKER_STATUS}))
+        out = io.StringIO()
+        last = follow_ndjson(str(path), interval=0.01, iterations=1,
+                             out=out)
+        assert last["phase"] == "running"
+        assert len(out.getvalue().splitlines()) == 1
+
+    def test_main_follow_mode(self, tmp_path, capsys):
+        path = tmp_path / "status.json"
+        self.write(path, status_snapshot({"n-w0": WORKER_STATUS},
+                                         phase="done"))
+        assert main(["--follow", "--interval", "0.01", str(path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["phase"] == "done"

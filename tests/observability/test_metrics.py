@@ -5,9 +5,11 @@ import pytest
 from repro.observability import (
     Counter,
     Gauge,
+    Histogram,
     MetricError,
     MetricsRegistry,
     Timer,
+    snapshot_quantile,
 )
 
 
@@ -95,3 +97,53 @@ class TestRegistry:
         assert "run" not in reg.snapshot().get("counters", {})
         assert reg.timings() == {
             "run": {"total_seconds": 0.25, "count": 2}}
+
+
+class TestHistogramQuantiles:
+    def _histogram(self, samples):
+        h = Histogram("h")
+        for s in samples:
+            h.observe(s)
+        return h
+
+    def test_quantile_is_bucket_bound_clamped_to_observed_range(self):
+        h = self._histogram([3, 3, 3, 10])
+        # rank 2 of 4 lands in the <=4 bucket, clamped up to min=3
+        assert h.quantile(0.50) == 4.0
+        # rank 4 lands in <=16, clamped down to max=10
+        assert h.quantile(0.99) == 10.0
+
+    def test_extremes_return_min_and_max(self):
+        h = self._histogram([1, 7, 900])
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 900.0
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = self._histogram([])
+        assert h.quantile(0.5) is None
+        assert h.percentiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_percentiles_trio(self):
+        h = self._histogram(range(1, 101))
+        trio = h.percentiles()
+        assert set(trio) == {"p50", "p95", "p99"}
+        assert trio["p50"] <= trio["p95"] <= trio["p99"]
+
+    def test_snapshot_quantile_rejects_out_of_range(self):
+        h = self._histogram([1])
+        with pytest.raises(MetricError):
+            snapshot_quantile(h.snapshot(), 1.5)
+        with pytest.raises(MetricError):
+            snapshot_quantile(h.snapshot(), -0.1)
+
+    def test_overflow_bucket_uses_the_observed_max(self):
+        h = self._histogram([5000, 6000])
+        assert h.quantile(0.99) == 6000.0
+
+    def test_quantile_over_merged_style_snapshot(self):
+        # snapshot_quantile works on plain dicts, like cross-process
+        # merges produce — no live Histogram needed.
+        snap = {"count": 4, "min": 2, "max": 30,
+                "buckets": {"<=2": 1, "<=4": 1, "<=16": 1, "<=32": 1}}
+        assert snapshot_quantile(snap, 0.50) == 4.0
+        assert snapshot_quantile(snap, 1.0) == 30.0
